@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Ablation study: which error-manifestation mechanism produces which
+ * observation of the paper?
+ *
+ * Each row disables one mechanism of the integrator and reports the
+ * observables the paper's Section V attributes to it:
+ *  - cell-to-cell interference  -> the access-rate/WER correlation and
+ *    backprop exceeding the random micro-benchmark (Fig 2);
+ *  - implicit-refresh suppression -> memcached's low error rate and the
+ *    workload spread (Fig 7);
+ *  - VRT                         -> WER(t) convergence over the 2-hour
+ *    run (Fig 4) and run-to-run PUE variation;
+ *  - data-pattern vulnerability  -> the HDP/WER coupling (Fig 10).
+ */
+
+#include <cmath>
+
+#include "harness.hh"
+
+using namespace dfault;
+
+namespace {
+
+struct Ablation
+{
+    const char *name;
+    const char *breaks;
+    core::ErrorIntegrator::Params params;
+};
+
+struct Observables
+{
+    double backprop_vs_random = 0.0; ///< WER ratio (Fig 2 claim)
+    double workload_spread = 0.0;    ///< max/min WER (Fig 7 claim)
+    double memcached_rank = 0.0;     ///< memcached WER / max WER
+    double convergence_tail = 0.0;   ///< last-10-min WER change, %
+    double run_variation = 0.0;      ///< rel. stddev across run seeds
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness harness(argc, argv);
+    bench::banner("Ablation",
+                  "disable one mechanism, observe which paper claim "
+                  "breaks (TREFP=2.283s, 60C)");
+
+    core::ErrorIntegrator::Params base =
+        harness.campaign().params().integrator;
+
+    std::vector<Ablation> ablations;
+    ablations.push_back({"full model", "-", base});
+    {
+        auto p = base;
+        p.interference.strength = 0.0;
+        ablations.push_back(
+            {"no interference", "Fig 2 (backprop>random)", p});
+    }
+    {
+        auto p = base;
+        p.accessRefreshExponent = 0.0;
+        ablations.push_back(
+            {"no implicit refresh", "Fig 7 (memcached lowest)", p});
+    }
+    {
+        auto p = base;
+        // Always-active weak cells: no discovery curve, no repeats
+        // variation. The UE coupling is rescaled so the pi_active
+        // change ablates the CE dynamics, not the crash rate.
+        const double pi = p.vrt.onRate / (p.vrt.onRate + p.vrt.offRate);
+        p.ueWordCoupling *= pi * pi;
+        p.vrt.onRate = 0.999;
+        p.vrt.offRate = 0.0;
+        ablations.push_back({"no VRT", "Fig 4 (convergence)", p});
+    }
+    {
+        auto p = base;
+        p.dataPatternVulnerability = false;
+        ablations.push_back(
+            {"no data pattern", "Fig 10 (HDP coupling)", p});
+    }
+
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
+    const std::vector<workloads::WorkloadConfig> configs{
+        {"backprop", 8, "backprop(par)"},
+        {"memcached", 8, "memcached"},
+        {"nw", 8, "nw(par)"},
+        {"srad", 8, "srad(par)"},
+        {"random", 8, "random"},
+    };
+    auto &platform = harness.platform();
+    const auto &wparams = harness.campaign().params().workload;
+
+    std::printf("%-22s %10s %9s %10s %9s %9s  %s\n", "configuration",
+                "bp/random", "spread", "memc/max", "tail%", "runvar%",
+                "expected to break");
+
+    for (const auto &ablation : ablations) {
+        const core::ErrorIntegrator integrator(ablation.params);
+        Observables obs;
+
+        double backprop = 0.0, random_wer = 0.0, memc = 0.0;
+        double lo = 1e300, hi = 0.0;
+        for (const auto &config : configs) {
+            const auto &profile =
+                features::ProfileCache::instance().get(platform, config,
+                                                       wparams);
+            const auto run =
+                integrator.run(profile, op, platform.geometry(),
+                               platform.devices());
+            const double wer = run.wer();
+            if (config.label == "backprop(par)") {
+                backprop = wer;
+                // Last-10-minute change of the completed window; a
+                // crashed/short run has no converged tail to measure.
+                if (run.werSeries.size() >= 11 &&
+                    run.werSeries.back() > 0.0) {
+                    obs.convergence_tail =
+                        100.0 *
+                        (run.werSeries.back() -
+                         run.werSeries[run.werSeries.size() - 11]) /
+                        run.werSeries.back();
+                } else {
+                    obs.convergence_tail = 0.0;
+                }
+                // Run-to-run variation over 5 seeds.
+                double sum = 0.0, sq = 0.0;
+                for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+                    const double w =
+                        integrator
+                            .run(profile, op, platform.geometry(),
+                                 platform.devices(), seed)
+                            .wer();
+                    sum += w;
+                    sq += w * w;
+                }
+                const double mean = sum / 5.0;
+                obs.run_variation =
+                    mean > 0.0
+                        ? 100.0 *
+                              std::sqrt(std::max(0.0,
+                                                 sq / 5.0 -
+                                                     mean * mean)) /
+                              mean
+                        : 0.0;
+            }
+            if (config.label == "random")
+                random_wer = wer;
+            if (config.label == "memcached")
+                memc = wer;
+            if (config.label != "random") { // suite spread per Fig 7
+                lo = std::min(lo, wer);
+                hi = std::max(hi, wer);
+            }
+        }
+        obs.backprop_vs_random =
+            random_wer > 0.0 ? backprop / random_wer : 0.0;
+        obs.workload_spread = lo > 0.0 ? hi / lo : 0.0;
+        obs.memcached_rank = hi > 0.0 ? memc / hi : 0.0;
+
+        std::printf("%-22s %10.2f %9.1f %10.2f %9.2f %9.2f  %s\n",
+                    ablation.name, obs.backprop_vs_random,
+                    obs.workload_spread, obs.memcached_rank,
+                    obs.convergence_tail, obs.run_variation,
+                    ablation.breaks);
+    }
+
+    bench::rule();
+    std::printf(
+        "reading: 'bp/random' collapses toward/below 1 without "
+        "interference;\n'memc/max' rises without implicit refresh; "
+        "'tail%%' goes to ~0 and 'runvar%%'\ncollapses without VRT; "
+        "the data-pattern term shifts per-device rates only\n"
+        "(its coupling is visible in fig10's HDP correlation).\n");
+    return 0;
+}

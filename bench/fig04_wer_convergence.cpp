@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Fig 4: WER(t) for every benchmark configuration over the
+ * 2-hour run under TREFP = 2.283 s and lowered VDD at 50 C —
+ * demonstrating that 120 minutes suffices for the unique-location WER
+ * to converge (the paper reports < 3% change over the last 10 min).
+ */
+
+#include "harness.hh"
+
+using namespace dfault;
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness harness(argc, argv);
+    bench::banner("Fig 4",
+                  "WER(t) convergence for all benchmarks at "
+                  "TREFP=2.283s, 1.428V, 50C");
+
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 50.0};
+    const auto suite = workloads::standardSuite();
+
+    std::printf("%-14s %10s %10s %10s %10s %12s\n", "benchmark",
+                "30min", "60min", "90min", "120min", "last10min%");
+
+    double worst_tail = 0.0;
+    for (const auto &config : suite) {
+        const core::Measurement m =
+            harness.campaign().measure(config, op);
+        const auto &series = m.run.werSeries;
+        if (series.size() < 120) {
+            std::printf("%-14s crashed after %zu minutes\n",
+                        config.label.c_str(), series.size());
+            continue;
+        }
+        const double tail_change =
+            series[119] > 0.0
+                ? 100.0 * (series[119] - series[109]) / series[119]
+                : 0.0;
+        worst_tail = std::max(worst_tail, tail_change);
+        std::printf("%-14s %10.3e %10.3e %10.3e %10.3e %11.2f%%\n",
+                    config.label.c_str(), series[29], series[59],
+                    series[89], series[119], tail_change);
+    }
+
+    bench::rule();
+    std::printf("worst last-10-minute change: %.2f%% "
+                "(paper: < 3%% at 50C)\n",
+                worst_tail);
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmark binaries.
+ *
+ * Every bench binary regenerates one table or figure of the paper on
+ * the full-scale simulated platform (16 MiB footprint, default caches).
+ * Command-line "key=value" overrides allow reduced runs:
+ *   footprint_mib=8 work_scale=0.5 epochs=60 repeats=5
+ */
+
+#ifndef DFAULT_BENCH_HARNESS_HH
+#define DFAULT_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "core/characterization.hh"
+#include "core/dataset_builder.hh"
+#include "core/error_model.hh"
+#include "core/trainer.hh"
+#include "sys/platform.hh"
+#include "workloads/registry.hh"
+
+namespace dfault::bench {
+
+/** Platform + campaign configured from the command line. */
+class Harness
+{
+  public:
+    Harness(int argc, char **argv)
+    {
+        config_.parseArgs(argc, argv);
+        const std::uint64_t footprint =
+            static_cast<std::uint64_t>(
+                config_.getInt("footprint_mib", 16))
+            << 20;
+
+        sys::Platform::Params pp;
+        pp.exec.timeDilation = sys::dilationForFootprint(footprint);
+        platform_ = std::make_unique<sys::Platform>(pp);
+
+        core::CharacterizationCampaign::Params cp;
+        cp.workload.footprintBytes = footprint;
+        cp.workload.workScale = config_.getDouble("work_scale", 1.0);
+        cp.integrator.epochs =
+            static_cast<int>(config_.getInt("epochs", 120));
+        cp.useThermalLoop = config_.getBool("thermal_loop", true);
+        campaign_ = std::make_unique<core::CharacterizationCampaign>(
+            *platform_, cp);
+    }
+
+    sys::Platform &platform() { return *platform_; }
+    core::CharacterizationCampaign &campaign() { return *campaign_; }
+    const Config &config() const { return config_; }
+
+    /** Repeats for PUE experiments (paper: 10). */
+    int repeats() const
+    {
+        return static_cast<int>(config_.getInt("repeats", 10));
+    }
+
+  private:
+    Config config_;
+    std::unique_ptr<sys::Platform> platform_;
+    std::unique_ptr<core::CharacterizationCampaign> campaign_;
+};
+
+/** Print a horizontal rule sized to the preceding header. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Section banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    rule();
+    std::printf("%s  --  %s\n", artifact.c_str(), description.c_str());
+    rule();
+}
+
+} // namespace dfault::bench
+
+#endif // DFAULT_BENCH_HARNESS_HH

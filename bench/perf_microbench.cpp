@@ -1,0 +1,203 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the library's hot paths: the
+ * SECDED codec, the cache and MCU models, feature correlation, the
+ * three ML models' prediction latency (the paper's "predict DRAM
+ * errors within 300 ms" claim), and one full error-integration run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/error_integrator.hh"
+#include "dram/controller.hh"
+#include "dram/ecc.hh"
+#include "features/extractor.hh"
+#include "mem/cache.hh"
+#include "ml/forest.hh"
+#include "ml/knn.hh"
+#include "ml/svr.hh"
+#include "stats/correlation.hh"
+#include "sys/platform.hh"
+
+namespace {
+
+using namespace dfault;
+
+void
+BM_EccEncode(benchmark::State &state)
+{
+    dram::EccSecded ecc;
+    Rng rng(1);
+    std::uint64_t data = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ecc.encode(data));
+        data += 0x9e3779b97f4a7c15ULL;
+    }
+}
+BENCHMARK(BM_EccEncode);
+
+void
+BM_EccDecodeCorrupted(benchmark::State &state)
+{
+    dram::EccSecded ecc;
+    Rng rng(2);
+    dram::Codeword word = ecc.encode(rng.next());
+    dram::EccSecded::flipBit(word, 17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc.decode(word));
+}
+BENCHMARK(BM_EccDecodeCorrupted);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache::Params params;
+    params.sizeBytes = 32 * 1024;
+    mem::Cache cache(params);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(rng.uniformInt(std::uint64_t{1} << 20) * 8,
+                         false));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_McuAccess(benchmark::State &state)
+{
+    dram::Geometry geometry;
+    dram::Mcu mcu(geometry, 0);
+    Rng rng(4);
+    Cycles cycle = 0;
+    for (auto _ : state) {
+        dram::WordCoord coord = geometry.decode(
+            rng.uniformInt(geometry.capacityBytes() / 8) * 8);
+        coord.channel = 0;
+        benchmark::DoNotOptimize(mcu.access(coord, false, cycle));
+        cycle += 50;
+    }
+}
+BENCHMARK(BM_McuAccess);
+
+void
+BM_Spearman249(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 140; ++i) { // one campaign's worth of samples
+        x.push_back(rng.uniform());
+        y.push_back(rng.uniform());
+    }
+    for (auto _ : state)
+        for (int f = 0; f < 249; ++f)
+            benchmark::DoNotOptimize(stats::spearman(x, y));
+}
+BENCHMARK(BM_Spearman249);
+
+/** Training data shaped like one device's WER dataset. */
+ml::Matrix
+campaignX(std::size_t rows, std::size_t cols)
+{
+    Rng rng(6);
+    ml::Matrix x;
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<double> row;
+        for (std::size_t j = 0; j < cols; ++j)
+            row.push_back(rng.uniform());
+        x.push_back(std::move(row));
+    }
+    return x;
+}
+
+std::vector<double>
+campaignY(std::size_t rows)
+{
+    Rng rng(7);
+    std::vector<double> y;
+    for (std::size_t i = 0; i < rows; ++i)
+        y.push_back(rng.uniform());
+    return y;
+}
+
+template <typename Model>
+void
+predictLatency(benchmark::State &state, std::size_t features)
+{
+    const auto x = campaignX(140, features);
+    const auto y = campaignY(140);
+    Model model;
+    model.fit(x, y);
+    const auto query = campaignX(1, features)[0];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.predict(query));
+}
+
+void
+BM_KnnPredict_Set1(benchmark::State &state)
+{
+    predictLatency<ml::KnnRegressor>(state, 7);
+}
+BENCHMARK(BM_KnnPredict_Set1);
+
+void
+BM_KnnPredict_AllFeatures(benchmark::State &state)
+{
+    predictLatency<ml::KnnRegressor>(state, 252);
+}
+BENCHMARK(BM_KnnPredict_AllFeatures);
+
+void
+BM_SvrPredict_Set1(benchmark::State &state)
+{
+    predictLatency<ml::SvrRegressor>(state, 7);
+}
+BENCHMARK(BM_SvrPredict_Set1);
+
+void
+BM_RdfPredict_Set1(benchmark::State &state)
+{
+    predictLatency<ml::RandomForestRegressor>(state, 7);
+}
+BENCHMARK(BM_RdfPredict_Set1);
+
+void
+BM_KnnFit_Set1(benchmark::State &state)
+{
+    const auto x = campaignX(140, 7);
+    const auto y = campaignY(140);
+    for (auto _ : state) {
+        ml::KnnRegressor model;
+        model.fit(x, y);
+        benchmark::DoNotOptimize(&model);
+    }
+}
+BENCHMARK(BM_KnnFit_Set1);
+
+void
+BM_ErrorIntegratorRun(benchmark::State &state)
+{
+    static sys::Platform platform([] {
+        sys::Platform::Params p;
+        p.hierarchy.l2.sizeBytes = 1 << 20;
+        p.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+        return p;
+    }());
+    workloads::Workload::Params wp;
+    wp.footprintBytes = 2 << 20;
+    wp.workScale = 0.5;
+    const auto &profile = features::ProfileCache::instance().get(
+        platform, {"srad", 8, "srad(par)"}, wp);
+    core::ErrorIntegrator integrator;
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            integrator.run(profile, op, platform.geometry(),
+                           platform.devices(), seed++));
+}
+BENCHMARK(BM_ErrorIntegratorRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

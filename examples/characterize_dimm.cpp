@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Characterize the DIMM population of a server: run one workload under
+ * a relaxed refresh period on the thermally controlled testbed and
+ * break the observed errors down by DIMM/rank — the workflow behind
+ * the paper's Fig 8 and the basis for retention-aware DIMM binning.
+ *
+ * Usage: characterize_dimm [workload=<kernel>] [trefp_s=2.283]
+ *                          [temp_c=50] [key=value ...]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "core/characterization.hh"
+#include "dram/error_log.hh"
+#include "sys/platform.hh"
+
+using namespace dfault;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+
+    sys::Platform::Params pp;
+    const std::uint64_t footprint =
+        static_cast<std::uint64_t>(config.getInt("footprint_mib", 16))
+        << 20;
+    pp.exec.timeDilation = sys::dilationForFootprint(footprint);
+    sys::Platform platform(pp);
+
+    core::CharacterizationCampaign::Params cp;
+    cp.workload.footprintBytes = footprint;
+    cp.workload.workScale = config.getDouble("work_scale", 1.0);
+    core::CharacterizationCampaign campaign(platform, cp);
+
+    const std::string kernel = config.getString("workload", "srad");
+    const dram::OperatingPoint op{
+        config.getDouble("trefp_s", 2.283), dram::kMinVdd,
+        config.getDouble("temp_c", 50.0)};
+    op.validate();
+
+    std::printf("characterizing '%s' at %s on the thermal testbed...\n",
+                kernel.c_str(), op.label().c_str());
+
+    dram::ErrorLog log(platform.geometry());
+    const core::Measurement m = campaign.measure(
+        {kernel, 8, kernel + "(par)"}, op, /*run_seed=*/1, &log);
+
+    std::printf("\nachieved DIMM temperature: %.1f C (PID-controlled; "
+                "target %.1f C)\n",
+                m.achieved.temperature, op.temperature);
+    if (m.run.crashed) {
+        std::printf("run ended with an uncorrectable error after %d "
+                    "minutes on %s\n",
+                    m.run.crashEpoch,
+                    platform.geometry()
+                        .deviceAt(m.run.crashDevice)
+                        .label()
+                        .c_str());
+    }
+
+    std::printf("\nper-device breakdown (unique CE words, WER):\n");
+    std::printf("%-12s %14s %12s %18s\n", "device", "CE words", "WER",
+                "retention scale");
+    for (int d = 0; d < platform.geometry().deviceCount(); ++d) {
+        const auto id = platform.geometry().deviceAt(d);
+        std::printf("%-12s %14.0f %12.3e %18.2f\n", id.label().c_str(),
+                    m.run.cePerDevice[d], m.run.werForDevice(d),
+                    platform.devices()[d].retentionScale());
+    }
+
+    std::printf("\nsampled SLIMpro-style error records (%zu):\n",
+                log.records().size());
+    int shown = 0;
+    for (const auto &rec : log.records()) {
+        std::printf("  [%3llu min] %s bank %d row %5u col %3u  %s\n",
+                    static_cast<unsigned long long>(rec.epoch),
+                    rec.device.label().c_str(), rec.bank, rec.row,
+                    rec.column,
+                    rec.type == dram::ErrorType::CE   ? "CE"
+                    : rec.type == dram::ErrorType::UE ? "UE"
+                                                      : "SDC");
+        if (++shown == 12) {
+            std::printf("  ... (%zu more)\n",
+                        log.records().size() - 12);
+            break;
+        }
+    }
+
+    std::printf("\naggregate WER: %.3e per 64-bit word\n", m.run.wer());
+    return 0;
+}

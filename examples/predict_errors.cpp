@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Train the workload-aware DRAM error model on a characterization
+ * campaign, then predict WER and PUE for a workload the model never
+ * saw — in microseconds instead of a 2-hour characterization run.
+ *
+ * This is the paper's primary use case (Eq. 1):
+ *   Merr = M(Ftrs, Dev, TREFP, VDD, TEMPDRAM)
+ *
+ * Usage: predict_errors [key=value ...]
+ *   e.g. predict_errors footprint_mib=8 work_scale=0.5 epochs=60
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "core/dataset_builder.hh"
+#include "core/error_model.hh"
+#include "features/extractor.hh"
+#include "ml/metrics.hh"
+#include "sys/platform.hh"
+
+using namespace dfault;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+
+    sys::Platform::Params pp;
+    const std::uint64_t footprint =
+        static_cast<std::uint64_t>(config.getInt("footprint_mib", 16))
+        << 20;
+    pp.exec.timeDilation = sys::dilationForFootprint(footprint);
+    sys::Platform platform(pp);
+
+    core::CharacterizationCampaign::Params cp;
+    cp.workload.footprintBytes = footprint;
+    cp.workload.workScale = config.getDouble("work_scale", 1.0);
+    cp.integrator.epochs =
+        static_cast<int>(config.getInt("epochs", 120));
+    core::CharacterizationCampaign campaign(platform, cp);
+
+    // 1. Data collection: characterize the 14-benchmark suite across
+    //    the WER operating grid (paper Fig 3, "DRAM characterization").
+    std::printf("collecting the training campaign "
+                "(14 benchmarks x %zu operating points)...\n",
+                core::werOperatingPoints().size());
+    const auto measurements = campaign.sweep(
+        workloads::standardSuite(), core::werOperatingPoints());
+
+    // 2. Train the per-device KNN model on input set 1 (the paper's
+    //    most accurate configuration).
+    const auto model = core::DramErrorModel::trainWer(
+        measurements, platform.geometry().deviceCount(),
+        core::DramErrorModel::Options{});
+
+    // 3. Profile an *unseen* workload (lulesh is not in the training
+    //    suite) -- a few seconds, vs hours of characterization.
+    const workloads::WorkloadConfig target{"lulesh_o2", 8,
+                                           "lulesh(O2)"};
+    const auto &profile = features::ProfileCache::instance().get(
+        platform, target, cp.workload);
+
+    std::printf("\npredictions for %s (never characterized):\n",
+                target.label.c_str());
+    std::printf("%-34s %12s %12s\n", "operating point", "predicted",
+                "measured");
+    for (const dram::OperatingPoint op :
+         {dram::OperatingPoint{1.173, dram::kMinVdd, 50.0},
+          dram::OperatingPoint{2.283, dram::kMinVdd, 50.0},
+          dram::OperatingPoint{2.283, dram::kMinVdd, 60.0}}) {
+        const double predicted =
+            model.predictWerAggregate(profile, op);
+        const core::Measurement actual = campaign.measure(target, op);
+        std::printf("%-34s %12.3e %12.3e  (err %.0f%%)\n",
+                    op.label().c_str(), predicted, actual.run.wer(),
+                    actual.run.wer() > 0.0
+                        ? ml::percentageError(actual.run.wer(),
+                                              predicted)
+                        : 0.0);
+    }
+
+    // 4. Per-device prediction: the model is device-specific, as DRAM
+    //    reliability varies DIMM-to-DIMM by orders of magnitude.
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
+    std::printf("\nper-device WER predictions at %s:\n",
+                op.label().c_str());
+    for (int d = 0; d < platform.geometry().deviceCount(); ++d)
+        std::printf("  %-12s %.3e\n",
+                    platform.geometry().deviceAt(d).label().c_str(),
+                    model.predictWer(profile, op, d));
+
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: profile one workload, characterize it at a relaxed DRAM
+ * operating point, and compare against the random data-pattern
+ * micro-benchmark — the 60-second tour of the DFault API.
+ *
+ * Usage: quickstart [key=value ...]
+ *   e.g. quickstart campaign.epochs=60 workload.footprint_mib=8
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "core/characterization.hh"
+#include "dram/operating_point.hh"
+#include "sys/platform.hh"
+#include "workloads/registry.hh"
+
+using namespace dfault;
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+
+    // 1. Assemble the simulated server: 8 ARMv8-like cores, 4 DDR3
+    //    channels, 4 DIMMs x 2 ranks with per-device manufacturing
+    //    variation, and the thermally controlled testbed.
+    sys::Platform platform;
+
+    // 2. A characterization campaign couples the platform with the
+    //    error integrator (the simulated 2-hour measurement runs).
+    core::CharacterizationCampaign::Params params;
+    params.workload.footprintBytes =
+        static_cast<std::uint64_t>(
+            config.getInt("workload.footprint_mib", 16))
+        << 20;
+    params.integrator.epochs =
+        static_cast<int>(config.getInt("campaign.epochs", 120));
+    core::CharacterizationCampaign campaign(platform, params);
+
+    // 3. Characterize workloads under a relaxed refresh period and
+    //    lowered supply voltage at 50 C (paper Fig 4's setting; at
+    //    70 C with this TREFP every benchmark crashes with a UE).
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 50.0};
+
+    std::printf("operating point: %s\n\n", op.label().c_str());
+    std::printf("%-14s %-8s %-12s %-10s %-10s %s\n", "workload",
+                "threads", "WER", "Treuse(s)", "HDP(bits)", "outcome");
+
+    for (const workloads::WorkloadConfig &config :
+         {workloads::WorkloadConfig{"memcached", 8, "memcached"},
+          workloads::WorkloadConfig{"backprop", 8, "backprop(par)"},
+          workloads::WorkloadConfig{"random", 8, "random"}}) {
+        const core::Measurement m = campaign.measure(config, op);
+        std::printf("%-14s %-8d %-12.3e %-10.3f %-10.2f %s\n",
+                    m.label.c_str(), m.threads, m.run.wer(),
+                    m.profile->treuse, m.profile->entropy,
+                    m.run.crashed ? "UE (crash)" : "completed");
+    }
+
+    std::printf("\nThe workload-dependent spread above is what the "
+                "paper's model predicts\nfrom program features alone; "
+                "see examples/predict_errors.cpp.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dfault {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        DFAULT_FATAL("config key '", key, "' is not a number: '",
+                     it->second, "'");
+    return v;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        DFAULT_FATAL("config key '", key, "' is not an integer: '",
+                     it->second, "'");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    DFAULT_FATAL("config key '", key, "' is not a boolean: '", v, "'");
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            positional.push_back(token);
+        } else {
+            set(token.substr(0, eq), token.substr(eq + 1));
+        }
+    }
+    return positional;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace dfault

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lightweight typed key/value configuration store.
+ *
+ * Used by the examples and benchmark drivers to override simulation
+ * parameters from the command line without pulling in a full option
+ * parser. Keys are dotted strings ("campaign.footprint_mib"); values are
+ * stored as strings and converted on read.
+ */
+
+#ifndef DFAULT_COMMON_CONFIG_HH
+#define DFAULT_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfault {
+
+/** Typed key/value configuration with "key=value" command-line parsing. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set or overwrite a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, bool value);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters returning @p fallback when the key is absent.
+     * A present key that fails to convert is a user error -> fatal().
+     */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    double getDouble(const std::string &key, double fallback) const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Parse argv-style "key=value" tokens; tokens without '=' are
+     * returned untouched for the caller to interpret.
+     */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /** All keys in sorted order (for dumping resolved configs). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace dfault
+
+#endif // DFAULT_COMMON_CONFIG_HH

@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dfault {
+namespace detail {
+
+namespace {
+std::atomic<bool> g_quiet{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    g_quiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return g_quiet.load(std::memory_order_relaxed);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace dfault

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical quantities and unit helpers used throughout the simulator.
+ *
+ * Quantities are plain doubles in SI base units (seconds, volts, degrees
+ * Celsius) with user-defined literals for readability, e.g. 64_ms,
+ * 1.5_volt, 70.0_celsius. Strong types are deliberately avoided: the
+ * quantities cross many module boundaries and the literals keep call
+ * sites self-documenting without conversion noise.
+ */
+
+#ifndef DFAULT_COMMON_UNITS_HH
+#define DFAULT_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace dfault {
+
+/** Time in seconds. */
+using Seconds = double;
+/** Supply voltage in volts. */
+using Volts = double;
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+/** Processor cycle count. */
+using Cycles = std::uint64_t;
+/** Physical byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+namespace units {
+
+/** Bytes per 64-bit data word; WER is defined per 64-bit word. */
+constexpr std::uint64_t bytesPerWord = 8;
+/** Data bits per ECC word. */
+constexpr int dataBitsPerWord = 64;
+/** Check bits per SECDED ECC word (72,64 code). */
+constexpr int checkBitsPerWord = 8;
+/** Total stored bits per ECC word. */
+constexpr int totalBitsPerWord = dataBitsPerWord + checkBitsPerWord;
+
+inline namespace literals {
+
+constexpr Seconds operator""_sec(long double v) { return double(v); }
+constexpr Seconds operator""_sec(unsigned long long v) { return double(v); }
+constexpr Seconds operator""_ms(long double v) { return double(v) * 1e-3; }
+constexpr Seconds operator""_ms(unsigned long long v) { return double(v) * 1e-3; }
+constexpr Seconds operator""_us(long double v) { return double(v) * 1e-6; }
+constexpr Seconds operator""_us(unsigned long long v) { return double(v) * 1e-6; }
+constexpr Seconds operator""_ns(long double v) { return double(v) * 1e-9; }
+constexpr Seconds operator""_ns(unsigned long long v) { return double(v) * 1e-9; }
+constexpr Seconds operator""_minutes(long double v) { return double(v) * 60.0; }
+constexpr Seconds operator""_minutes(unsigned long long v) { return double(v) * 60.0; }
+
+constexpr Volts operator""_volt(long double v) { return double(v); }
+constexpr Volts operator""_volt(unsigned long long v) { return double(v); }
+constexpr Volts operator""_mvolt(long double v) { return double(v) * 1e-3; }
+constexpr Volts operator""_mvolt(unsigned long long v) { return double(v) * 1e-3; }
+
+constexpr Celsius operator""_celsius(long double v) { return double(v); }
+constexpr Celsius operator""_celsius(unsigned long long v) { return double(v); }
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+} // namespace literals
+
+} // namespace units
+
+} // namespace dfault
+
+#endif // DFAULT_COMMON_UNITS_HH

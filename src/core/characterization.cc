@@ -1,0 +1,130 @@
+#include "core/characterization.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dram/power.hh"
+
+namespace dfault::core {
+
+CharacterizationCampaign::CharacterizationCampaign(sys::Platform &platform)
+    : CharacterizationCampaign(platform, Params{})
+{
+}
+
+CharacterizationCampaign::CharacterizationCampaign(sys::Platform &platform,
+                                                   const Params &params)
+    : platform_(platform), params_(params), integrator_(params.integrator)
+{
+}
+
+Measurement
+CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
+                                  const dram::OperatingPoint &op,
+                                  std::uint64_t run_seed,
+                                  dram::ErrorLog *log)
+{
+    op.validate();
+
+    const features::WorkloadProfile &profile =
+        features::ProfileCache::instance().get(platform_, config,
+                                               params_.workload);
+
+    Measurement m;
+    m.label = config.label;
+    m.threads = config.threads;
+    m.requested = op;
+    m.achieved = op;
+    m.profile = &profile;
+
+    if (params_.useThermalLoop) {
+        auto &thermal = platform_.thermal();
+        // DRAM self-heating: each DIMM dissipates according to its
+        // share of the workload's command activity; the PID loop has
+        // to regulate around it, exactly as on the physical testbed.
+        const dram::PowerModel power;
+        const auto &geometry = platform_.geometry();
+        for (int dimm = 0; dimm < geometry.params().channels; ++dimm) {
+            double act_rate = 0.0, cmd_rate = 0.0;
+            for (int rank = 0; rank < geometry.params().ranksPerDimm;
+                 ++rank) {
+                const int dev = geometry.deviceIndex(
+                    dram::DeviceId{dimm, rank});
+                for (const auto &row : profile.deviceRows[dev]) {
+                    act_rate += row.activationRate;
+                    cmd_rate += row.accessRate;
+                }
+            }
+            const double watts =
+                power.rankPower(op, act_rate, cmd_rate).total() -
+                power.rankPower(op, 0.0, 0.0).background;
+            thermal.setDramPower(dimm, std::max(0.0, watts));
+        }
+        thermal.setTargetAll(op.temperature);
+        if (!thermal.stepUntilSettled())
+            DFAULT_FATAL("thermal testbed failed to settle at ",
+                         op.temperature, " C");
+        double achieved = 0.0;
+        for (int d = 0; d < thermal.dimms(); ++d)
+            achieved += thermal.temperature(d);
+        m.achieved.temperature = achieved / thermal.dimms();
+    }
+
+    m.run = integrator_.run(profile, m.achieved, platform_.geometry(),
+                            platform_.devices(), run_seed, log);
+    return m;
+}
+
+std::vector<Measurement>
+CharacterizationCampaign::sweep(
+    const std::vector<workloads::WorkloadConfig> &suite,
+    const std::vector<dram::OperatingPoint> &points)
+{
+    std::vector<Measurement> out;
+    out.reserve(suite.size() * points.size());
+    for (const auto &config : suite)
+        for (const auto &op : points)
+            out.push_back(measure(config, op));
+    return out;
+}
+
+double
+CharacterizationCampaign::measurePue(
+    const workloads::WorkloadConfig &config,
+    const dram::OperatingPoint &op, int repeats)
+{
+    DFAULT_ASSERT(repeats > 0, "PUE needs at least one repeat");
+    int crashes = 0;
+    for (int r = 0; r < repeats; ++r) {
+        const Measurement m =
+            measure(config, op, static_cast<std::uint64_t>(r) + 1);
+        crashes += m.run.crashed ? 1 : 0;
+    }
+    return static_cast<double>(crashes) / static_cast<double>(repeats);
+}
+
+std::vector<dram::OperatingPoint>
+werOperatingPoints()
+{
+    std::vector<dram::OperatingPoint> points;
+    for (const Celsius temp : {50.0, 60.0}) {
+        for (const Seconds trefp : dram::kWerTrefpLevels)
+            points.push_back({trefp, dram::kMinVdd, temp});
+    }
+    // At 70 C only the two shortest TREFP levels stay UE-free (paper
+    // §V-B); longer periods crash and contribute to the PUE study.
+    points.push_back({0.618, dram::kMinVdd, 70.0});
+    points.push_back({1.173, dram::kMinVdd, 70.0});
+    return points;
+}
+
+std::vector<dram::OperatingPoint>
+pueOperatingPoints()
+{
+    std::vector<dram::OperatingPoint> points;
+    for (const Seconds trefp : dram::kUeTrefpLevels)
+        points.push_back({trefp, dram::kMinVdd, 70.0});
+    return points;
+}
+
+} // namespace dfault::core

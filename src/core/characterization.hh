@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Characterization campaign: the paper's data-collection phase (Fig 3).
+ *
+ * A campaign couples the simulated platform (the "server"), the profile
+ * cache (the profiling phase) and the error integrator (the 2-hour
+ * characterization runs). Before each measurement the thermal testbed's
+ * PID loop drives the DIMM heaters to the requested temperature and the
+ * *achieved* temperature is what the DRAM experiences — exactly the
+ * physical loop of the paper's testbed.
+ */
+
+#ifndef DFAULT_CORE_CHARACTERIZATION_HH
+#define DFAULT_CORE_CHARACTERIZATION_HH
+
+#include <vector>
+
+#include "core/error_integrator.hh"
+#include "features/extractor.hh"
+#include "sys/platform.hh"
+#include "workloads/registry.hh"
+
+namespace dfault::core {
+
+/** One characterization experiment: workload x operating point. */
+struct Measurement
+{
+    std::string label;
+    int threads = 0;
+    dram::OperatingPoint requested; ///< configured operating point
+    dram::OperatingPoint achieved;  ///< after the thermal control loop
+    RunResult run;
+    const features::WorkloadProfile *profile = nullptr; ///< cache-owned
+};
+
+/** See file comment. */
+class CharacterizationCampaign
+{
+  public:
+    struct Params
+    {
+        workloads::Workload::Params workload;
+        ErrorIntegrator::Params integrator;
+        /** Drive the PID thermal loop (false: temperatures are ideal). */
+        bool useThermalLoop = true;
+    };
+
+    CharacterizationCampaign(sys::Platform &platform,
+                             const Params &params);
+    explicit CharacterizationCampaign(sys::Platform &platform);
+
+    /**
+     * Run one experiment: profile (cached), heat the DIMMs, integrate
+     * errors over the 2-hour window.
+     *
+     * @param run_seed distinguishes repeats of the same experiment
+     * @param log optional destination for sampled error records
+     */
+    Measurement measure(const workloads::WorkloadConfig &config,
+                        const dram::OperatingPoint &op,
+                        std::uint64_t run_seed = 0,
+                        dram::ErrorLog *log = nullptr);
+
+    /** Full sweep: every workload at every operating point. */
+    std::vector<Measurement>
+    sweep(const std::vector<workloads::WorkloadConfig> &suite,
+          const std::vector<dram::OperatingPoint> &points);
+
+    /**
+     * Probability of a UE for each workload at @p op from @p repeats
+     * independent runs (paper Eq. 3: crashes / experiments).
+     */
+    double measurePue(const workloads::WorkloadConfig &config,
+                      const dram::OperatingPoint &op, int repeats);
+
+    sys::Platform &platform() { return platform_; }
+    const ErrorIntegrator &integrator() const { return integrator_; }
+    const Params &params() const { return params_; }
+
+  private:
+    sys::Platform &platform_;
+    Params params_;
+    ErrorIntegrator integrator_;
+};
+
+/** The WER study's operating points: Fig 7's TREFP x temperature grid
+ *  (70 C only at the two TREFP levels that do not crash; paper §V-B). */
+std::vector<dram::OperatingPoint> werOperatingPoints();
+
+/** The PUE study's operating points (Fig 9): 70 C, three TREFP levels. */
+std::vector<dram::OperatingPoint> pueOperatingPoints();
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_CHARACTERIZATION_HH

@@ -1,0 +1,92 @@
+#include "core/dataset_builder.hh"
+
+#include "common/logging.hh"
+#include "features/catalog.hh"
+
+namespace dfault::core {
+
+namespace {
+
+/** Feature schema of a dataset: program features + operating params. */
+std::vector<std::string>
+schema(InputSet set)
+{
+    std::vector<std::string> names = inputSetFeatures(set);
+    for (const char *op : kOpFeatureNames)
+        names.emplace_back(op);
+    return names;
+}
+
+/** Assemble one sample row from a profile and an operating point. */
+std::vector<double>
+sampleRow(const features::WorkloadProfile &profile,
+          const dram::OperatingPoint &op,
+          const std::vector<std::string> &program_features)
+{
+    std::vector<double> row;
+    row.reserve(program_features.size() + 3);
+    for (const auto &name : program_features)
+        row.push_back(profile.features.get(name));
+    row.push_back(op.trefp);
+    row.push_back(op.vdd);
+    row.push_back(op.temperature);
+    return row;
+}
+
+} // namespace
+
+ml::Dataset
+makeWerDataset(const std::vector<Measurement> &measurements, int device,
+               InputSet set)
+{
+    const auto program_features = inputSetFeatures(set);
+    ml::Dataset data(schema(set));
+    for (const auto &m : measurements) {
+        if (m.run.crashed)
+            continue;
+        DFAULT_ASSERT(m.profile != nullptr, "measurement lost its profile");
+        data.addSample(sampleRow(*m.profile, m.requested,
+                                 program_features),
+                       m.run.werForDevice(device), m.label);
+    }
+    return data;
+}
+
+std::vector<PueSample>
+collectPueSamples(CharacterizationCampaign &campaign,
+                  const std::vector<workloads::WorkloadConfig> &suite,
+                  const std::vector<dram::OperatingPoint> &points,
+                  int repeats)
+{
+    std::vector<PueSample> samples;
+    samples.reserve(suite.size() * points.size());
+    for (const auto &config : suite) {
+        for (const auto &op : points) {
+            PueSample sample;
+            sample.config = config;
+            sample.op = op;
+            sample.pue = campaign.measurePue(config, op, repeats);
+            samples.push_back(std::move(sample));
+        }
+    }
+    return samples;
+}
+
+ml::Dataset
+makePueDataset(CharacterizationCampaign &campaign,
+               const std::vector<PueSample> &samples, InputSet set)
+{
+    const auto program_features = inputSetFeatures(set);
+    ml::Dataset data(schema(set));
+    for (const auto &sample : samples) {
+        const features::WorkloadProfile &profile =
+            features::ProfileCache::instance().get(
+                campaign.platform(), sample.config,
+                campaign.params().workload);
+        data.addSample(sampleRow(profile, sample.op, program_features),
+                       sample.pue, sample.config.label);
+    }
+    return data;
+}
+
+} // namespace dfault::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Assembling ML datasets from campaign measurements ("Build data set"
+ * in paper Fig 3).
+ *
+ * WER datasets are per device (the paper trains and evaluates the model
+ * for a specific DIMM/rank): one sample per (workload, operating point)
+ * with the device's measured WER as target. PUE datasets have one
+ * sample per (workload, operating point) with the crash probability
+ * over repeats as target. Model inputs are the selected program
+ * features plus the operating parameters TREFP, VDD and TEMPDRAM.
+ */
+
+#ifndef DFAULT_CORE_DATASET_BUILDER_HH
+#define DFAULT_CORE_DATASET_BUILDER_HH
+
+#include <vector>
+
+#include "core/characterization.hh"
+#include "core/input_sets.hh"
+#include "ml/dataset.hh"
+
+namespace dfault::core {
+
+/** Names of the operating-parameter columns appended to every set. */
+inline const char *const kOpFeatureNames[] = {"op_trefp_s", "op_vdd_v",
+                                              "op_temperature_c"};
+
+/**
+ * Per-device WER dataset from a campaign sweep. Measurements whose
+ * device WER is zero are kept (the model must learn near-zero rates);
+ * crashed runs are excluded (no full-window WER exists for them).
+ */
+ml::Dataset makeWerDataset(const std::vector<Measurement> &measurements,
+                           int device, InputSet set);
+
+/** One PUE observation: workload, operating point, crash probability. */
+struct PueSample
+{
+    workloads::WorkloadConfig config;
+    dram::OperatingPoint op;
+    double pue = 0.0;
+};
+
+/**
+ * Collect the PUE table: every workload x PUE operating point with
+ * @p repeats runs each (paper: 10 repeats of each 2-hour experiment).
+ */
+std::vector<PueSample>
+collectPueSamples(CharacterizationCampaign &campaign,
+                  const std::vector<workloads::WorkloadConfig> &suite,
+                  const std::vector<dram::OperatingPoint> &points,
+                  int repeats);
+
+/** PUE dataset over pre-collected samples. */
+ml::Dataset makePueDataset(CharacterizationCampaign &campaign,
+                           const std::vector<PueSample> &samples,
+                           InputSet set);
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_DATASET_BUILDER_HH

@@ -1,0 +1,37 @@
+#include "core/input_sets.hh"
+
+#include "common/logging.hh"
+#include "features/catalog.hh"
+
+namespace dfault::core {
+
+std::string
+inputSetName(InputSet set)
+{
+    switch (set) {
+      case InputSet::Set1:
+        return "Input set 1";
+      case InputSet::Set2:
+        return "Input set 2";
+      case InputSet::Set3:
+        return "Input set 3";
+    }
+    DFAULT_PANIC("unreachable input set");
+}
+
+std::vector<std::string>
+inputSetFeatures(InputSet set)
+{
+    switch (set) {
+      case InputSet::Set1:
+        return {"wait_cycles_ratio", "mem_accesses_per_cycle",
+                "hdp_entropy", "treuse_seconds"};
+      case InputSet::Set2:
+        return {"wait_cycles_ratio", "mem_accesses_per_cycle"};
+      case InputSet::Set3:
+        return features::FeatureCatalog::instance().names();
+    }
+    DFAULT_PANIC("unreachable input set");
+}
+
+} // namespace dfault::core

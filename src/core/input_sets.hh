@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The three model input sets of paper Table III.
+ *
+ * Every set implicitly includes the operating parameters (TEMPDRAM,
+ * TREFP, and VDD); the sets differ in which *program* features join
+ * them:
+ *   set 1: wait cycles, memory accesses, HDP, Treuse
+ *   set 2: wait cycles, memory accesses
+ *   set 3: all 249 program features
+ */
+
+#ifndef DFAULT_CORE_INPUT_SETS_HH
+#define DFAULT_CORE_INPUT_SETS_HH
+
+#include <string>
+#include <vector>
+
+namespace dfault::core {
+
+/** See file comment. */
+enum class InputSet
+{
+    Set1,
+    Set2,
+    Set3,
+};
+
+/** All sets, in Table III order. */
+inline constexpr InputSet kAllInputSets[] = {InputSet::Set1,
+                                             InputSet::Set2,
+                                             InputSet::Set3};
+
+/** "Input set 1" etc., as used in the figures. */
+std::string inputSetName(InputSet set);
+
+/** Catalog names of the program features in the set. */
+std::vector<std::string> inputSetFeatures(InputSet set);
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_INPUT_SETS_HH

@@ -1,0 +1,93 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dfault::core {
+
+void
+writeMeasurementsCsv(const std::vector<Measurement> &measurements,
+                     const dram::Geometry &geometry, std::ostream &out)
+{
+    out << "benchmark,threads,trefp_s,vdd_v,temp_c,device,wer,crashed\n";
+    out << std::setprecision(12);
+    for (const auto &m : measurements) {
+        for (int d = 0; d < geometry.deviceCount(); ++d) {
+            out << m.label << ',' << m.threads << ','
+                << m.requested.trefp << ',' << m.requested.vdd << ','
+                << m.requested.temperature << ','
+                << geometry.deviceAt(d).label() << ','
+                << m.run.werForDevice(d) << ','
+                << (m.run.crashed ? 1 : 0) << '\n';
+        }
+        out << m.label << ',' << m.threads << ',' << m.requested.trefp
+            << ',' << m.requested.vdd << ','
+            << m.requested.temperature << ",all," << m.run.wer() << ','
+            << (m.run.crashed ? 1 : 0) << '\n';
+    }
+}
+
+void
+writeMeasurementsCsvFile(const std::vector<Measurement> &measurements,
+                         const dram::Geometry &geometry,
+                         const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        DFAULT_FATAL("report: cannot open '", path, "' for writing");
+    writeMeasurementsCsv(measurements, geometry, out);
+    if (!out)
+        DFAULT_FATAL("report: write to '", path, "' failed");
+}
+
+void
+printWerTable(const std::vector<Measurement> &measurements,
+              std::ostream &out)
+{
+    // Column per distinct operating point, in first-appearance order.
+    std::vector<std::string> columns;
+    std::vector<std::string> rows;
+    std::map<std::string, std::map<std::string, const Measurement *>>
+        table;
+    for (const auto &m : measurements) {
+        const std::string op = m.requested.label();
+        if (table[m.label].empty() &&
+            std::find(rows.begin(), rows.end(), m.label) == rows.end())
+            rows.push_back(m.label);
+        if (std::find(columns.begin(), columns.end(), op) ==
+            columns.end())
+            columns.push_back(op);
+        table[m.label][op] = &m;
+    }
+
+    out << std::left << std::setw(15) << "benchmark";
+    for (const auto &op : columns)
+        out << std::right << std::setw(30) << op;
+    out << '\n';
+
+    for (const auto &row : rows) {
+        out << std::left << std::setw(15) << row;
+        for (const auto &op : columns) {
+            const auto it = table[row].find(op);
+            if (it == table[row].end()) {
+                out << std::right << std::setw(30) << "-";
+            } else if (it->second->run.crashed) {
+                out << std::right << std::setw(30) << "UE";
+            } else {
+                std::ostringstream cell;
+                cell << std::scientific << std::setprecision(3)
+                     << it->second->run.wer();
+                out << std::right << std::setw(30) << cell.str();
+            }
+        }
+        out << '\n';
+    }
+}
+
+} // namespace dfault::core

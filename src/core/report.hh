@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Campaign result reporting: measurement tables as CSV for external
+ * analysis/plotting, and aligned text tables for terminals.
+ */
+
+#ifndef DFAULT_CORE_REPORT_HH
+#define DFAULT_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+
+namespace dfault::core {
+
+/**
+ * Write one row per (measurement, device) with the columns
+ * `benchmark,threads,trefp_s,vdd_v,temp_c,device,wer,crashed` plus a
+ * final aggregate row per measurement (device = "all").
+ */
+void writeMeasurementsCsv(const std::vector<Measurement> &measurements,
+                          const dram::Geometry &geometry,
+                          std::ostream &out);
+
+/** File variant; fatal() on I/O failure. */
+void writeMeasurementsCsvFile(
+    const std::vector<Measurement> &measurements,
+    const dram::Geometry &geometry, const std::string &path);
+
+/**
+ * Render a benchmark x operating-point WER table (one row per
+ * benchmark, one column per distinct operating point, "UE" for crashed
+ * runs) to a stream — the layout of the paper's Fig 7 panels.
+ */
+void printWerTable(const std::vector<Measurement> &measurements,
+                   std::ostream &out);
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_REPORT_HH

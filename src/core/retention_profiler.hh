@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Conventional retention-time profiling and its blind spots.
+ *
+ * Prior refresh-relaxation schemes (RAIDR, AVATAR, REAPER — paper §II-C)
+ * bin DRAM rows by retention class: run a worst-case data-pattern
+ * micro-benchmark at a ladder of refresh periods and record, per row,
+ * the shortest TREFP at which it manifests errors. Rows "safe" at a
+ * given TREFP may then be refreshed lazily.
+ *
+ * The paper's §II-C warning, which this module quantifies, is that such
+ * profiles are built from the micro-benchmark's error locations, while
+ * *real applications* both (a) trigger errors in rows the profile deems
+ * safe (interference from their access patterns) and (b) leave many
+ * profiled-weak rows error-free (implicit refresh) — so retention-class
+ * refresh schedules derived from the micro-benchmark can be both unsafe
+ * and too pessimistic at the same time.
+ */
+
+#ifndef DFAULT_CORE_RETENTION_PROFILER_HH
+#define DFAULT_CORE_RETENTION_PROFILER_HH
+
+#include <map>
+#include <vector>
+
+#include "core/characterization.hh"
+
+namespace dfault::core {
+
+/** Retention profile of one device: row -> shortest failing TREFP. */
+struct DeviceRetentionProfile
+{
+    /** Rows flagged at each profiling level (failing-cell intensity
+     *  above the detection threshold), keyed by flat row index. */
+    std::map<std::uint64_t, Seconds> firstFailingTrefp;
+
+    /** Rows never flagged at any profiled level. */
+    std::uint64_t unflaggedRows = 0;
+};
+
+/** Comparison of a profile against a real application's error rows. */
+struct ProfileMismatch
+{
+    std::uint64_t appErrorRows = 0;     ///< rows error-prone under the app
+    std::uint64_t missedByProfile = 0;  ///< ...of those, unflagged rows
+    std::uint64_t flaggedRows = 0;      ///< rows the profile flagged
+    std::uint64_t falseAlarms = 0;      ///< ...of those, app error-free
+
+    double missRate() const;
+    double falseAlarmRate() const;
+};
+
+/** See file comment. */
+class RetentionProfiler
+{
+  public:
+    struct Params
+    {
+        /** TREFP ladder used for profiling (ascending). */
+        std::vector<Seconds> levels{0.618, 1.173, 1.727, 2.283};
+        /**
+         * A row counts as error-prone when its expected failing-cell
+         * count over the characterization window exceeds this
+         * threshold (at paper-scale exposure).
+         */
+        double detectionLambda = 0.05;
+        Celsius temperature = 50.0;
+        Volts vdd = dram::kMinVdd;
+    };
+
+    RetentionProfiler(CharacterizationCampaign &campaign,
+                      const Params &params);
+    explicit RetentionProfiler(CharacterizationCampaign &campaign);
+
+    /**
+     * Build the conventional profile of one device with the random
+     * data-pattern micro-benchmark (the industry method).
+     */
+    DeviceRetentionProfile profileDevice(int device_index);
+
+    /**
+     * Compare the device's profile against the rows a real workload
+     * makes error-prone at @p trefp: which app-error rows did the
+     * profile miss, and which flagged rows stay clean under the app?
+     */
+    ProfileMismatch
+    compare(const DeviceRetentionProfile &profile,
+            const workloads::WorkloadConfig &config, Seconds trefp,
+            int device_index);
+
+    const Params &params() const { return params_; }
+
+  private:
+    CharacterizationCampaign &campaign_;
+    Params params_;
+
+    std::vector<RowIntensity>
+    rowsUnder(const workloads::WorkloadConfig &config, Seconds trefp,
+              int device_index);
+};
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_RETENTION_PROFILER_HH

@@ -1,0 +1,129 @@
+#include "core/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ml/cross_validation.hh"
+#include "ml/forest.hh"
+#include "ml/knn.hh"
+#include "ml/metrics.hh"
+#include "ml/scaler.hh"
+#include "ml/svr.hh"
+
+namespace dfault::core {
+
+namespace {
+
+/** Floor applied before log-transforming WER targets. */
+constexpr double kLogFloor = 1e-14;
+
+double
+toLog(double y)
+{
+    return std::log10(std::max(y, kLogFloor));
+}
+
+double
+fromLog(double y_log)
+{
+    return std::pow(10.0, y_log);
+}
+
+} // namespace
+
+std::string
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Svm:
+        return "SVM";
+      case ModelKind::Knn:
+        return "KNN";
+      case ModelKind::Rdf:
+        return "RDF";
+    }
+    DFAULT_PANIC("unreachable model kind");
+}
+
+ml::RegressorPtr
+makeModel(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Svm:
+        return std::make_unique<ml::SvrRegressor>();
+      case ModelKind::Knn:
+        return std::make_unique<ml::KnnRegressor>();
+      case ModelKind::Rdf:
+        return std::make_unique<ml::RandomForestRegressor>();
+    }
+    DFAULT_PANIC("unreachable model kind");
+}
+
+EvaluationResult
+evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
+{
+    DFAULT_ASSERT(!data.empty(), "cannot evaluate on an empty dataset");
+
+    EvaluationResult result;
+    double mpe_sum = 0.0;
+    int contributing_groups = 0;
+
+    for (const ml::Fold &fold : ml::leaveOneGroupOut(data)) {
+        const ml::Dataset train = data.subset(fold.trainRows);
+        const ml::Dataset test = data.subset(fold.testRows);
+
+        ml::StandardScaler scaler;
+        scaler.fit(train.x());
+        const ml::Matrix train_x = scaler.transform(train.x());
+
+        std::vector<double> train_y = train.y();
+        if (log_target)
+            for (auto &y : train_y)
+                y = toLog(y);
+
+        auto model = makeModel(kind);
+        model->fit(train_x, train_y);
+
+        // Clamp predictions to the envelope of the training targets
+        // (plus one decade in log space): a prediction outside the
+        // observed range for a held-out benchmark is an extrapolation
+        // artifact, not information.
+        double y_lo = train_y[0], y_hi = train_y[0];
+        for (const double y : train_y) {
+            y_lo = std::min(y_lo, y);
+            y_hi = std::max(y_hi, y);
+        }
+        const double margin = log_target ? 1.0 : 0.0;
+
+        // Percentage error over the held-out benchmark's samples.
+        double err_sum = 0.0;
+        int err_count = 0;
+        for (std::size_t i = 0; i < test.size(); ++i) {
+            const double measured = test.y()[i];
+            if (measured == 0.0)
+                continue; // no percentage is defined
+            double predicted =
+                model->predict(scaler.transform(test.x()[i]));
+            predicted =
+                std::clamp(predicted, y_lo - margin, y_hi + margin);
+            if (log_target)
+                predicted = fromLog(predicted);
+            err_sum += ml::percentageError(measured, predicted);
+            ++err_count;
+        }
+        if (err_count == 0)
+            continue; // benchmark never manifested the target metric
+        const double group_mpe = err_sum / err_count;
+        result.mpePerGroup[fold.heldOutGroup] = group_mpe;
+        mpe_sum += group_mpe;
+        ++contributing_groups;
+    }
+
+    result.mpe = contributing_groups > 0
+                     ? mpe_sum / contributing_groups
+                     : 0.0;
+    return result;
+}
+
+} // namespace dfault::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model training and Leave-One-Benchmark-Out accuracy evaluation
+ * (paper §VI-B, Figs 11/12).
+ */
+
+#ifndef DFAULT_CORE_TRAINER_HH
+#define DFAULT_CORE_TRAINER_HH
+
+#include <map>
+#include <string>
+
+#include "ml/dataset.hh"
+#include "ml/regressor.hh"
+
+namespace dfault::core {
+
+/** The three supervised models the paper compares. */
+enum class ModelKind
+{
+    Svm,
+    Knn,
+    Rdf,
+};
+
+inline constexpr ModelKind kAllModelKinds[] = {ModelKind::Svm,
+                                               ModelKind::Knn,
+                                               ModelKind::Rdf};
+
+/** "SVM" / "KNN" / "RDF". */
+std::string modelKindName(ModelKind kind);
+
+/** Instantiate a fresh regressor of the given kind. */
+ml::RegressorPtr makeModel(ModelKind kind);
+
+/** Accuracy of one LOBO evaluation. */
+struct EvaluationResult
+{
+    /** MPE averaged over held-out benchmarks (the figures' "Average"). */
+    double mpe = 0.0;
+    /** MPE per held-out benchmark (Fig 11 d-f). */
+    std::map<std::string, double> mpePerGroup;
+};
+
+/**
+ * Leave-One-Benchmark-Out evaluation of @p kind on @p data.
+ *
+ * Features are standardized per fold (fit on the training split).
+ * WER spans decades, so with @p log_target the model is trained on
+ * log10(max(y, floor)) and predictions are exponentiated before the
+ * percentage error is computed; PUE uses the linear target. Groups
+ * whose every measured target is zero cannot contribute a percentage
+ * error and are skipped, as in the paper's protocol.
+ */
+EvaluationResult evaluateModel(const ml::Dataset &data, ModelKind kind,
+                               bool log_target);
+
+} // namespace dfault::core
+
+#endif // DFAULT_CORE_TRAINER_HH

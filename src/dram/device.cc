@@ -1,0 +1,98 @@
+#include "dram/device.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dfault::dram {
+
+DramDevice::DramDevice(const DeviceId &id, const Variation &variation)
+    : id_(id), variation_(variation)
+{
+    DFAULT_ASSERT(variation_.retentionScale > 0.0,
+                  "retention scale must be positive");
+    DFAULT_ASSERT(variation_.trueCellFraction >= 0.0 &&
+                  variation_.trueCellFraction <= 1.0,
+                  "true-cell fraction must be a probability");
+}
+
+std::uint32_t
+DramDevice::physicalRow(std::uint32_t logical_row) const
+{
+    return logical_row ^ variation_.rowScrambleKey;
+}
+
+bool
+DramDevice::rowIsTrueCell(std::uint32_t physical_row) const
+{
+    // Hash the row index into [0,1) and compare against the device's
+    // true-cell fraction; deterministic per row, "striped" per vendor.
+    std::uint64_t s = hashCombine(physical_row,
+                                  variation_.rowScrambleKey | 1u);
+    const double u = static_cast<double>(s >> 11) * 0x1.0p-53;
+    return u < variation_.trueCellFraction;
+}
+
+double
+DramDevice::chipScaleForBit(int bit) const
+{
+    DFAULT_ASSERT(bit >= 0 && bit < 72, "bit index out of codeword range");
+    if (variation_.chipScales.empty())
+        return 1.0;
+    // x8 chips: bits 0..7 -> chip 0, ..., 56..63 -> chip 7, checks -> 8.
+    const auto chip = static_cast<std::size_t>(bit / 8);
+    return variation_.chipScales[chip % variation_.chipScales.size()];
+}
+
+DeviceFactory::DeviceFactory(const Geometry &geometry)
+    : DeviceFactory(geometry, Params{})
+{
+}
+
+DeviceFactory::DeviceFactory(const Geometry &geometry, const Params &params)
+    : geometry_(geometry), params_(params)
+{
+    if (params_.retentionScaleSigma < 0.0)
+        DFAULT_FATAL("device factory: retentionScaleSigma must be >= 0");
+    if (params_.trueCellMin < 0.0 || params_.trueCellMax > 1.0 ||
+        params_.trueCellMin > params_.trueCellMax) {
+        DFAULT_FATAL("device factory: bad true-cell fraction range");
+    }
+}
+
+DramDevice
+DeviceFactory::build(const DeviceId &id) const
+{
+    // Deterministic per-device stream: identical hardware for a given
+    // master seed regardless of construction order.
+    Rng rng(hashCombine(params_.masterSeed,
+                        static_cast<std::uint64_t>(
+                            geometry_.deviceIndex(id)) + 1));
+
+    DramDevice::Variation var;
+    var.retentionScale =
+        rng.lognormal(0.0, params_.retentionScaleSigma);
+    var.trueCellFraction =
+        rng.uniform(params_.trueCellMin, params_.trueCellMax);
+    var.rowScrambleKey = static_cast<std::uint32_t>(
+        rng.next() & (geometry_.params().rowsPerBank - 1));
+
+    const int chips = geometry_.params().dataChipsPerRank +
+                      geometry_.params().eccChipsPerRank;
+    var.chipScales.reserve(chips);
+    for (int c = 0; c < chips; ++c)
+        var.chipScales.push_back(rng.lognormal(0.0, params_.chipScaleSigma));
+
+    return DramDevice(id, var);
+}
+
+std::vector<DramDevice>
+DeviceFactory::buildAll() const
+{
+    std::vector<DramDevice> devices;
+    devices.reserve(geometry_.deviceCount());
+    for (int i = 0; i < geometry_.deviceCount(); ++i)
+        devices.push_back(build(geometry_.deviceAt(i)));
+    return devices;
+}
+
+} // namespace dfault::dram

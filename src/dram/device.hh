@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-device (DIMM/rank) manufacturing variation.
+ *
+ * DRAM reliability varies across DIMMs — and even across ranks of one
+ * DIMM — because of process variation, true-/anti-cell organization,
+ * address scrambling and faulty-cell remapping (paper §II-D; the study
+ * measures a 188x WER spread across chips). Each DramDevice carries
+ * deterministic, seed-derived variation parameters so that a campaign
+ * re-run with the same master seed characterizes the same "hardware".
+ */
+
+#ifndef DFAULT_DRAM_DEVICE_HH
+#define DFAULT_DRAM_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hh"
+
+namespace dfault::dram {
+
+/**
+ * Variation parameters of one (DIMM, rank) error-accounting device.
+ *
+ * Construct through DeviceFactory so the spread across devices follows
+ * the configured population statistics.
+ */
+class DramDevice
+{
+  public:
+    struct Variation
+    {
+        /** Multiplies every cell's retention time (lognormal across devices). */
+        double retentionScale = 1.0;
+        /** Fraction of rows organized as true cells (leak 1 -> 0). */
+        double trueCellFraction = 0.5;
+        /** XOR key applied to logical row numbers (vendor scrambling). */
+        std::uint32_t rowScrambleKey = 0;
+        /** Per-data-chip retention scale (mild within-device variation). */
+        std::vector<double> chipScales;
+    };
+
+    DramDevice(const DeviceId &id, const Variation &variation);
+
+    const DeviceId &id() const { return id_; }
+    const Variation &variation() const { return variation_; }
+
+    double retentionScale() const { return variation_.retentionScale; }
+
+    /**
+     * Physical row index after vendor address scrambling. Scrambling
+     * permutes rows within a bank, which decides which logical rows are
+     * physically adjacent (and therefore interference victims).
+     */
+    std::uint32_t physicalRow(std::uint32_t logical_row) const;
+
+    /** True if the given physical row uses true cells (leak to 0). */
+    bool rowIsTrueCell(std::uint32_t physical_row) const;
+
+    /** Retention scale of the chip that stores bit @p bit of a word. */
+    double chipScaleForBit(int bit) const;
+
+  private:
+    DeviceId id_;
+    Variation variation_;
+};
+
+/**
+ * Builds the device population for a geometry from a master seed.
+ *
+ * The population statistics (spread of retention scales, etc.) are the
+ * knobs that set the DIMM-to-DIMM WER spread (Fig 8).
+ */
+class DeviceFactory
+{
+  public:
+    struct Params
+    {
+        /** Sigma of ln(retentionScale) across devices. */
+        double retentionScaleSigma = 0.55;
+        /** Uniform range of the true-cell fraction across devices. */
+        double trueCellMin = 0.35;
+        double trueCellMax = 0.65;
+        /** Sigma of ln(chipScale) across chips within a device. */
+        double chipScaleSigma = 0.10;
+        /** Seed defining the identity of the simulated hardware. */
+        std::uint64_t masterSeed = 0xd1a9;
+    };
+
+    explicit DeviceFactory(const Geometry &geometry);
+    DeviceFactory(const Geometry &geometry, const Params &params);
+
+    /** Construct the full population, one device per (DIMM, rank). */
+    std::vector<DramDevice> buildAll() const;
+
+    /** Construct a single device (deterministic in id + seed). */
+    DramDevice build(const DeviceId &id) const;
+
+  private:
+    const Geometry &geometry_;
+    Params params_;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_DEVICE_HH

@@ -1,0 +1,147 @@
+#include "dram/ecc.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+namespace {
+
+constexpr int kParityBit = 71;      ///< Codeword bit index of overall parity.
+constexpr int kFirstCheckBit = 64;  ///< Codeword index of Hamming check 0.
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+EccSecded::EccSecded()
+{
+    posToData_.fill(-1);
+    int data_bit = 0;
+    int check_bit = 0;
+    for (int pos = 1; pos <= 71; ++pos) {
+        if (isPowerOfTwo(pos)) {
+            checkPos_[check_bit++] = pos;
+        } else {
+            dataPos_[data_bit] = pos;
+            posToData_[pos] = data_bit;
+            ++data_bit;
+        }
+    }
+    DFAULT_ASSERT(data_bit == 64 && check_bit == 7,
+                  "SECDED position table construction broken");
+}
+
+std::uint8_t
+EccSecded::computeCheck(std::uint64_t data) const
+{
+    std::uint8_t check = 0;
+    for (int j = 0; j < 7; ++j) {
+        int parity = 0;
+        for (int i = 0; i < 64; ++i) {
+            if ((dataPos_[i] & (1 << j)) && ((data >> i) & 1))
+                parity ^= 1;
+        }
+        check |= static_cast<std::uint8_t>(parity << j);
+    }
+    // Overall parity covers all 72 bits: data + 7 Hamming bits + itself.
+    int overall = std::popcount(data) & 1;
+    overall ^= std::popcount(static_cast<unsigned>(check & 0x7f)) & 1;
+    check |= static_cast<std::uint8_t>(overall << 7);
+    return check;
+}
+
+Codeword
+EccSecded::encode(std::uint64_t data) const
+{
+    return Codeword{data, computeCheck(data)};
+}
+
+DecodeResult
+EccSecded::decode(const Codeword &received) const
+{
+    const std::uint8_t expected = computeCheck(received.data);
+
+    // Hamming syndrome: recomputed vs stored check bits.
+    const int syndrome = (expected ^ received.check) & 0x7f;
+    // Overall parity of the received 72 bits; non-zero means odd number
+    // of flips (1 or 3 or ...).
+    int parity = std::popcount(received.data) & 1;
+    parity ^= std::popcount(static_cast<unsigned>(received.check)) & 1;
+
+    DecodeResult res;
+    res.data = received.data;
+
+    if (syndrome == 0 && parity == 0) {
+        res.outcome = EccOutcome::NoError;
+        return res;
+    }
+    if (syndrome == 0 && parity != 0) {
+        // The overall parity bit itself flipped; data intact.
+        res.outcome = EccOutcome::Corrected;
+        res.correctedBit = kParityBit;
+        return res;
+    }
+    if (parity != 0) {
+        // Odd flip count with a non-zero syndrome: treat as single-bit
+        // error at Hamming position `syndrome`.
+        if (syndrome <= 71) {
+            const int data_bit = posToData_[syndrome];
+            if (data_bit >= 0) {
+                res.data ^= (1ULL << data_bit);
+                res.correctedBit = data_bit;
+            } else {
+                // A check bit flipped; data already correct.
+                for (int j = 0; j < 7; ++j) {
+                    if (checkPos_[j] == syndrome)
+                        res.correctedBit = kFirstCheckBit + j;
+                }
+            }
+            res.outcome = EccOutcome::Corrected;
+            return res;
+        }
+        // Syndrome points beyond the codeword: cannot be a single-bit
+        // error; real controllers flag this as uncorrectable.
+        res.outcome = EccOutcome::Uncorrectable;
+        return res;
+    }
+    // Even flip count (>= 2) -> detected, uncorrectable.
+    res.outcome = EccOutcome::Uncorrectable;
+    return res;
+}
+
+DecodeResult
+EccSecded::decodeKnownFlips(const Codeword &received, int flipped,
+                            std::uint64_t original) const
+{
+    DecodeResult res = decode(received);
+    if (flipped >= 3) {
+        // The decoder believed it saw zero or one flipped bit: the error
+        // escaped detection or was "corrected" into a different word.
+        const bool fooled = res.outcome == EccOutcome::NoError ||
+                            (res.outcome == EccOutcome::Corrected &&
+                             res.data != original);
+        if (fooled)
+            res.outcome = EccOutcome::Miscorrected;
+    } else if (res.outcome == EccOutcome::Corrected && res.data != original) {
+        DFAULT_PANIC("SECDED failed to correct a single-bit error");
+    }
+    return res;
+}
+
+void
+EccSecded::flipBit(Codeword &word, int bit)
+{
+    DFAULT_ASSERT(bit >= 0 && bit < 72, "codeword bit index out of range");
+    if (bit < 64)
+        word.data ^= (1ULL << bit);
+    else
+        word.check ^= static_cast<std::uint8_t>(1u << (bit - 64));
+}
+
+} // namespace dfault::dram

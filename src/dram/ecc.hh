@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SECDED (72,64) error-correcting code, as implemented by server-grade
+ * memory controllers (paper Table I).
+ *
+ * The code is an extended Hamming code: 7 Hamming check bits over
+ * positions 1..71 of the codeword plus one overall parity bit. Decoding
+ * classifies the stored word into:
+ *  - no error,
+ *  - CE  (single corrupted bit, corrected),
+ *  - UE  (two corrupted bits, detected but uncorrectable),
+ *  - SDC (three or more corrupted bits may alias onto a valid single-bit
+ *         syndrome and be silently miscorrected).
+ */
+
+#ifndef DFAULT_DRAM_ECC_HH
+#define DFAULT_DRAM_ECC_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dfault::dram {
+
+/** Outcome of decoding one ECC word. */
+enum class EccOutcome
+{
+    NoError,      ///< Syndrome clean.
+    Corrected,    ///< Single-bit error corrected (CE).
+    Uncorrectable,///< Double-bit error detected (UE).
+    Miscorrected, ///< >2 bits flipped; decoder "corrected" the wrong bit
+                  ///< or accepted a wrong word (silent data corruption).
+};
+
+/** A 72-bit SECDED codeword: 64 data bits plus 8 check bits. */
+struct Codeword
+{
+    std::uint64_t data = 0;  ///< 64 data bits.
+    std::uint8_t check = 0;  ///< 7 Hamming bits (low) + overall parity (MSB).
+
+    bool operator==(const Codeword &) const = default;
+};
+
+/** Result of a decode: classification plus the recovered data word. */
+struct DecodeResult
+{
+    EccOutcome outcome = EccOutcome::NoError;
+    std::uint64_t data = 0;   ///< Data after any correction attempt.
+    int correctedBit = -1;    ///< Codeword bit index corrected, if any.
+};
+
+/**
+ * SECDED (72,64) encoder/decoder.
+ *
+ * Stateless apart from precomputed position tables; cheap to construct
+ * and copy.
+ */
+class EccSecded
+{
+  public:
+    EccSecded();
+
+    /** Encode a 64-bit data word into a 72-bit codeword. */
+    Codeword encode(std::uint64_t data) const;
+
+    /**
+     * Decode a (possibly corrupted) codeword.
+     *
+     * Note the decoder cannot see how many bits actually flipped; the
+     * Miscorrected outcome is only distinguishable here because callers
+     * of decodeKnownFlips() tell us ground truth. decode() itself reports
+     * what real hardware would: NoError/Corrected/Uncorrectable.
+     */
+    DecodeResult decode(const Codeword &received) const;
+
+    /**
+     * Decode with ground truth: @p flipped is the number of bits the
+     * fault injector actually flipped. Upgrades the outcome to
+     * Miscorrected when the decoder was fooled (flipped >= 3 but the
+     * decode looked like NoError or a single-bit correction, or the
+     * "corrected" data differs from @p original).
+     */
+    DecodeResult decodeKnownFlips(const Codeword &received, int flipped,
+                                  std::uint64_t original) const;
+
+    /** Flip codeword bit @p bit (0..71); bits 64..71 are check bits. */
+    static void flipBit(Codeword &word, int bit);
+
+  private:
+    /** Hamming codeword position (1..71) of data bit i. */
+    std::array<int, 64> dataPos_;
+    /** Hamming codeword position of check bit j (powers of two). */
+    std::array<int, 7> checkPos_;
+    /** Reverse map: Hamming position -> data bit index or -1. */
+    std::array<int, 72> posToData_;
+
+    std::uint8_t computeCheck(std::uint64_t data) const;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_ECC_HH

@@ -1,0 +1,89 @@
+#include "dram/error_log.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+ErrorLog::ErrorLog(const Geometry &geometry)
+    : geometry_(geometry),
+      ceWordsPerDevice_(geometry.deviceCount()),
+      uePerDevice_(geometry.deviceCount(), 0)
+{
+}
+
+bool
+ErrorLog::report(const ErrorRecord &record)
+{
+    const int dev = geometry_.deviceIndex(record.device);
+
+    switch (record.type) {
+      case ErrorType::CE: {
+        WordCoord coord;
+        coord.channel = record.device.dimm;
+        coord.rank = record.device.rank;
+        coord.bank = record.bank;
+        coord.row = record.row;
+        coord.column = record.column;
+        const std::uint64_t word = geometry_.wordIndexInDevice(coord);
+        if (!ceWordsPerDevice_[dev].insert(word).second)
+            return false; // already-known failing word
+        break;
+      }
+      case ErrorType::UE:
+        ++uePerDevice_[dev];
+        break;
+      case ErrorType::SDC:
+        ++sdcTotal_;
+        break;
+    }
+    records_.push_back(record);
+    return true;
+}
+
+std::uint64_t
+ErrorLog::uniqueCeWords(const DeviceId &dev) const
+{
+    return ceWordsPerDevice_[geometry_.deviceIndex(dev)].size();
+}
+
+std::uint64_t
+ErrorLog::uniqueCeWordsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &set : ceWordsPerDevice_)
+        total += set.size();
+    return total;
+}
+
+std::uint64_t
+ErrorLog::ueCount(const DeviceId &dev) const
+{
+    return uePerDevice_[geometry_.deviceIndex(dev)];
+}
+
+std::uint64_t
+ErrorLog::ueCountTotal() const
+{
+    return std::accumulate(uePerDevice_.begin(), uePerDevice_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+ErrorLog::sdcCountTotal() const
+{
+    return sdcTotal_;
+}
+
+void
+ErrorLog::clear()
+{
+    records_.clear();
+    for (auto &set : ceWordsPerDevice_)
+        set.clear();
+    std::fill(uePerDevice_.begin(), uePerDevice_.end(), 0);
+    sdcTotal_ = 0;
+}
+
+} // namespace dfault::dram

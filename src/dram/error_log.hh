@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memory-error event log.
+ *
+ * Plays the role of the X-Gene2 SLIMpro management core: every error the
+ * ECC logic corrects or detects is reported with its physical location
+ * (DIMM, rank, bank, row, column). WER is defined over *unique* 64-bit
+ * word locations (paper Eq. 2), so the log deduplicates CE locations.
+ */
+
+#ifndef DFAULT_DRAM_ERROR_LOG_HH
+#define DFAULT_DRAM_ERROR_LOG_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dram/ecc.hh"
+#include "dram/geometry.hh"
+
+namespace dfault::dram {
+
+/** Classification of a logged memory error (paper Table I). */
+enum class ErrorType
+{
+    CE,  ///< single-bit, corrected
+    UE,  ///< multi-bit, detected but uncorrected (crashes the system)
+    SDC, ///< >2 bits, miscorrected / undetected
+};
+
+/** One reported memory error. */
+struct ErrorRecord
+{
+    DeviceId device;
+    int bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;
+    ErrorType type = ErrorType::CE;
+    std::uint64_t epoch = 0; ///< Characterization epoch of first report.
+    int bitsFlipped = 1;
+};
+
+/**
+ * Append-only error log with per-device aggregation.
+ *
+ * The unique-CE-word sets are keyed by the word's flat index within its
+ * device, so repeated reports of the same failing word (the common case
+ * over a 2-hour run) count once toward WER.
+ */
+class ErrorLog
+{
+  public:
+    explicit ErrorLog(const Geometry &geometry);
+
+    /**
+     * Report an error. CE reports for an already-known word location are
+     * deduplicated (not appended). Returns true if the record was new.
+     */
+    bool report(const ErrorRecord &record);
+
+    /** All retained records in report order. */
+    const std::vector<ErrorRecord> &records() const { return records_; }
+
+    /** Unique CE word locations on one device. */
+    std::uint64_t uniqueCeWords(const DeviceId &dev) const;
+
+    /** Unique CE word locations across all devices. */
+    std::uint64_t uniqueCeWordsTotal() const;
+
+    /** Number of UE records on one device. */
+    std::uint64_t ueCount(const DeviceId &dev) const;
+
+    /** Number of UE records across all devices. */
+    std::uint64_t ueCountTotal() const;
+
+    /** Number of SDC records across all devices. */
+    std::uint64_t sdcCountTotal() const;
+
+    /** Forget everything (start of a new experiment). */
+    void clear();
+
+  private:
+    const Geometry &geometry_;
+    std::vector<ErrorRecord> records_;
+    std::vector<std::unordered_set<std::uint64_t>> ceWordsPerDevice_;
+    std::vector<std::uint64_t> uePerDevice_;
+    std::uint64_t sdcTotal_ = 0;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_ERROR_LOG_HH

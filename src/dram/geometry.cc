@@ -1,0 +1,131 @@
+#include "dram/geometry.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+namespace {
+
+int
+log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || !std::has_single_bit(v))
+        DFAULT_FATAL("geometry: ", what, " must be a power of two, got ", v);
+    return std::countr_zero(v);
+}
+
+} // namespace
+
+std::string
+DeviceId::label() const
+{
+    return "DIMM" + std::to_string(dimm) + "/rank" + std::to_string(rank);
+}
+
+Geometry::Geometry() : Geometry(Params{}) {}
+
+Geometry::Geometry(const Params &params)
+    : params_(params),
+      channelBits_(log2Exact(params.channels, "channels")),
+      rankBits_(log2Exact(params.ranksPerDimm, "ranksPerDimm")),
+      bankBits_(log2Exact(params.banksPerRank, "banksPerRank")),
+      rowBits_(log2Exact(params.rowsPerBank, "rowsPerBank")),
+      columnBits_(log2Exact(params.wordsPerRow, "wordsPerRow"))
+{
+    if (params.dataChipsPerRank <= 0 || params.eccChipsPerRank <= 0)
+        DFAULT_FATAL("geometry: chip counts must be positive");
+}
+
+int
+Geometry::deviceIndex(const DeviceId &dev) const
+{
+    DFAULT_ASSERT(dev.dimm >= 0 && dev.dimm < params_.channels,
+                  "device dimm out of range");
+    DFAULT_ASSERT(dev.rank >= 0 && dev.rank < params_.ranksPerDimm,
+                  "device rank out of range");
+    return dev.dimm * params_.ranksPerDimm + dev.rank;
+}
+
+DeviceId
+Geometry::deviceAt(int index) const
+{
+    DFAULT_ASSERT(index >= 0 && index < deviceCount(),
+                  "device index out of range");
+    return DeviceId{index / params_.ranksPerDimm,
+                    index % params_.ranksPerDimm};
+}
+
+std::uint64_t
+Geometry::wordsPerDevice() const
+{
+    return static_cast<std::uint64_t>(params_.banksPerRank) *
+           params_.rowsPerBank * params_.wordsPerRow;
+}
+
+std::uint64_t
+Geometry::rowsPerDevice() const
+{
+    return static_cast<std::uint64_t>(params_.banksPerRank) *
+           params_.rowsPerBank;
+}
+
+std::uint64_t
+Geometry::capacityWords() const
+{
+    return wordsPerDevice() * static_cast<std::uint64_t>(deviceCount());
+}
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    return capacityWords() * units::bytesPerWord;
+}
+
+WordCoord
+Geometry::decode(Addr addr) const
+{
+    DFAULT_ASSERT(addr < capacityBytes(), "address beyond DRAM capacity");
+
+    std::uint64_t bits = addr >> 3; // strip byte-in-word
+
+    WordCoord coord;
+    coord.column = static_cast<std::uint32_t>(
+        bits & ((1ULL << columnBits_) - 1));
+    bits >>= columnBits_;
+    coord.channel = static_cast<int>(bits & ((1ULL << channelBits_) - 1));
+    bits >>= channelBits_;
+    coord.rank = static_cast<int>(bits & ((1ULL << rankBits_) - 1));
+    bits >>= rankBits_;
+    coord.bank = static_cast<int>(bits & ((1ULL << bankBits_) - 1));
+    bits >>= bankBits_;
+    coord.row = static_cast<std::uint32_t>(bits & ((1ULL << rowBits_) - 1));
+    return coord;
+}
+
+Addr
+Geometry::encode(const WordCoord &coord) const
+{
+    std::uint64_t bits = coord.row;
+    bits = (bits << bankBits_) | static_cast<std::uint64_t>(coord.bank);
+    bits = (bits << rankBits_) | static_cast<std::uint64_t>(coord.rank);
+    bits = (bits << channelBits_) | static_cast<std::uint64_t>(coord.channel);
+    bits = (bits << columnBits_) | coord.column;
+    return bits << 3;
+}
+
+std::uint64_t
+Geometry::rowIndex(const WordCoord &coord) const
+{
+    return static_cast<std::uint64_t>(coord.bank) * params_.rowsPerBank +
+           coord.row;
+}
+
+std::uint64_t
+Geometry::wordIndexInDevice(const WordCoord &coord) const
+{
+    return rowIndex(coord) * params_.wordsPerRow + coord.column;
+}
+
+} // namespace dfault::dram

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * DRAM organization and physical address mapping.
+ *
+ * Mirrors the paper's platform: an X-Gene2-like SoC with four DDR3 memory
+ * controller units (MCUs / channels), one DIMM per MCU, two ranks per
+ * DIMM, and 9 x8 chips per rank (8 data + 1 ECC). The default geometry is
+ * capacity-scaled (see DESIGN.md §4): rows per bank and words per row are
+ * configurable so the simulated address space stays tractable while the
+ * row/bank/rank/channel structure — which drives per-DIMM/rank error
+ * attribution and interference adjacency — matches the real organization.
+ */
+
+#ifndef DFAULT_DRAM_GEOMETRY_HH
+#define DFAULT_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace dfault::dram {
+
+/** Identity of one error-accounting unit: a (DIMM, rank) pair. */
+struct DeviceId
+{
+    int dimm = 0;
+    int rank = 0;
+
+    bool operator==(const DeviceId &) const = default;
+
+    /** Human-readable label matching the paper's figures. */
+    std::string label() const;
+};
+
+/** Coordinates of a 64-bit word within the DRAM system. */
+struct WordCoord
+{
+    int channel = 0; ///< MCU index; equals the DIMM index (1 DIMM/MCU).
+    int rank = 0;
+    int bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0; ///< 64-bit-word index within the row.
+
+    bool operator==(const WordCoord &) const = default;
+
+    DeviceId device() const { return DeviceId{channel, rank}; }
+};
+
+/**
+ * Static description of the DRAM system organization plus the physical
+ * address map. All counts must be powers of two.
+ */
+class Geometry
+{
+  public:
+    struct Params
+    {
+        int channels = 4;        ///< MCUs; one DIMM each.
+        int ranksPerDimm = 2;
+        int banksPerRank = 8;
+        std::uint32_t rowsPerBank = 4096;   ///< scaled (real: 64K)
+        std::uint32_t wordsPerRow = 128;    ///< 64-bit words (real: 1K)
+        int dataChipsPerRank = 8;           ///< x8 chips holding data
+        int eccChipsPerRank = 1;            ///< x8 chip holding SECDED bits
+    };
+
+    Geometry();
+    explicit Geometry(const Params &params);
+
+    const Params &params() const { return params_; }
+
+    /** Number of error-accounting devices (DIMM × rank pairs). */
+    int deviceCount() const { return params_.channels * params_.ranksPerDimm; }
+
+    /** Flat index of a device in [0, deviceCount()). */
+    int deviceIndex(const DeviceId &dev) const;
+
+    /** Inverse of deviceIndex(). */
+    DeviceId deviceAt(int index) const;
+
+    /** Total data capacity in bytes across all devices. */
+    std::uint64_t capacityBytes() const;
+
+    /** Total 64-bit data words across all devices. */
+    std::uint64_t capacityWords() const;
+
+    /** Data words held by one (DIMM, rank) device. */
+    std::uint64_t wordsPerDevice() const;
+
+    /** Rows per device (across all banks). */
+    std::uint64_t rowsPerDevice() const;
+
+    /**
+     * Map a byte address to its word coordinate.
+     *
+     * Layout from the LSB: 3 bits byte-in-word, word-in-row (column),
+     * channel, rank, bank, row. Interleaving the channel above the low
+     * column bits spreads consecutive cache lines across MCUs, as the
+     * X-Gene2 firmware does.
+     *
+     * @pre addr < capacityBytes()
+     */
+    WordCoord decode(Addr addr) const;
+
+    /** Inverse of decode(); byte address of the word's first byte. */
+    Addr encode(const WordCoord &coord) const;
+
+    /**
+     * Flat index of a row within its device in [0, rowsPerDevice());
+     * rows of the same bank are contiguous.
+     */
+    std::uint64_t rowIndex(const WordCoord &coord) const;
+
+    /** Flat index of a word within its device. */
+    std::uint64_t wordIndexInDevice(const WordCoord &coord) const;
+
+  private:
+    Params params_;
+    int channelBits_;
+    int rankBits_;
+    int bankBits_;
+    int rowBits_;
+    int columnBits_;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_GEOMETRY_HH

@@ -1,0 +1,33 @@
+#include "dram/operating_point.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+std::string
+OperatingPoint::label() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "TREFP=%.3fs VDD=%.3fV T=%.0fC",
+                  trefp, vdd, temperature);
+    return buf;
+}
+
+void
+OperatingPoint::validate() const
+{
+    if (trefp <= 0.0)
+        DFAULT_FATAL("operating point: TREFP must be positive, got ", trefp);
+    if (vdd <= 0.0)
+        DFAULT_FATAL("operating point: VDD must be positive, got ", vdd);
+    if (vdd < 1.0 || vdd > 2.0)
+        DFAULT_WARN("operating point: VDD ", vdd,
+                    " V is outside the DDR3 plausible range");
+    if (temperature < -40.0 || temperature > 125.0)
+        DFAULT_FATAL("operating point: temperature ", temperature,
+                     " C is outside the device range");
+}
+
+} // namespace dfault::dram

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DRAM operating point: the circuit and environmental parameters the
+ * paper sweeps (refresh period, supply voltage, DIMM temperature).
+ */
+
+#ifndef DFAULT_DRAM_OPERATING_POINT_HH
+#define DFAULT_DRAM_OPERATING_POINT_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace dfault::dram {
+
+using namespace units::literals;
+
+/** Nominal DDR3 refresh period. */
+constexpr Seconds kNominalTrefp = 64.0e-3;
+/** Nominal DDR3 supply voltage. */
+constexpr Volts kNominalVdd = 1.5;
+/** Lowest VDD at which the X-Gene2 DIMMs still operate (paper §V). */
+constexpr Volts kMinVdd = 1.428;
+/** Maximum TREFP configurable through SLIMpro on the X-Gene2. */
+constexpr Seconds kMaxTrefp = 2.283;
+
+/**
+ * One (TREFP, VDD, temperature) operating point.
+ *
+ * Defaults to the nominal DDR3 point at 50 degC, which manifests no
+ * errors in the paper or in this model.
+ */
+struct OperatingPoint
+{
+    Seconds trefp = kNominalTrefp;
+    Volts vdd = kNominalVdd;
+    Celsius temperature = 50.0;
+
+    bool operator==(const OperatingPoint &) const = default;
+
+    /** "TREFP=2.283s VDD=1.428V T=70C" style label. */
+    std::string label() const;
+
+    /** Validate ranges; fatal() on nonsense (negative TREFP etc.). */
+    void validate() const;
+};
+
+/** The TREFP levels used in the paper's WER sweep (Fig 7). */
+inline constexpr Seconds kWerTrefpLevels[] = {0.618, 1.173, 1.727, 2.283};
+
+/** The TREFP levels used in the paper's PUE study (Fig 9). */
+inline constexpr Seconds kUeTrefpLevels[] = {1.450, 1.727, 2.283};
+
+/** The DIMM temperature levels used throughout the paper. */
+inline constexpr Celsius kTemperatureLevels[] = {50.0, 60.0, 70.0};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_OPERATING_POINT_HH

@@ -1,0 +1,59 @@
+#include "dram/power.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+PowerModel::PowerModel() : PowerModel(Params{}) {}
+
+PowerModel::PowerModel(const Params &params) : params_(params)
+{
+    if (params_.backgroundWatts < 0.0 ||
+        params_.refreshWattsNominal < 0.0 ||
+        params_.activateNanojoules < 0.0 ||
+        params_.burstNanojoules < 0.0) {
+        DFAULT_FATAL("power model: constants must be non-negative");
+    }
+}
+
+double
+PowerModel::vddScale(const OperatingPoint &op) const
+{
+    return std::pow(op.vdd / kNominalVdd, params_.vddExponent);
+}
+
+PowerBreakdown
+PowerModel::rankPower(const OperatingPoint &op, double activate_rate,
+                      double command_rate) const
+{
+    op.validate();
+    DFAULT_ASSERT(activate_rate >= 0.0 && command_rate >= 0.0,
+                  "activity rates cannot be negative");
+
+    const double v2 = vddScale(op);
+    PowerBreakdown power;
+    power.background = params_.backgroundWatts * v2;
+    power.refresh = params_.refreshWattsNominal *
+                    (kNominalTrefp / op.trefp) * v2;
+    power.activate =
+        params_.activateNanojoules * 1e-9 * activate_rate * v2;
+    power.readWrite =
+        params_.burstNanojoules * 1e-9 * command_rate * v2;
+    return power;
+}
+
+double
+PowerModel::refreshSavings(const OperatingPoint &op,
+                           Seconds duration) const
+{
+    DFAULT_ASSERT(duration >= 0.0, "duration cannot be negative");
+    const OperatingPoint nominal{kNominalTrefp, op.vdd, op.temperature};
+    const double nominal_w =
+        rankPower(nominal, 0.0, 0.0).refresh;
+    const double relaxed_w = rankPower(op, 0.0, 0.0).refresh;
+    return (nominal_w - relaxed_w) * duration;
+}
+
+} // namespace dfault::dram

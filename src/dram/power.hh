@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM power model.
+ *
+ * The paper's motivation for relaxing TREFP and VDD is energy: refresh
+ * consumes a growing share of DRAM power as densities rise, and "the
+ * maximum power gain is achieved when both TREFP and VDD are scaled"
+ * (§V). This model computes per-device power from the standard
+ * IDD-style decomposition used by DRAM datasheets:
+ *
+ *   P = P_background + P_refresh(TREFP) + P_activate(ACT rate)
+ *     + P_rw(command rates)
+ *
+ * with the voltage-dependent terms scaling as (VDD/VDD_nom)^2. The
+ * absolute constants follow DDR3 4Gb x8 datasheet magnitudes; the
+ * trends (refresh inversely proportional to TREFP, quadratic VDD
+ * scaling) are what the advisor and ablation studies rely on.
+ */
+
+#ifndef DFAULT_DRAM_POWER_HH
+#define DFAULT_DRAM_POWER_HH
+
+#include "dram/operating_point.hh"
+
+namespace dfault::dram {
+
+/** Power breakdown of one rank (9 x8 chips), in watts. */
+struct PowerBreakdown
+{
+    double background = 0.0; ///< standby / leakage
+    double refresh = 0.0;    ///< auto-refresh bursts
+    double activate = 0.0;   ///< row activate/precharge energy
+    double readWrite = 0.0;  ///< data-bus and I/O energy
+
+    double total() const
+    {
+        return background + refresh + activate + readWrite;
+    }
+};
+
+/** See file comment. */
+class PowerModel
+{
+  public:
+    struct Params
+    {
+        /** Standby power per rank at nominal VDD (W). */
+        double backgroundWatts = 0.45;
+        /**
+         * Refresh power per rank at the nominal 64 ms TREFP (W); the
+         * actual refresh power scales as kNominalTrefp / TREFP.
+         */
+        double refreshWattsNominal = 0.25;
+        /** Energy per row activate+precharge pair (nJ). */
+        double activateNanojoules = 18.0;
+        /** Energy per 64 B read or write burst (nJ). */
+        double burstNanojoules = 6.0;
+        /** Exponent of the VDD dependence (CV^2-style -> 2). */
+        double vddExponent = 2.0;
+    };
+
+    PowerModel();
+    explicit PowerModel(const Params &params);
+
+    const Params &params() const { return params_; }
+
+    /**
+     * Power of one rank under @p op with the given command activity.
+     *
+     * @param activate_rate row activations per second
+     * @param command_rate read+write bursts per second
+     */
+    PowerBreakdown rankPower(const OperatingPoint &op,
+                             double activate_rate,
+                             double command_rate) const;
+
+    /**
+     * Refresh energy saved per rank over @p duration by operating at
+     * @p op instead of the nominal 64 ms refresh period (joules).
+     */
+    double refreshSavings(const OperatingPoint &op,
+                          Seconds duration) const;
+
+  private:
+    Params params_;
+
+    double vddScale(const OperatingPoint &op) const;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_POWER_HH

@@ -1,0 +1,58 @@
+#include "dram/refresh.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+RefreshScheduler::RefreshScheduler() : RefreshScheduler(Params{}) {}
+
+RefreshScheduler::RefreshScheduler(const Params &params) : params_(params)
+{
+    if (params_.commandsPerPeriod <= 0)
+        DFAULT_FATAL("refresh: commandsPerPeriod must be positive");
+    if (params_.trfc <= 0.0)
+        DFAULT_FATAL("refresh: tRFC must be positive");
+    if (params_.commandNanojoules < 0.0)
+        DFAULT_FATAL("refresh: command energy must be non-negative");
+}
+
+Seconds
+RefreshScheduler::refreshInterval(const OperatingPoint &op) const
+{
+    op.validate();
+    return op.trefp / params_.commandsPerPeriod;
+}
+
+double
+RefreshScheduler::commandRate(const OperatingPoint &op) const
+{
+    return 1.0 / refreshInterval(op);
+}
+
+double
+RefreshScheduler::blockedFraction(const OperatingPoint &op) const
+{
+    const double fraction = params_.trfc / refreshInterval(op);
+    // A refresh interval shorter than tRFC would block permanently;
+    // such a TREFP is a configuration error.
+    if (fraction >= 1.0)
+        DFAULT_FATAL("refresh: TREFP ", op.trefp,
+                     " s leaves no time between refreshes");
+    return fraction;
+}
+
+double
+RefreshScheduler::refreshPower(const OperatingPoint &op) const
+{
+    return params_.commandNanojoules * 1e-9 * commandRate(op);
+}
+
+double
+RefreshScheduler::commandsWithin(const OperatingPoint &op,
+                                 Seconds duration) const
+{
+    DFAULT_ASSERT(duration >= 0.0, "duration cannot be negative");
+    return duration / refreshInterval(op);
+}
+
+} // namespace dfault::dram

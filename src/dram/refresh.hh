@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DDR3 auto-refresh scheduling arithmetic.
+ *
+ * DDR3 distributes the refresh of all rows over the refresh period as
+ * 8192 AUTO REFRESH commands (one every tREFI = TREFP / 8192); each
+ * command blocks the rank for tRFC. Relaxing TREFP therefore buys both
+ * refresh *energy* (fewer commands) and *availability* (less time
+ * blocked) — the two gains the paper's energy argument combines. This
+ * helper provides the command-rate, availability and energy arithmetic
+ * used by the power model's consumers and the energy bench.
+ */
+
+#ifndef DFAULT_DRAM_REFRESH_HH
+#define DFAULT_DRAM_REFRESH_HH
+
+#include "dram/operating_point.hh"
+
+namespace dfault::dram {
+
+/** See file comment. */
+class RefreshScheduler
+{
+  public:
+    struct Params
+    {
+        /** AUTO REFRESH commands per refresh period (DDR3: 8192). */
+        int commandsPerPeriod = 8192;
+        /** Refresh cycle time per command (4 Gb DDR3: ~260 ns). */
+        Seconds trfc = 260e-9;
+        /** Energy per AUTO REFRESH command per rank (nJ). */
+        double commandNanojoules = 115.0;
+    };
+
+    RefreshScheduler();
+    explicit RefreshScheduler(const Params &params);
+
+    const Params &params() const { return params_; }
+
+    /** Average interval between refresh commands (tREFI). */
+    Seconds refreshInterval(const OperatingPoint &op) const;
+
+    /** Refresh commands issued per second. */
+    double commandRate(const OperatingPoint &op) const;
+
+    /**
+     * Fraction of time a rank is blocked by refresh (tRFC / tREFI);
+     * the bandwidth/availability cost of refreshing.
+     */
+    double blockedFraction(const OperatingPoint &op) const;
+
+    /** Average refresh power per rank in watts. */
+    double refreshPower(const OperatingPoint &op) const;
+
+    /**
+     * Refresh commands a row-open interval of @p duration overlaps on
+     * average (used to reason about refresh-induced latency jitter).
+     */
+    double commandsWithin(const OperatingPoint &op,
+                          Seconds duration) const;
+
+  private:
+    Params params_;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_REFRESH_HH

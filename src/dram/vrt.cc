@@ -1,0 +1,46 @@
+#include "dram/vrt.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::dram {
+
+VrtModel::VrtModel() : VrtModel(Params{}) {}
+
+VrtModel::VrtModel(const Params &params) : params_(params)
+{
+    if (params_.onRate <= 0.0 || params_.onRate > 1.0)
+        DFAULT_FATAL("vrt: onRate must be in (0, 1]");
+    if (params_.offRate < 0.0 || params_.offRate > 1.0)
+        DFAULT_FATAL("vrt: offRate must be in [0, 1]");
+}
+
+double
+VrtModel::stationaryActiveFraction() const
+{
+    return params_.onRate / (params_.onRate + params_.offRate);
+}
+
+double
+VrtModel::everActiveProbability(std::uint64_t epochs) const
+{
+    if (epochs == 0)
+        return 0.0;
+    // Start from the stationary distribution; a quiet cell activates
+    // with probability onRate in each subsequent epoch.
+    const double pi = stationaryActiveFraction();
+    const double never = (1.0 - pi) *
+        std::pow(1.0 - params_.onRate, static_cast<double>(epochs - 1));
+    return 1.0 - never;
+}
+
+double
+VrtModel::firstActivationProbability(std::uint64_t epoch)
+    const
+{
+    DFAULT_ASSERT(epoch >= 1, "epochs are 1-based");
+    return everActiveProbability(epoch) - everActiveProbability(epoch - 1);
+}
+
+} // namespace dfault::dram

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Variable Retention Time (VRT) model.
+ *
+ * Restle'92 observed that a cell's leakage toggles between discrete
+ * states over time. For error accounting this means the set of cells
+ * that actually leak during a given window changes from epoch to epoch
+ * and run to run: the unique-location WER grows over a 2-hour run and
+ * converges (paper Fig 2/4), and the UE outcome varies across the 10
+ * repeats of each experiment (Fig 9).
+ *
+ * Each *potentially weak* cell (one whose low-retention state falls
+ * below the effective refresh interval) is modelled as a two-state
+ * Markov chain over epochs: in the "active" state the cell leaks, in
+ * the "quiet" state it does not.
+ */
+
+#ifndef DFAULT_DRAM_VRT_HH
+#define DFAULT_DRAM_VRT_HH
+
+#include <cstdint>
+
+namespace dfault::dram {
+
+/** Two-state Markov VRT model, evaluated at epoch granularity. */
+class VrtModel
+{
+  public:
+    struct Params
+    {
+        /** P(quiet -> active) per epoch. */
+        double onRate = 0.020;
+        /** P(active -> quiet) per epoch. */
+        double offRate = 0.620;
+    };
+
+    VrtModel();
+    explicit VrtModel(const Params &params);
+
+    const Params &params() const { return params_; }
+
+    /** Stationary probability that a weak cell is active in an epoch. */
+    double stationaryActiveFraction() const;
+
+    /**
+     * Probability that a weak cell has been active in at least one of
+     * the first @p epochs epochs (starting from the stationary
+     * distribution). This is the unique-location discovery curve that
+     * shapes WER(t).
+     */
+    double everActiveProbability(std::uint64_t epochs) const;
+
+    /**
+     * Probability that a cell first becomes active exactly in epoch
+     * @p epoch (1-based): the increment of everActiveProbability().
+     */
+    double firstActivationProbability(std::uint64_t epoch) const;
+
+  private:
+    Params params_;
+};
+
+} // namespace dfault::dram
+
+#endif // DFAULT_DRAM_VRT_HH

@@ -1,0 +1,184 @@
+#include "features/catalog.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::features {
+
+FeatureCatalog::FeatureCatalog()
+{
+    names_.reserve(kFeatureCount);
+    auto add = [this](const std::string &name) { names_.push_back(name); };
+
+    // 0..5: headline features (order must match HeadlineFeature).
+    add("mem_accesses_per_cycle");
+    add("wait_cycles_ratio");
+    add("hdp_entropy");
+    add("treuse_seconds");
+    add("ipc");
+    add("cpu_utilization");
+
+    // Per-MCU command counters, per kilocycle (4 MCUs x 6).
+    for (int m = 0; m < 4; ++m) {
+        const std::string p = "mcu" + std::to_string(m) + "_";
+        add(p + "read_cmds_per_kc");
+        add(p + "write_cmds_per_kc");
+        add(p + "activations_per_kc");
+        add(p + "precharges_per_kc");
+        add(p + "row_hits_per_kc");
+        add(p + "row_misses_per_kc");
+    }
+    // Per-MCU ratios (4 x 2).
+    for (int m = 0; m < 4; ++m) {
+        const std::string p = "mcu" + std::to_string(m) + "_";
+        add(p + "row_hit_ratio");
+        add(p + "read_write_ratio");
+    }
+
+    // L1 aggregate (8).
+    add("l1_read_accesses_per_kc");
+    add("l1_write_accesses_per_kc");
+    add("l1_read_misses_per_kc");
+    add("l1_write_misses_per_kc");
+    add("l1_writebacks_per_kc");
+    add("l1_miss_ratio");
+    add("l1_read_miss_ratio");
+    add("l1_write_miss_ratio");
+
+    // Per-core L1 (8 cores x 2).
+    for (int c = 0; c < 8; ++c) {
+        const std::string p = "core" + std::to_string(c) + "_l1_";
+        add(p + "accesses_per_kc");
+        add(p + "miss_ratio");
+    }
+
+    // L2 aggregate (8).
+    add("l2_read_accesses_per_kc");
+    add("l2_write_accesses_per_kc");
+    add("l2_read_misses_per_kc");
+    add("l2_write_misses_per_kc");
+    add("l2_writebacks_per_kc");
+    add("l2_miss_ratio");
+    add("l2_read_miss_ratio");
+    add("l2_write_miss_ratio");
+
+    // Core totals (10).
+    add("int_ops_per_cycle");
+    add("fp_ops_per_cycle");
+    add("loads_per_cycle");
+    add("stores_per_cycle");
+    add("branches_per_cycle");
+    add("branch_miss_ratio");
+    add("mem_instr_ratio");
+    add("fp_instr_ratio");
+    add("store_ratio");
+    add("cpi");
+
+    // Per-thread core stats (8 x 4).
+    for (int t = 0; t < 8; ++t) {
+        const std::string p = "thread" + std::to_string(t) + "_";
+        add(p + "ipc");
+        add(p + "mem_per_cycle");
+        add(p + "wait_ratio");
+        add(p + "fp_ratio");
+    }
+
+    // Reuse-distance statistics (4).
+    add("reuse_distance_mean");
+    add("reuse_distance_stddev");
+    add("reuse_fraction");
+    add("unique_words_per_instr");
+
+    // Row-level aggregates (12).
+    add("rows_touched_fraction");
+    add("row_access_rate_mean");
+    add("row_activation_rate_mean");
+    add("row_interval_mean_s");
+    add("row_interval_p50_s");
+    add("row_interval_p90_s");
+    add("row_words_touched_mean");
+    add("dram_cmds_per_kc");
+    add("dram_read_fraction");
+    add("dram_act_per_cmd");
+    add("dram_bytes_per_instr");
+    add("dram_touch_rate");
+
+    // Per-channel per-bank activation shares (4 x 8).
+    for (int ch = 0; ch < 4; ++ch)
+        for (int b = 0; b < 8; ++b)
+            add("ch" + std::to_string(ch) + "_bank" + std::to_string(b) +
+                "_act_share");
+
+    // Per-device footprint shares and mean row intervals (8 x 2).
+    for (int d = 0; d < 8; ++d)
+        add("dev" + std::to_string(d) + "_words_touched_share");
+    for (int d = 0; d < 8; ++d)
+        add("dev" + std::to_string(d) + "_row_interval_s");
+
+    // Data-pattern bit statistics (4).
+    add("bit_one_prob_mean");
+    add("bit_one_prob_stddev");
+    add("bit_one_prob_min");
+    add("bit_one_prob_max");
+
+    // Per-bit-position write-one probabilities (64).
+    for (int b = 0; b < 64; ++b)
+        add("bit" + std::to_string(b) + "_one_prob");
+
+    // Miscellaneous run descriptors (5).
+    add("footprint_mwords");
+    add("profile_wall_seconds");
+    add("sampled_stores_per_kinstr");
+    add("threads_active");
+    add("global_instr_gops");
+
+    DFAULT_ASSERT(names_.size() == kFeatureCount,
+                  "feature catalog has ", names_.size(),
+                  " entries, expected ", kFeatureCount);
+
+    byName_.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        byName_[names_[i]] = i;
+}
+
+const FeatureCatalog &
+FeatureCatalog::instance()
+{
+    static const FeatureCatalog catalog;
+    return catalog;
+}
+
+const std::string &
+FeatureCatalog::name(std::size_t index) const
+{
+    DFAULT_ASSERT(index < names_.size(), "feature index out of range");
+    return names_[index];
+}
+
+std::size_t
+FeatureCatalog::index(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        DFAULT_FATAL("unknown feature '", name, "'");
+    return it->second;
+}
+
+bool
+FeatureCatalog::contains(const std::string &name) const
+{
+    return byName_.count(name) > 0;
+}
+
+double
+FeatureVector::get(const std::string &name) const
+{
+    return values_[FeatureCatalog::instance().index(name)];
+}
+
+void
+FeatureVector::set(const std::string &name, double value)
+{
+    values_[FeatureCatalog::instance().index(name)] = value;
+}
+
+} // namespace dfault::features

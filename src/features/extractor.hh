@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The profiling phase: run a workload under instrumentation and distill
+ * its WorkloadProfile (paper Fig 3, left column).
+ */
+
+#ifndef DFAULT_FEATURES_EXTRACTOR_HH
+#define DFAULT_FEATURES_EXTRACTOR_HH
+
+#include <map>
+
+#include "features/profile.hh"
+#include "sys/platform.hh"
+#include "workloads/registry.hh"
+
+namespace dfault::features {
+
+/**
+ * Execute @p config's kernel on @p platform with reuse-distance and
+ * entropy instrumentation attached, then assemble the full profile:
+ * all 249 program features plus the per-row DRAM activity statistics.
+ *
+ * The platform's caches and counters are reset before the run.
+ */
+WorkloadProfile extractProfile(sys::Platform &platform,
+                               const workloads::WorkloadConfig &config,
+                               const workloads::Workload::Params &wparams);
+
+/**
+ * Process-wide profile memoization keyed by (label, threads, footprint,
+ * seed, workScale): campaigns and benchmark drivers re-profile the same
+ * suite many times; the profile is deterministic so caching is exact.
+ */
+class ProfileCache
+{
+  public:
+    static ProfileCache &instance();
+
+    /** Get or compute the profile for @p config on @p platform. */
+    const WorkloadProfile &
+    get(sys::Platform &platform, const workloads::WorkloadConfig &config,
+        const workloads::Workload::Params &wparams);
+
+    /** Drop all cached profiles. */
+    void clear();
+
+  private:
+    ProfileCache() = default;
+
+    std::map<std::string, WorkloadProfile> entries_;
+};
+
+} // namespace dfault::features
+
+#endif // DFAULT_FEATURES_EXTRACTOR_HH

@@ -1,0 +1,113 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dfault::mem {
+
+double
+CacheCounters::missRatio() const
+{
+    const std::uint64_t total = accesses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses()) / static_cast<double>(total);
+}
+
+Cache::Cache(const Params &params) : params_(params)
+{
+    if (params_.lineBytes == 0 || !std::has_single_bit(params_.lineBytes))
+        DFAULT_FATAL("cache: lineBytes must be a power of two");
+    if (params_.ways == 0)
+        DFAULT_FATAL("cache: ways must be positive");
+    const std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    if (lines == 0 || lines % params_.ways != 0)
+        DFAULT_FATAL("cache: size/line/ways do not divide evenly");
+    sets_ = static_cast<std::uint32_t>(lines / params_.ways);
+    if (!std::has_single_bit(sets_))
+        DFAULT_FATAL("cache: set count must be a power of two, got ", sets_);
+    lineShift_ = std::countr_zero(params_.lineBytes);
+    lines_.resize(lines);
+}
+
+std::uint64_t
+Cache::lineNumber(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    const std::uint64_t line_no = lineNumber(addr);
+    const std::uint32_t set = static_cast<std::uint32_t>(line_no) &
+                              (sets_ - 1);
+    const std::uint64_t tag = line_no >> std::countr_zero(sets_);
+
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+    if (is_write)
+        ++counters_.writeAccesses;
+    else
+        ++counters_.readAccesses;
+
+    ++lruClock_;
+
+    // Hit path.
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = lruClock_;
+            line.dirty |= is_write;
+            return CacheAccessResult{true, std::nullopt};
+        }
+    }
+
+    // Miss: pick invalid way or the LRU victim.
+    if (is_write)
+        ++counters_.writeMisses;
+    else
+        ++counters_.readMisses;
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < params_.ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    CacheAccessResult result{false, std::nullopt};
+    if (victim->valid && victim->dirty) {
+        ++counters_.writebacks;
+        const std::uint64_t victim_line =
+            (victim->tag << std::countr_zero(sets_)) | set;
+        result.writebackAddr = victim_line << lineShift_;
+    }
+
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lruStamp = lruClock_;
+    return result;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    lruClock_ = 0;
+}
+
+void
+Cache::resetCounters()
+{
+    counters_ = CacheCounters{};
+}
+
+} // namespace dfault::mem

@@ -1,0 +1,126 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::mem {
+
+namespace {
+
+MemoryHierarchy::Params
+defaultParams()
+{
+    MemoryHierarchy::Params p;
+    p.l1.sizeBytes = 32 * 1024;
+    p.l1.ways = 8;
+    p.l1.hitLatency = 2;
+    p.l2.sizeBytes = 8 * 1024 * 1024; // shared 8 MiB, X-Gene2-like
+    p.l2.ways = 16;
+    p.l2.hitLatency = 12;
+    return p;
+}
+
+} // namespace
+
+MemoryHierarchy::MemoryHierarchy(const dram::Geometry &geometry)
+    : MemoryHierarchy(geometry, defaultParams())
+{
+}
+
+MemoryHierarchy::MemoryHierarchy(const dram::Geometry &geometry,
+                                 const Params &params)
+    : geometry_(geometry), params_(params)
+{
+    if (params_.cores <= 0)
+        DFAULT_FATAL("hierarchy: cores must be positive");
+    l1s_.reserve(params_.cores);
+    for (int c = 0; c < params_.cores; ++c)
+        l1s_.push_back(std::make_unique<Cache>(params_.l1));
+    l2_ = std::make_unique<Cache>(params_.l2);
+    mcus_.reserve(geometry_.params().channels);
+    for (int ch = 0; ch < geometry_.params().channels; ++ch)
+        mcus_.push_back(std::make_unique<dram::Mcu>(geometry_, ch,
+                                                    params_.mcu));
+}
+
+Cycles
+MemoryHierarchy::dramAccess(Addr addr, bool is_write, Cycles cycle)
+{
+    const dram::WordCoord coord = geometry_.decode(addr);
+    return mcus_[coord.channel]->access(coord, is_write, cycle);
+}
+
+Cycles
+MemoryHierarchy::access(int core, Addr addr, bool is_write, Cycles cycle)
+{
+    DFAULT_ASSERT(core >= 0 && core < params_.cores, "core id out of range");
+
+    Cache &l1 = *l1s_[core];
+    const auto l1_result = l1.access(addr, is_write);
+    Cycles latency = params_.l1.hitLatency;
+    if (l1_result.hit)
+        return latency;
+
+    // L1 miss: dirty victim is written back into L2.
+    if (l1_result.writebackAddr) {
+        const auto l2_wb = l2_->access(*l1_result.writebackAddr, true);
+        if (l2_wb.writebackAddr)
+            dramAccess(*l2_wb.writebackAddr, true, cycle);
+    }
+
+    const auto l2_result = l2_->access(addr, is_write);
+    latency += params_.l2.hitLatency;
+    if (l2_result.hit)
+        return latency;
+
+    // L2 miss: dirty L2 victim goes to DRAM, then the demand fill.
+    if (l2_result.writebackAddr)
+        dramAccess(*l2_result.writebackAddr, true, cycle);
+
+    latency += dramAccess(addr, /*is_write=*/false, cycle);
+    return latency;
+}
+
+const CacheCounters &
+MemoryHierarchy::l1Counters(int core) const
+{
+    return l1s_.at(core)->counters();
+}
+
+CacheCounters
+MemoryHierarchy::l1CountersTotal() const
+{
+    CacheCounters total;
+    for (const auto &l1 : l1s_) {
+        const auto &c = l1->counters();
+        total.readAccesses += c.readAccesses;
+        total.writeAccesses += c.writeAccesses;
+        total.readMisses += c.readMisses;
+        total.writeMisses += c.writeMisses;
+        total.writebacks += c.writebacks;
+    }
+    return total;
+}
+
+std::uint64_t
+MemoryHierarchy::dramCommandsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mcu : mcus_)
+        total += mcu->counters().totalCmds();
+    return total;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    for (auto &l1 : l1s_) {
+        l1->flush();
+        l1->resetCounters();
+    }
+    l2_->flush();
+    l2_->resetCounters();
+    for (auto &mcu : mcus_)
+        mcu->reset();
+}
+
+} // namespace dfault::mem

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Memory hierarchy: per-core L1 caches, a shared L2, and the four DRAM
+ * channels (MCUs) of the simulated X-Gene2 platform.
+ *
+ * Every program access enters at the L1 of the issuing core; misses
+ * propagate to the shared L2 and finally to the MCU that owns the
+ * address. Dirty evictions generate DRAM write commands. The hierarchy
+ * is the single point where the program's logical access stream turns
+ * into the physical DRAM activity (implicit refreshes, aggressor
+ * activations) that the error model consumes.
+ */
+
+#ifndef DFAULT_MEM_HIERARCHY_HH
+#define DFAULT_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/controller.hh"
+#include "dram/geometry.hh"
+#include "mem/cache.hh"
+
+namespace dfault::mem {
+
+/**
+ * The full cache + DRAM-channel assembly.
+ *
+ * Not thread safe: the simulator interleaves logical threads onto this
+ * model from a single host thread.
+ */
+class MemoryHierarchy
+{
+  public:
+    struct Params
+    {
+        int cores = 8;
+        Cache::Params l1;              ///< per-core, defaults 32 KiB/8-way
+        Cache::Params l2;              ///< shared, defaults set in ctor
+        dram::Mcu::Params mcu;
+    };
+
+    MemoryHierarchy(const dram::Geometry &geometry, const Params &params);
+    explicit MemoryHierarchy(const dram::Geometry &geometry);
+
+    /**
+     * Perform one access and return its latency in CPU cycles.
+     *
+     * @param core  issuing core in [0, cores)
+     * @param addr  byte address within DRAM capacity
+     * @param is_write true for stores
+     * @param cycle current cycle of the issuing core (for DRAM timing
+     *              and row-statistics bookkeeping)
+     */
+    Cycles access(int core, Addr addr, bool is_write, Cycles cycle);
+
+    const dram::Geometry &geometry() const { return geometry_; }
+    int cores() const { return params_.cores; }
+
+    const CacheCounters &l1Counters(int core) const;
+    /** Sum of all per-core L1 counters. */
+    CacheCounters l1CountersTotal() const;
+    const CacheCounters &l2Counters() const { return l2_->counters(); }
+    const dram::Mcu &mcu(int channel) const { return *mcus_.at(channel); }
+    int mcuCount() const { return static_cast<int>(mcus_.size()); }
+
+    /** Total DRAM read+write commands across MCUs. */
+    std::uint64_t dramCommandsTotal() const;
+
+    /** Invalidate caches and reset all counters and row statistics. */
+    void reset();
+
+  private:
+    const dram::Geometry &geometry_;
+    Params params_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::unique_ptr<Cache> l2_;
+    std::vector<std::unique_ptr<dram::Mcu>> mcus_;
+
+    Cycles dramAccess(Addr addr, bool is_write, Cycles cycle);
+};
+
+} // namespace dfault::mem
+
+#endif // DFAULT_MEM_HIERARCHY_HH

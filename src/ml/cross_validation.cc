@@ -1,0 +1,23 @@
+#include "ml/cross_validation.hh"
+
+namespace dfault::ml {
+
+std::vector<Fold>
+leaveOneGroupOut(const Dataset &data)
+{
+    std::vector<Fold> folds;
+    for (const std::string &group : data.distinctGroups()) {
+        Fold fold;
+        fold.heldOutGroup = group;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            if (data.groups()[i] == group)
+                fold.testRows.push_back(i);
+            else
+                fold.trainRows.push_back(i);
+        }
+        folds.push_back(std::move(fold));
+    }
+    return folds;
+}
+
+} // namespace dfault::ml

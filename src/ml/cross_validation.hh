@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Leave-One-Group-Out cross-validation (paper §III-F, Fig 3 right).
+ *
+ * For every benchmark, one fold holds out all samples of that benchmark
+ * as the test set and trains on everything else; the reported accuracy
+ * is averaged over folds. This is the protocol that makes the study a
+ * test of *generalization to unseen workloads* rather than of
+ * interpolation.
+ */
+
+#ifndef DFAULT_ML_CROSS_VALIDATION_HH
+#define DFAULT_ML_CROSS_VALIDATION_HH
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+
+/** One train/test split of a leave-one-group-out protocol. */
+struct Fold
+{
+    std::string heldOutGroup;
+    std::vector<std::size_t> trainRows;
+    std::vector<std::size_t> testRows;
+};
+
+/** All folds of the leave-one-group-out protocol over @p data. */
+std::vector<Fold> leaveOneGroupOut(const Dataset &data);
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_CROSS_VALIDATION_HH

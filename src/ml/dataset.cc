@@ -1,0 +1,77 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : featureNames_(std::move(feature_names))
+{
+}
+
+void
+Dataset::addSample(std::vector<double> features, double target,
+                   std::string group)
+{
+    DFAULT_ASSERT(features.size() == featureNames_.size(),
+                  "sample width does not match the dataset schema");
+    features_.push_back(std::move(features));
+    targets_.push_back(target);
+    groups_.push_back(std::move(group));
+}
+
+std::vector<double>
+Dataset::column(std::size_t j) const
+{
+    DFAULT_ASSERT(j < featureCount(), "column index out of range");
+    std::vector<double> out;
+    out.reserve(size());
+    for (const auto &row : features_)
+        out.push_back(row[j]);
+    return out;
+}
+
+std::vector<std::string>
+Dataset::distinctGroups() const
+{
+    std::vector<std::string> out;
+    for (const auto &g : groups_)
+        if (std::find(out.begin(), out.end(), g) == out.end())
+            out.push_back(g);
+    return out;
+}
+
+Dataset
+Dataset::subset(std::span<const std::size_t> rows) const
+{
+    Dataset out(featureNames_);
+    for (const std::size_t r : rows) {
+        DFAULT_ASSERT(r < size(), "row index out of range");
+        out.addSample(features_[r], targets_[r], groups_[r]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::project(std::span<const std::size_t> columns) const
+{
+    std::vector<std::string> names;
+    names.reserve(columns.size());
+    for (const std::size_t c : columns) {
+        DFAULT_ASSERT(c < featureCount(), "column index out of range");
+        names.push_back(featureNames_[c]);
+    }
+    Dataset out(std::move(names));
+    for (std::size_t r = 0; r < size(); ++r) {
+        std::vector<double> row;
+        row.reserve(columns.size());
+        for (const std::size_t c : columns)
+            row.push_back(features_[r][c]);
+        out.addSample(std::move(row), targets_[r], groups_[r]);
+    }
+    return out;
+}
+
+} // namespace dfault::ml

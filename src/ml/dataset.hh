@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Training datasets: rows of (feature vector, target, group label).
+ *
+ * The group label is the benchmark name; the paper's Leave-One-Out
+ * protocol (Fig 3, right) holds out all samples of one benchmark per
+ * fold, so samples must remember which benchmark produced them.
+ */
+
+#ifndef DFAULT_ML_DATASET_HH
+#define DFAULT_ML_DATASET_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfault::ml {
+
+/** Row-major numeric matrix. */
+using Matrix = std::vector<std::vector<double>>;
+
+/** See file comment. */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    /** Append one sample. @pre features.size() == featureCount(). */
+    void addSample(std::vector<double> features, double target,
+                   std::string group);
+
+    std::size_t size() const { return targets_.size(); }
+    bool empty() const { return targets_.empty(); }
+    std::size_t featureCount() const { return featureNames_.size(); }
+
+    const Matrix &x() const { return features_; }
+    const std::vector<double> &y() const { return targets_; }
+    const std::vector<std::string> &groups() const { return groups_; }
+    const std::vector<std::string> &featureNames() const
+    {
+        return featureNames_;
+    }
+
+    /** Column @p j as a contiguous vector. */
+    std::vector<double> column(std::size_t j) const;
+
+    /** Distinct group labels in first-appearance order. */
+    std::vector<std::string> distinctGroups() const;
+
+    /** Subset by row indices (copies). */
+    Dataset subset(std::span<const std::size_t> rows) const;
+
+    /** Project onto a subset of feature columns (copies). */
+    Dataset project(std::span<const std::size_t> columns) const;
+
+  private:
+    std::vector<std::string> featureNames_;
+    Matrix features_;
+    std::vector<double> targets_;
+    std::vector<std::string> groups_;
+};
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_DATASET_HH

@@ -1,0 +1,189 @@
+#include "ml/forest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dfault::ml {
+
+double
+RandomForestRegressor::Tree::predict(std::span<const double> row) const
+{
+    int node = 0;
+    for (;;) {
+        const Node &n = nodes[node];
+        if (n.feature < 0)
+            return n.value;
+        node = row[n.feature] <= n.threshold ? n.left : n.right;
+    }
+}
+
+RandomForestRegressor::RandomForestRegressor()
+    : RandomForestRegressor(Params{})
+{
+}
+
+RandomForestRegressor::RandomForestRegressor(const Params &params)
+    : params_(params)
+{
+    if (params_.trees <= 0)
+        DFAULT_FATAL("forest: tree count must be positive");
+    if (params_.minSamplesLeaf == 0)
+        DFAULT_FATAL("forest: minSamplesLeaf must be >= 1");
+}
+
+void
+RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
+{
+    DFAULT_ASSERT(x.size() == y.size(), "forest: x/y size mismatch");
+    DFAULT_ASSERT(!x.empty(), "forest: empty training set");
+
+    const std::size_t n = x.size();
+    const std::size_t p = x[0].size();
+    const std::size_t mtry =
+        params_.maxFeatures > 0
+            ? std::min(params_.maxFeatures, p)
+            : std::max<std::size_t>(1, p / 3);
+
+    Rng rng(params_.seed);
+    trees_.clear();
+    trees_.resize(params_.trees);
+
+    std::vector<std::size_t> feature_pool(p);
+    std::iota(feature_pool.begin(), feature_pool.end(), 0);
+
+    for (auto &tree : trees_) {
+        // Bootstrap sample.
+        std::vector<std::size_t> rows(n);
+        for (auto &r : rows)
+            r = rng.uniformInt(static_cast<std::uint64_t>(n));
+
+        // Iterative recursion via an explicit stack of work items.
+        struct Item
+        {
+            std::vector<std::size_t> rows;
+            int depth;
+            int nodeIndex;
+        };
+        tree.nodes.push_back(Node{});
+        std::vector<Item> stack;
+        stack.push_back({std::move(rows), 0, 0});
+
+        while (!stack.empty()) {
+            Item item = std::move(stack.back());
+            stack.pop_back();
+            Node &node = tree.nodes[item.nodeIndex];
+
+            double sum = 0.0, sq = 0.0;
+            for (const std::size_t r : item.rows) {
+                sum += y[r];
+                sq += y[r] * y[r];
+            }
+            const double count = static_cast<double>(item.rows.size());
+            const double node_mean = sum / count;
+            const double node_sse = sq - sum * sum / count;
+
+            const bool stop = item.depth >= params_.maxDepth ||
+                              item.rows.size() < 2 * params_.minSamplesLeaf ||
+                              node_sse <= 1e-12;
+            if (stop) {
+                node.feature = -1;
+                node.value = node_mean;
+                continue;
+            }
+
+            // Choose mtry candidate features at random (partial
+            // Fisher-Yates on the shared pool).
+            for (std::size_t k = 0; k < mtry; ++k) {
+                const std::size_t pick =
+                    k + rng.uniformInt(
+                            static_cast<std::uint64_t>(p - k));
+                std::swap(feature_pool[k], feature_pool[pick]);
+            }
+
+            int best_feature = -1;
+            double best_threshold = 0.0;
+            double best_sse = node_sse;
+
+            std::vector<std::size_t> order = item.rows;
+            for (std::size_t k = 0; k < mtry; ++k) {
+                const std::size_t feat = feature_pool[k];
+                std::sort(order.begin(), order.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return x[a][feat] < x[b][feat];
+                          });
+                // Prefix scan of sums for O(n) split evaluation.
+                double left_sum = 0.0, left_sq = 0.0;
+                for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+                    const double v = y[order[i]];
+                    left_sum += v;
+                    left_sq += v * v;
+                    const double xv = x[order[i]][feat];
+                    const double xn = x[order[i + 1]][feat];
+                    if (xv == xn)
+                        continue;
+                    const std::size_t nl = i + 1;
+                    const std::size_t nr = order.size() - nl;
+                    if (nl < params_.minSamplesLeaf ||
+                        nr < params_.minSamplesLeaf)
+                        continue;
+                    const double right_sum = sum - left_sum;
+                    const double right_sq = sq - left_sq;
+                    const double sse =
+                        (left_sq - left_sum * left_sum / nl) +
+                        (right_sq - right_sum * right_sum / nr);
+                    if (sse < best_sse) {
+                        best_sse = sse;
+                        best_feature = static_cast<int>(feat);
+                        best_threshold = 0.5 * (xv + xn);
+                    }
+                }
+            }
+
+            if (best_feature < 0) {
+                node.feature = -1;
+                node.value = node_mean;
+                continue;
+            }
+
+            std::vector<std::size_t> left_rows, right_rows;
+            for (const std::size_t r : item.rows) {
+                if (x[r][best_feature] <= best_threshold)
+                    left_rows.push_back(r);
+                else
+                    right_rows.push_back(r);
+            }
+
+            const int left_index = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back(Node{});
+            const int right_index = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back(Node{});
+            // `node` may be dangling after push_back; reindex.
+            Node &parent = tree.nodes[item.nodeIndex];
+            parent.feature = best_feature;
+            parent.threshold = best_threshold;
+            parent.left = left_index;
+            parent.right = right_index;
+
+            stack.push_back({std::move(left_rows), item.depth + 1,
+                             left_index});
+            stack.push_back({std::move(right_rows), item.depth + 1,
+                             right_index});
+        }
+    }
+}
+
+double
+RandomForestRegressor::predict(std::span<const double> row) const
+{
+    DFAULT_ASSERT(!trees_.empty(), "forest: predict before fit");
+    double acc = 0.0;
+    for (const auto &tree : trees_)
+        acc += tree.predict(row);
+    return acc / static_cast<double>(trees_.size());
+}
+
+} // namespace dfault::ml

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Random decision forest regression: bagged CART trees with per-split
+ * feature subsampling (Breiman-style).
+ */
+
+#ifndef DFAULT_ML_FOREST_HH
+#define DFAULT_ML_FOREST_HH
+
+#include <cstdint>
+
+#include "ml/regressor.hh"
+
+namespace dfault::ml {
+
+/** See file comment. */
+class RandomForestRegressor : public Regressor
+{
+  public:
+    struct Params
+    {
+        int trees = 100;
+        int maxDepth = 12;
+        std::size_t minSamplesLeaf = 2;
+        /** Features tried per split; 0 selects p/3 (regression default). */
+        std::size_t maxFeatures = 0;
+        std::uint64_t seed = 1234;
+    };
+
+    RandomForestRegressor();
+    explicit RandomForestRegressor(const Params &params);
+
+    void fit(const Matrix &x, std::span<const double> y) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "RDF"; }
+
+  private:
+    struct Node
+    {
+        // Leaf when feature < 0.
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        double predict(std::span<const double> row) const;
+    };
+
+    Params params_;
+    std::vector<Tree> trees_;
+};
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_FOREST_HH

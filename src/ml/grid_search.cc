@@ -1,0 +1,66 @@
+#include "ml/grid_search.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ml/cross_validation.hh"
+#include "ml/metrics.hh"
+#include "ml/scaler.hh"
+
+namespace dfault::ml {
+
+std::vector<GridResult>
+gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
+{
+    DFAULT_ASSERT(!data.empty(), "grid search needs data");
+    DFAULT_ASSERT(!grid.empty(), "grid search needs candidates");
+
+    const auto folds = leaveOneGroupOut(data);
+    DFAULT_ASSERT(folds.size() >= 2,
+                  "grid search needs at least two groups");
+
+    std::vector<GridResult> results;
+    results.reserve(grid.size());
+    for (const auto &candidate : grid) {
+        double rmse_sum = 0.0;
+        int fold_count = 0;
+        for (const Fold &fold : folds) {
+            if (fold.trainRows.empty() || fold.testRows.empty())
+                continue;
+            const Dataset train = data.subset(fold.trainRows);
+            const Dataset test = data.subset(fold.testRows);
+
+            StandardScaler scaler;
+            scaler.fit(train.x());
+            auto model = candidate.make();
+            model->fit(scaler.transform(train.x()), train.y());
+
+            std::vector<double> predicted;
+            predicted.reserve(test.size());
+            for (const auto &row : test.x())
+                predicted.push_back(
+                    model->predict(scaler.transform(row)));
+            rmse_sum += rmse(test.y(), predicted);
+            ++fold_count;
+        }
+        GridResult result;
+        result.label = candidate.label;
+        result.meanRmse =
+            fold_count > 0 ? rmse_sum / fold_count : 0.0;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::size_t
+bestCandidate(const std::vector<GridResult> &results)
+{
+    DFAULT_ASSERT(!results.empty(), "no grid results to rank");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        if (results[i].meanRmse < results[best].meanRmse)
+            best = i;
+    return best;
+}
+
+} // namespace dfault::ml

@@ -1,0 +1,73 @@
+#include "ml/importance.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "ml/metrics.hh"
+
+namespace dfault::ml {
+
+namespace {
+
+double
+evalRmse(const Regressor &model, const Matrix &x,
+         std::span<const double> y)
+{
+    std::vector<double> predicted;
+    predicted.reserve(x.size());
+    for (const auto &row : x)
+        predicted.push_back(model.predict(row));
+    return rmse(y, predicted);
+}
+
+} // namespace
+
+std::vector<FeatureImportance>
+permutationImportance(const Regressor &model, const Dataset &eval,
+                      int repeats, std::uint64_t seed)
+{
+    DFAULT_ASSERT(!eval.empty(), "importance needs evaluation samples");
+    DFAULT_ASSERT(repeats > 0, "importance needs at least one repeat");
+
+    const double baseline = evalRmse(model, eval.x(), eval.y());
+    Rng rng(seed);
+
+    std::vector<FeatureImportance> out;
+    out.reserve(eval.featureCount());
+    for (std::size_t j = 0; j < eval.featureCount(); ++j) {
+        FeatureImportance fi;
+        fi.featureIndex = j;
+        fi.name = eval.featureNames()[j];
+
+        double inflated = 0.0;
+        for (int rep = 0; rep < repeats; ++rep) {
+            Matrix shuffled = eval.x();
+            // Fisher-Yates over column j only.
+            for (std::size_t i = shuffled.size(); i > 1; --i) {
+                const std::size_t k = rng.uniformInt(
+                    static_cast<std::uint64_t>(i));
+                std::swap(shuffled[i - 1][j], shuffled[k][j]);
+            }
+            inflated += evalRmse(model, shuffled, eval.y());
+        }
+        fi.rmseIncrease = inflated / repeats - baseline;
+        out.push_back(std::move(fi));
+    }
+    return out;
+}
+
+std::vector<FeatureImportance>
+rankImportance(const Regressor &model, const Dataset &eval, int repeats,
+               std::uint64_t seed)
+{
+    auto out = permutationImportance(model, eval, repeats, seed);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FeatureImportance &a,
+                        const FeatureImportance &b) {
+                         return a.rmseIncrease > b.rmseIncrease;
+                     });
+    return out;
+}
+
+} // namespace dfault::ml

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Permutation feature importance.
+ *
+ * Complements the Spearman screening of paper §VI-A with a model-based
+ * view: after fitting a regressor, each feature column of a held-out
+ * set is shuffled in turn and the increase in prediction error is the
+ * feature's importance. Features the model ignores score ~0; features
+ * it relies on score high — the standard diagnosis for the input-set-3
+ * overfitting the paper reports.
+ */
+
+#ifndef DFAULT_ML_IMPORTANCE_HH
+#define DFAULT_ML_IMPORTANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "ml/regressor.hh"
+
+namespace dfault::ml {
+
+/** Importance of one feature: error inflation when it is shuffled. */
+struct FeatureImportance
+{
+    std::size_t featureIndex = 0;
+    std::string name;
+    /** rmse(shuffled) - rmse(intact); <= 0 means the feature is unused
+     *  (or actively harmful). */
+    double rmseIncrease = 0.0;
+};
+
+/**
+ * Permutation importances of a fitted model on an evaluation set.
+ *
+ * @param model fitted regressor
+ * @param eval  evaluation samples (same feature space the model was
+ *              fit on, already scaled the same way)
+ * @param repeats shuffles per feature (averaged)
+ * @param seed  shuffle seed
+ * @return importances in feature order
+ */
+std::vector<FeatureImportance>
+permutationImportance(const Regressor &model, const Dataset &eval,
+                      int repeats = 5, std::uint64_t seed = 17);
+
+/** The same importances sorted by decreasing rmseIncrease. */
+std::vector<FeatureImportance>
+rankImportance(const Regressor &model, const Dataset &eval,
+               int repeats = 5, std::uint64_t seed = 17);
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_IMPORTANCE_HH

@@ -1,0 +1,116 @@
+#include "ml/io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream stream(line);
+    while (std::getline(stream, field, ','))
+        fields.push_back(field);
+    if (!line.empty() && line.back() == ',')
+        fields.emplace_back();
+    return fields;
+}
+
+} // namespace
+
+void
+writeCsv(const Dataset &data, std::ostream &out)
+{
+    for (const auto &name : data.featureNames()) {
+        if (name.find(',') != std::string::npos)
+            DFAULT_FATAL("csv: feature name contains a comma: ", name);
+        out << name << ',';
+    }
+    out << "target,group\n";
+
+    out << std::setprecision(17);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        for (const double v : data.x()[i])
+            out << v << ',';
+        const std::string &group = data.groups()[i];
+        if (group.find(',') != std::string::npos ||
+            group.find('\n') != std::string::npos) {
+            DFAULT_FATAL("csv: group label contains a separator: ",
+                         group);
+        }
+        out << data.y()[i] << ',' << group << '\n';
+    }
+}
+
+void
+writeCsvFile(const Dataset &data, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        DFAULT_FATAL("csv: cannot open '", path, "' for writing");
+    writeCsv(data, out);
+    if (!out)
+        DFAULT_FATAL("csv: write to '", path, "' failed");
+}
+
+Dataset
+readCsv(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        DFAULT_FATAL("csv: missing header row");
+
+    auto header = splitCsvLine(line);
+    if (header.size() < 2 || header[header.size() - 2] != "target" ||
+        header.back() != "group") {
+        DFAULT_FATAL("csv: header must end in 'target,group'");
+    }
+    header.pop_back(); // group
+    header.pop_back(); // target
+
+    Dataset data(header);
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto fields = splitCsvLine(line);
+        if (fields.size() != header.size() + 2)
+            DFAULT_FATAL("csv: line ", line_no, " has ", fields.size(),
+                         " fields, expected ", header.size() + 2);
+        std::vector<double> row;
+        row.reserve(header.size());
+        for (std::size_t j = 0; j < header.size(); ++j) {
+            char *end = nullptr;
+            row.push_back(std::strtod(fields[j].c_str(), &end));
+            if (end == fields[j].c_str())
+                DFAULT_FATAL("csv: line ", line_no,
+                             ": bad number '", fields[j], "'");
+        }
+        char *end = nullptr;
+        const double target =
+            std::strtod(fields[header.size()].c_str(), &end);
+        if (end == fields[header.size()].c_str())
+            DFAULT_FATAL("csv: line ", line_no, ": bad target");
+        data.addSample(std::move(row), target, fields.back());
+    }
+    return data;
+}
+
+Dataset
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DFAULT_FATAL("csv: cannot open '", path, "' for reading");
+    return readCsv(in);
+}
+
+} // namespace dfault::ml

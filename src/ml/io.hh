@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dataset serialization.
+ *
+ * The paper's authors released their characterization data and model
+ * publicly; this is the equivalent facility — campaign datasets round-
+ * trip through CSV so they can be consumed by external tooling
+ * (pandas, scikit-learn, gnuplot) or re-loaded into this library.
+ *
+ * Format: one header row `feature1,...,featureN,target,group`, then
+ * one data row per sample. Values use maximal precision; group labels
+ * must not contain commas or newlines.
+ */
+
+#ifndef DFAULT_ML_IO_HH
+#define DFAULT_ML_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+
+/** Serialize @p data as CSV to a stream. */
+void writeCsv(const Dataset &data, std::ostream &out);
+
+/** Serialize @p data as CSV to @p path; fatal() on I/O failure. */
+void writeCsvFile(const Dataset &data, const std::string &path);
+
+/** Parse a dataset from CSV; fatal() on malformed input. */
+Dataset readCsv(std::istream &in);
+
+/** Parse a dataset from the CSV file at @p path. */
+Dataset readCsvFile(const std::string &path);
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_IO_HH

@@ -1,0 +1,70 @@
+#include "ml/knn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+KnnRegressor::KnnRegressor() : KnnRegressor(Params{}) {}
+
+KnnRegressor::KnnRegressor(const Params &params) : params_(params)
+{
+    if (params_.k <= 0)
+        DFAULT_FATAL("knn: k must be positive");
+}
+
+void
+KnnRegressor::fit(const Matrix &x, std::span<const double> y)
+{
+    DFAULT_ASSERT(x.size() == y.size(), "knn: x/y size mismatch");
+    DFAULT_ASSERT(!x.empty(), "knn: empty training set");
+    x_ = x;
+    y_.assign(y.begin(), y.end());
+}
+
+double
+KnnRegressor::predict(std::span<const double> row) const
+{
+    DFAULT_ASSERT(!x_.empty(), "knn: predict before fit");
+
+    // Squared Euclidean distance to every training row.
+    std::vector<std::pair<double, std::size_t>> dist;
+    dist.reserve(x_.size());
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        DFAULT_ASSERT(x_[i].size() == row.size(),
+                      "knn: feature width mismatch");
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            const double d = x_[i][j] - row[j];
+            d2 += d * d;
+        }
+        dist.emplace_back(d2, i);
+    }
+
+    const auto k = std::min<std::size_t>(params_.k, dist.size());
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+
+    if (!params_.distanceWeighted) {
+        double sum = 0.0;
+        for (std::size_t n = 0; n < k; ++n)
+            sum += y_[dist[n].second];
+        return sum / static_cast<double>(k);
+    }
+
+    // Inverse-distance weights; an exact match dominates entirely.
+    constexpr double eps = 1e-12;
+    double wsum = 0.0, acc = 0.0;
+    for (std::size_t n = 0; n < k; ++n) {
+        const double d = std::sqrt(dist[n].first);
+        if (d < eps)
+            return y_[dist[n].second];
+        const double w = 1.0 / d;
+        wsum += w;
+        acc += w * y_[dist[n].second];
+    }
+    return acc / wsum;
+}
+
+} // namespace dfault::ml

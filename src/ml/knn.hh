@@ -1,0 +1,43 @@
+/**
+ * @file
+ * K-nearest-neighbours regression with inverse-distance weighting.
+ *
+ * The paper finds KNN the most accurate of the three models for both
+ * WER and PUE prediction (§VI-B); predictions complete "within 300 ms"
+ * on the paper's setup and within microseconds here.
+ */
+
+#ifndef DFAULT_ML_KNN_HH
+#define DFAULT_ML_KNN_HH
+
+#include "ml/regressor.hh"
+
+namespace dfault::ml {
+
+/** See file comment. */
+class KnnRegressor : public Regressor
+{
+  public:
+    struct Params
+    {
+        int k = 3;
+        /** Inverse-distance weighting (scikit "distance"); false = mean. */
+        bool distanceWeighted = true;
+    };
+
+    KnnRegressor();
+    explicit KnnRegressor(const Params &params);
+
+    void fit(const Matrix &x, std::span<const double> y) override;
+    double predict(std::span<const double> row) const override;
+    std::string name() const override { return "KNN"; }
+
+  private:
+    Params params_;
+    Matrix x_;
+    std::vector<double> y_;
+};
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_KNN_HH

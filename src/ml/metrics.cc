@@ -1,0 +1,65 @@
+#include "ml/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+double
+percentageError(double measured, double predicted)
+{
+    DFAULT_ASSERT(measured != 0.0, "percentage error of zero baseline");
+    return 100.0 * std::abs(predicted - measured) / std::abs(measured);
+}
+
+double
+meanPercentageError(std::span<const double> measured,
+                    std::span<const double> predicted)
+{
+    DFAULT_ASSERT(measured.size() == predicted.size(),
+                  "metric inputs differ in length");
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0)
+            continue;
+        acc += percentageError(measured[i], predicted[i]);
+        ++n;
+    }
+    return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double
+rmse(std::span<const double> measured, std::span<const double> predicted)
+{
+    DFAULT_ASSERT(measured.size() == predicted.size(),
+                  "metric inputs differ in length");
+    if (measured.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        const double d = predicted[i] - measured[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(measured.size()));
+}
+
+double
+errorFactor(std::span<const double> measured,
+            std::span<const double> predicted)
+{
+    DFAULT_ASSERT(measured.size() == predicted.size(),
+                  "metric inputs differ in length");
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] <= 0.0 || predicted[i] <= 0.0)
+            continue;
+        acc += std::abs(std::log(predicted[i] / measured[i]));
+        ++n;
+    }
+    return n == 0 ? 1.0 : std::exp(acc / static_cast<double>(n));
+}
+
+} // namespace dfault::ml

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regression accuracy metrics.
+ *
+ * The paper reports the mean percentage error (MPE) of WER and PUE
+ * estimates: mean over samples of |predicted - measured| / measured.
+ */
+
+#ifndef DFAULT_ML_METRICS_HH
+#define DFAULT_ML_METRICS_HH
+
+#include <span>
+
+namespace dfault::ml {
+
+/**
+ * Mean absolute percentage error in percent. Samples whose measured
+ * value is zero are skipped (no percentage is defined for them);
+ * returns 0 when no sample qualifies.
+ */
+double meanPercentageError(std::span<const double> measured,
+                           std::span<const double> predicted);
+
+/** Absolute percentage error of one (measured, predicted) pair. */
+double percentageError(double measured, double predicted);
+
+/** Root mean squared error. */
+double rmse(std::span<const double> measured,
+            std::span<const double> predicted);
+
+/**
+ * Geometric-mean error factor: exp(mean |ln(pred/meas)|); the "2.9x"
+ * style multiplicative error the paper quotes for the conventional
+ * workload-unaware model (Fig 13).
+ */
+double errorFactor(std::span<const double> measured,
+                   std::span<const double> predicted);
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_METRICS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Common interface of the supervised models compared in the paper
+ * (§III-B): SVM, KNN and Random Decision Forests.
+ */
+
+#ifndef DFAULT_ML_REGRESSOR_HH
+#define DFAULT_ML_REGRESSOR_HH
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+
+/** Supervised regression model. */
+class Regressor
+{
+  public:
+    virtual ~Regressor() = default;
+
+    /** Train on (x, y). Replaces any previous fit. */
+    virtual void fit(const Matrix &x, std::span<const double> y) = 0;
+
+    /** Predict the target for one feature row. @pre fitted. */
+    virtual double predict(std::span<const double> row) const = 0;
+
+    /** Short model name ("KNN", "SVM", "RDF"). */
+    virtual std::string name() const = 0;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_REGRESSOR_HH

@@ -1,0 +1,58 @@
+#include "ml/scaler.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+void
+StandardScaler::fit(const Matrix &x)
+{
+    DFAULT_ASSERT(!x.empty(), "cannot fit scaler on an empty matrix");
+    const std::size_t cols = x[0].size();
+    mean_.assign(cols, 0.0);
+    scale_.assign(cols, 0.0);
+
+    const double n = static_cast<double>(x.size());
+    for (const auto &row : x) {
+        DFAULT_ASSERT(row.size() == cols, "ragged matrix");
+        for (std::size_t j = 0; j < cols; ++j)
+            mean_[j] += row[j];
+    }
+    for (auto &m : mean_)
+        m /= n;
+    for (const auto &row : x)
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double d = row[j] - mean_[j];
+            scale_[j] += d * d;
+        }
+    for (auto &s : scale_) {
+        s = std::sqrt(s / n);
+        if (s <= 0.0)
+            s = 1.0; // constant column: leave centred at zero
+    }
+}
+
+std::vector<double>
+StandardScaler::transform(std::span<const double> row) const
+{
+    DFAULT_ASSERT(fitted(), "scaler used before fit()");
+    DFAULT_ASSERT(row.size() == mean_.size(), "row width mismatch");
+    std::vector<double> out(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j)
+        out[j] = (row[j] - mean_[j]) / scale_[j];
+    return out;
+}
+
+Matrix
+StandardScaler::transform(const Matrix &x) const
+{
+    Matrix out;
+    out.reserve(x.size());
+    for (const auto &row : x)
+        out.push_back(transform(row));
+    return out;
+}
+
+} // namespace dfault::ml

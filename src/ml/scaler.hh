@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Feature standardization (zero mean, unit variance), fit on training
+ * data only and applied to both splits — the scikit-learn convention
+ * the paper's pipeline uses.
+ */
+
+#ifndef DFAULT_ML_SCALER_HH
+#define DFAULT_ML_SCALER_HH
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+
+/** See file comment. */
+class StandardScaler
+{
+  public:
+    /** Learn per-column mean and standard deviation. */
+    void fit(const Matrix &x);
+
+    /** Standardize one row. @pre fitted and matching width. */
+    std::vector<double> transform(std::span<const double> row) const;
+
+    /** Standardize a whole matrix. */
+    Matrix transform(const Matrix &x) const;
+
+    bool fitted() const { return !mean_.empty(); }
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> scale_; ///< stddev, 1.0 for constant columns
+};
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_SCALER_HH

@@ -1,0 +1,37 @@
+#include "ml/selection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/correlation.hh"
+
+namespace dfault::ml {
+
+std::vector<FeatureCorrelation>
+correlateFeatures(const Dataset &data)
+{
+    std::vector<FeatureCorrelation> out;
+    out.reserve(data.featureCount());
+    for (std::size_t j = 0; j < data.featureCount(); ++j) {
+        FeatureCorrelation fc;
+        fc.featureIndex = j;
+        fc.name = data.featureNames()[j];
+        fc.rs = stats::spearman(data.column(j), data.y());
+        out.push_back(std::move(fc));
+    }
+    return out;
+}
+
+std::vector<FeatureCorrelation>
+rankFeatures(const Dataset &data)
+{
+    auto out = correlateFeatures(data);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FeatureCorrelation &a,
+                        const FeatureCorrelation &b) {
+                         return std::abs(a.rs) > std::abs(b.rs);
+                     });
+    return out;
+}
+
+} // namespace dfault::ml

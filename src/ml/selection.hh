@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Feature selection by Spearman rank correlation (paper §VI-A, Fig 10).
+ */
+
+#ifndef DFAULT_ML_SELECTION_HH
+#define DFAULT_ML_SELECTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+
+/** Correlation of one feature with the prediction target. */
+struct FeatureCorrelation
+{
+    std::size_t featureIndex = 0;
+    std::string name;
+    double rs = 0.0; ///< Spearman's rank correlation coefficient
+};
+
+/**
+ * Spearman rs of every feature column against the target, in feature
+ * order.
+ */
+std::vector<FeatureCorrelation> correlateFeatures(const Dataset &data);
+
+/**
+ * The same correlations sorted by |rs| descending — the ranking used to
+ * assemble the paper's strongly-correlated input sets.
+ */
+std::vector<FeatureCorrelation> rankFeatures(const Dataset &data);
+
+} // namespace dfault::ml
+
+#endif // DFAULT_ML_SELECTION_HH

@@ -1,0 +1,135 @@
+#include "ml/svr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::ml {
+
+SvrRegressor::SvrRegressor() : SvrRegressor(Params{}) {}
+
+SvrRegressor::SvrRegressor(const Params &params) : params_(params)
+{
+    if (params_.c <= 0.0)
+        DFAULT_FATAL("svr: C must be positive");
+    if (params_.epsilon < 0.0)
+        DFAULT_FATAL("svr: epsilon must be non-negative");
+}
+
+double
+SvrRegressor::kernel(std::span<const double> a,
+                     std::span<const double> b) const
+{
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        const double d = a[j] - b[j];
+        d2 += d * d;
+    }
+    return std::exp(-gamma_ * d2);
+}
+
+void
+SvrRegressor::fit(const Matrix &x, std::span<const double> y)
+{
+    DFAULT_ASSERT(x.size() == y.size(), "svr: x/y size mismatch");
+    DFAULT_ASSERT(!x.empty(), "svr: empty training set");
+    x_ = x;
+    const std::size_t n = x_.size();
+    const std::size_t p = x_[0].size();
+
+    // scikit-learn's gamma="scale": 1 / (p * Var(X)) over all entries.
+    if (params_.gamma > 0.0) {
+        gamma_ = params_.gamma;
+    } else {
+        double mean = 0.0, sq = 0.0, count = 0.0;
+        for (const auto &row : x_)
+            for (const double v : row) {
+                mean += v;
+                sq += v * v;
+                count += 1.0;
+            }
+        mean /= count;
+        const double var = std::max(sq / count - mean * mean, 1e-12);
+        gamma_ = params_.gammaScale / (static_cast<double>(p) * var);
+    }
+
+    // Dense kernel matrix.
+    Matrix k(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            k[i][j] = k[j][i] = kernel(x_[i], x_[j]);
+
+    beta_.assign(n, 0.0);
+    double mean_y = 0.0;
+    for (const double v : y)
+        mean_y += v;
+    bias_ = mean_y / static_cast<double>(n);
+
+    // f_i = sum_j beta_j K_ij, maintained incrementally.
+    std::vector<double> f(n, 0.0);
+
+    for (int sweep = 0; sweep < params_.maxSweeps; ++sweep) {
+        double max_delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Residual excluding i's own contribution.
+            const double r = y[i] - bias_ - (f[i] - beta_[i] * k[i][i]);
+            // Soft-threshold by the tube, then box-clip.
+            double target = 0.0;
+            if (r > params_.epsilon)
+                target = (r - params_.epsilon) / k[i][i];
+            else if (r < -params_.epsilon)
+                target = (r + params_.epsilon) / k[i][i];
+            target = std::clamp(target, -params_.c, params_.c);
+
+            const double delta = target - beta_[i];
+            if (delta != 0.0) {
+                for (std::size_t j = 0; j < n; ++j)
+                    f[j] += delta * k[i][j];
+                beta_[i] = target;
+                max_delta = std::max(max_delta, std::abs(delta));
+            }
+        }
+
+        // Re-estimate the bias from free (unclipped) support vectors.
+        double acc = 0.0;
+        int free_svs = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (beta_[i] == 0.0 || std::abs(beta_[i]) >= params_.c)
+                continue;
+            const double margin =
+                beta_[i] > 0.0 ? params_.epsilon : -params_.epsilon;
+            acc += y[i] - f[i] - margin;
+            ++free_svs;
+        }
+        if (free_svs > 0)
+            bias_ = acc / free_svs;
+
+        if (max_delta < params_.tolerance)
+            break;
+    }
+}
+
+double
+SvrRegressor::predict(std::span<const double> row) const
+{
+    DFAULT_ASSERT(!x_.empty(), "svr: predict before fit");
+    double out = bias_;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        if (beta_[i] == 0.0)
+            continue;
+        out += beta_[i] * kernel(x_[i], row);
+    }
+    return out;
+}
+
+std::size_t
+SvrRegressor::supportVectorCount() const
+{
+    std::size_t count = 0;
+    for (const double b : beta_)
+        count += b != 0.0;
+    return count;
+}
+
+} // namespace dfault::ml

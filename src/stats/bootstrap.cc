@@ -1,0 +1,44 @@
+#include "stats/bootstrap.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "stats/summary.hh"
+
+namespace dfault::stats {
+
+ConfidenceInterval
+bootstrapMeanCi(std::span<const double> sample, double confidence,
+                int resamples, std::uint64_t seed)
+{
+    DFAULT_ASSERT(!sample.empty(), "bootstrap of an empty sample");
+    DFAULT_ASSERT(confidence > 0.0 && confidence < 1.0,
+                  "confidence level out of (0,1)");
+    DFAULT_ASSERT(resamples > 0, "need at least one resample");
+
+    double total = 0.0;
+    for (const double v : sample)
+        total += v;
+
+    ConfidenceInterval ci;
+    ci.mean = total / static_cast<double>(sample.size());
+
+    Rng rng(seed);
+    std::vector<double> means;
+    means.reserve(resamples);
+    for (int r = 0; r < resamples; ++r) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < sample.size(); ++i)
+            sum += sample[rng.uniformInt(
+                static_cast<std::uint64_t>(sample.size()))];
+        means.push_back(sum / static_cast<double>(sample.size()));
+    }
+
+    const double alpha = (1.0 - confidence) / 2.0;
+    ci.lo = quantile(means, alpha);
+    ci.hi = quantile(means, 1.0 - alpha);
+    return ci;
+}
+
+} // namespace dfault::stats

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bootstrap confidence intervals.
+ *
+ * The paper reports point accuracies; an open-source release should
+ * quantify their stability. The percentile bootstrap resamples the
+ * per-benchmark errors with replacement and reports the interval the
+ * sample mean falls into with the requested confidence.
+ */
+
+#ifndef DFAULT_STATS_BOOTSTRAP_HH
+#define DFAULT_STATS_BOOTSTRAP_HH
+
+#include <cstdint>
+#include <span>
+
+namespace dfault::stats {
+
+/** A two-sided confidence interval for a sample mean. */
+struct ConfidenceInterval
+{
+    double mean = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Percentile-bootstrap confidence interval for the mean of @p sample.
+ *
+ * @param confidence two-sided level in (0, 1), e.g. 0.95
+ * @param resamples  bootstrap replicates
+ * @param seed       resampling seed (deterministic)
+ */
+ConfidenceInterval bootstrapMeanCi(std::span<const double> sample,
+                                   double confidence = 0.95,
+                                   int resamples = 2000,
+                                   std::uint64_t seed = 1337);
+
+} // namespace dfault::stats
+
+#endif // DFAULT_STATS_BOOTSTRAP_HH

@@ -1,0 +1,71 @@
+#include "stats/correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace dfault::stats {
+
+double
+pearson(std::span<const double> x, std::span<const double> y)
+{
+    DFAULT_ASSERT(x.size() == y.size(), "pearson: length mismatch");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    const double nd = static_cast<double>(n);
+    const double mx = std::accumulate(x.begin(), x.end(), 0.0) / nd;
+    const double my = std::accumulate(y.begin(), y.end(), 0.0) / nd;
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+ranks(std::span<const double> x)
+{
+    const std::size_t n = x.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        // Find the extent of the tie group starting at i.
+        std::size_t j = i + 1;
+        while (j < n && x[order[j]] == x[order[i]])
+            ++j;
+        // Average 1-based rank over the tie group.
+        const double avg_rank =
+            (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+        for (std::size_t k = i; k < j; ++k)
+            out[order[k]] = avg_rank;
+        i = j;
+    }
+    return out;
+}
+
+double
+spearman(std::span<const double> x, std::span<const double> y)
+{
+    DFAULT_ASSERT(x.size() == y.size(), "spearman: length mismatch");
+    const auto rx = ranks(x);
+    const auto ry = ranks(y);
+    return pearson(rx, ry);
+}
+
+} // namespace dfault::stats

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Rank and linear correlation coefficients.
+ *
+ * The paper uses Spearman's rank correlation (rs) to relate the 249
+ * extracted program features to the WER and PUE targets (Fig 10), because
+ * it captures both linear and monotonic non-linear relationships.
+ */
+
+#ifndef DFAULT_STATS_CORRELATION_HH
+#define DFAULT_STATS_CORRELATION_HH
+
+#include <span>
+#include <vector>
+
+namespace dfault::stats {
+
+/**
+ * Pearson product-moment correlation of two equal-length samples.
+ *
+ * @return coefficient in [-1, 1]; 0 when either sample is constant.
+ */
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/**
+ * Fractional ranks of a sample with ties assigned their average rank
+ * (midrank method), 1-based as in conventional rank statistics.
+ */
+std::vector<double> ranks(std::span<const double> x);
+
+/**
+ * Spearman's rank correlation: Pearson correlation of the midranks.
+ *
+ * @return rs in [-1, 1]; 0 when either sample is constant.
+ */
+double spearman(std::span<const double> x, std::span<const double> y);
+
+} // namespace dfault::stats
+
+#endif // DFAULT_STATS_CORRELATION_HH

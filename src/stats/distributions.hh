@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analytic distribution functions used by the retention model.
+ *
+ * The error integrator needs closed-form tail probabilities (e.g. the
+ * probability that a cell's retention time falls below the effective
+ * refresh interval) rather than per-cell sampling, so the lognormal and
+ * normal CDFs are provided analytically.
+ */
+
+#ifndef DFAULT_STATS_DISTRIBUTIONS_HH
+#define DFAULT_STATS_DISTRIBUTIONS_HH
+
+namespace dfault::stats {
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double z);
+
+/** Normal CDF with mean @p mu and standard deviation @p sigma. */
+double normalCdf(double x, double mu, double sigma);
+
+/**
+ * Lognormal CDF: P(X <= x) for X = exp(N(mu, sigma)).
+ * Returns 0 for x <= 0.
+ */
+double lognormalCdf(double x, double mu, double sigma);
+
+/**
+ * Inverse standard normal CDF (Acklam's rational approximation,
+ * relative error < 1.15e-9). @p p must lie in (0, 1).
+ */
+double normalQuantile(double p);
+
+/** Inverse lognormal CDF. @p p must lie in (0, 1). */
+double lognormalQuantile(double p, double mu, double sigma);
+
+} // namespace dfault::stats
+
+#endif // DFAULT_STATS_DISTRIBUTIONS_HH

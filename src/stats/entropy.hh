@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shannon entropy estimators.
+ *
+ * The paper introduces the data-pattern entropy HDP (Eq. 5): the entropy
+ * of the distribution of 32-bit values written to memory by a workload,
+ * estimated from sampled write data.
+ */
+
+#ifndef DFAULT_STATS_ENTROPY_HH
+#define DFAULT_STATS_ENTROPY_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+namespace dfault::stats {
+
+/**
+ * Shannon entropy in bits of an empirical distribution given as
+ * value -> occurrence-count. Zero-count entries are ignored.
+ */
+double shannonEntropy(
+    const std::unordered_map<std::uint32_t, std::uint64_t> &counts);
+
+/** Shannon entropy in bits of an explicit probability vector. */
+double shannonEntropy(std::span<const double> probabilities);
+
+/**
+ * Per-bit-position probability of a 1 across a set of 64-bit words.
+ *
+ * Used by the data-pattern vulnerability model: a DRAM cell can only
+ * manifest a retention error if the stored bit is the charged state for
+ * that cell's true-/anti-cell orientation.
+ *
+ * @param words sampled 64-bit data words
+ * @param p_one output array of 64 probabilities (bit 0 = LSB)
+ */
+void bitOneProbabilities(std::span<const std::uint64_t> words,
+                         std::span<double> p_one);
+
+} // namespace dfault::stats
+
+#endif // DFAULT_STATS_ENTROPY_HH

@@ -1,0 +1,84 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace dfault::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    DFAULT_ASSERT(bins > 0, "histogram needs at least one bin");
+    DFAULT_ASSERT(lo < hi, "histogram range inverted");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) // guard against floating rounding at hi_
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::vector<double>
+Histogram::probabilities() const
+{
+    std::vector<double> out(counts_.size(), 0.0);
+    std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0)
+        return out;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        out[i] = static_cast<double>(counts_[i]) /
+                 static_cast<double>(in_range);
+    return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : linear_(std::log(lo), std::log(hi), bins)
+{
+    DFAULT_ASSERT(lo > 0.0, "log histogram needs positive lower bound");
+}
+
+void
+LogHistogram::add(double x)
+{
+    if (x <= 0.0) {
+        // Map non-positive observations to underflow via a value below lo.
+        linear_.add(-std::numeric_limits<double>::infinity());
+        return;
+    }
+    linear_.add(std::log(x));
+}
+
+double
+LogHistogram::binLow(std::size_t i) const
+{
+    return std::exp(linear_.binLow(i));
+}
+
+double
+LogHistogram::binHigh(std::size_t i) const
+{
+    return std::exp(linear_.binHigh(i));
+}
+
+} // namespace dfault::stats

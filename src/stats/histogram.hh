@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-bin linear and logarithmic histograms.
+ *
+ * Used to summarize per-row inter-access time distributions and reuse
+ * distances without retaining every observation.
+ */
+
+#ifndef DFAULT_STATS_HISTOGRAM_HH
+#define DFAULT_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dfault::stats {
+
+/**
+ * Histogram over [lo, hi) with uniformly sized bins plus underflow and
+ * overflow counters.
+ */
+class Histogram
+{
+  public:
+    /** @pre bins > 0 and lo < hi. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Number of bins (excluding under/overflow). */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Count in bin i. */
+    std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Upper edge of bin i. */
+    double binHigh(std::size_t i) const { return binLow(i + 1); }
+
+    /** Observations below the range. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Observations at or above the upper edge. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Total observations including under/overflow. */
+    std::uint64_t total() const { return total_; }
+
+    /** Normalized bin probabilities (excluding under/overflow). */
+    std::vector<double> probabilities() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Histogram with logarithmically spaced bins over [lo, hi); suitable for
+ * quantities spanning many decades such as reuse distances.
+ */
+class LogHistogram
+{
+  public:
+    /** @pre bins > 0 and 0 < lo < hi. */
+    LogHistogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation (x <= 0 counts as underflow). */
+    void add(double x);
+
+    std::size_t bins() const { return linear_.bins(); }
+    std::uint64_t count(std::size_t i) const { return linear_.count(i); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+    std::uint64_t underflow() const { return linear_.underflow(); }
+    std::uint64_t overflow() const { return linear_.overflow(); }
+    std::uint64_t total() const { return linear_.total(); }
+
+  private:
+    Histogram linear_;
+};
+
+} // namespace dfault::stats
+
+#endif // DFAULT_STATS_HISTOGRAM_HH

@@ -1,0 +1,196 @@
+#include "sys/execution.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dfault::sys {
+
+ExecutionContext::ExecutionContext(mem::MemoryHierarchy &hierarchy,
+                                   trace::InstrumentationBus &bus)
+    : ExecutionContext(hierarchy, bus, Params{})
+{
+}
+
+ExecutionContext::ExecutionContext(mem::MemoryHierarchy &hierarchy,
+                                   trace::InstrumentationBus &bus,
+                                   const Params &params)
+    : hierarchy_(hierarchy), bus_(bus), params_(params)
+{
+    if (params_.threads <= 0)
+        DFAULT_FATAL("execution: thread count must be positive");
+    if (params_.memoryLevelParallelism < 1.0)
+        DFAULT_FATAL("execution: MLP must be >= 1");
+    cores_.resize(params_.threads);
+}
+
+Addr
+ExecutionContext::allocate(std::uint64_t bytes)
+{
+    constexpr std::uint64_t align = 64;
+    const std::uint64_t aligned = (bytes + align - 1) & ~(align - 1);
+    if (brk_ + aligned > hierarchy_.geometry().capacityBytes())
+        DFAULT_FATAL("workload footprint exceeds DRAM capacity: need ",
+                     brk_ + aligned, " of ",
+                     hierarchy_.geometry().capacityBytes(), " bytes");
+    const Addr base = brk_;
+    brk_ += aligned;
+    backing_.resize(brk_ / units::bytesPerWord, 0);
+    return base;
+}
+
+CoreStats &
+ExecutionContext::core(int thread)
+{
+    DFAULT_ASSERT(thread >= 0 && thread < params_.threads,
+                  "thread id out of range");
+    return cores_[thread];
+}
+
+void
+ExecutionContext::memoryAccess(int thread, Addr addr, bool is_write,
+                               std::uint64_t value)
+{
+    CoreStats &c = core(thread);
+
+    bus_.publish(trace::AccessEvent{thread, addr, is_write, value,
+                                    globalInstr_});
+    ++globalInstr_;
+    ++c.instructions;
+    if (is_write)
+        ++c.stores;
+    else
+        ++c.loads;
+
+    const int core_id = thread % hierarchy_.cores();
+    const Cycles latency =
+        hierarchy_.access(core_id, addr, is_write, c.cycles);
+
+    // One issue cycle plus the exposed (MLP-discounted) stall.
+    const auto stall = static_cast<Cycles>(
+        static_cast<double>(latency > 1 ? latency - 1 : 0) /
+        params_.memoryLevelParallelism);
+    c.cycles += 1 + stall;
+    c.waitCycles += stall;
+}
+
+std::uint64_t
+ExecutionContext::load(int thread, Addr addr)
+{
+    memoryAccess(thread, addr, /*is_write=*/false, 0);
+    return peek(addr);
+}
+
+void
+ExecutionContext::store(int thread, Addr addr, std::uint64_t value)
+{
+    memoryAccess(thread, addr, /*is_write=*/true, value);
+    const std::uint64_t word = addr / units::bytesPerWord;
+    DFAULT_ASSERT(word < backing_.size(), "store beyond allocated memory");
+    backing_[word] = value;
+}
+
+std::uint64_t
+ExecutionContext::peek(Addr addr) const
+{
+    const std::uint64_t word = addr / units::bytesPerWord;
+    DFAULT_ASSERT(word < backing_.size(), "load beyond allocated memory");
+    return backing_[word];
+}
+
+void
+ExecutionContext::compute(int thread, std::uint64_t ops)
+{
+    CoreStats &c = core(thread);
+    c.instructions += ops;
+    c.intOps += ops;
+    c.cycles += ops;
+    globalInstr_ += ops;
+}
+
+void
+ExecutionContext::computeFp(int thread, std::uint64_t ops)
+{
+    CoreStats &c = core(thread);
+    c.instructions += ops;
+    c.fpOps += ops;
+    c.cycles += ops;
+    globalInstr_ += ops;
+}
+
+void
+ExecutionContext::branch(int thread, bool mispredicted)
+{
+    CoreStats &c = core(thread);
+    ++c.instructions;
+    ++c.branches;
+    ++c.cycles;
+    ++globalInstr_;
+    if (mispredicted) {
+        ++c.branchMisses;
+        c.cycles += params_.branchMissPenalty;
+    }
+}
+
+const CoreStats &
+ExecutionContext::coreStats(int thread) const
+{
+    DFAULT_ASSERT(thread >= 0 && thread < params_.threads,
+                  "thread id out of range");
+    return cores_[thread];
+}
+
+CoreStats
+ExecutionContext::totalStats() const
+{
+    CoreStats total;
+    for (const auto &c : cores_) {
+        total.cycles += c.cycles;
+        total.instructions += c.instructions;
+        total.intOps += c.intOps;
+        total.fpOps += c.fpOps;
+        total.loads += c.loads;
+        total.stores += c.stores;
+        total.branches += c.branches;
+        total.branchMisses += c.branchMisses;
+        total.waitCycles += c.waitCycles;
+    }
+    return total;
+}
+
+Cycles
+ExecutionContext::wallCycles() const
+{
+    Cycles wall = 0;
+    for (const auto &c : cores_)
+        wall = std::max(wall, c.cycles);
+    return wall;
+}
+
+Seconds
+ExecutionContext::wallSeconds() const
+{
+    return static_cast<double>(wallCycles()) * params_.timeDilation /
+           params_.clockHz;
+}
+
+double
+ExecutionContext::cpi() const
+{
+    const CoreStats total = totalStats();
+    if (total.instructions == 0)
+        return 0.0;
+    return static_cast<double>(total.cycles) /
+           static_cast<double>(total.instructions);
+}
+
+double
+ExecutionContext::wallSecondsPerInstruction() const
+{
+    const std::uint64_t instr = totalStats().instructions;
+    if (instr == 0)
+        return 0.0;
+    return wallSeconds() / static_cast<double>(instr);
+}
+
+} // namespace dfault::sys

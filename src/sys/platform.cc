@@ -1,0 +1,45 @@
+#include "sys/platform.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::sys {
+
+double
+dilationForFootprint(std::uint64_t footprint_bytes)
+{
+    DFAULT_ASSERT(footprint_bytes > 0, "footprint must be positive");
+    constexpr double reference_footprint = 16.0 * 1024.0 * 1024.0;
+    constexpr double reference_dilation = 200.0;
+    return reference_dilation * reference_footprint /
+           static_cast<double>(footprint_bytes);
+}
+
+Platform::Platform() : Platform(Params{}) {}
+
+Platform::Platform(const Params &params) : params_(params)
+{
+    geometry_ = std::make_unique<dram::Geometry>(params_.geometry);
+    devices_ = dram::DeviceFactory(*geometry_, params_.devices).buildAll();
+    hierarchy_ = std::make_unique<mem::MemoryHierarchy>(*geometry_,
+                                                        params_.hierarchy);
+    params_.thermal.dimms = params_.geometry.channels;
+    thermal_ = std::make_unique<ThermalTestbed>(params_.thermal);
+}
+
+const dram::DramDevice &
+Platform::device(const dram::DeviceId &id) const
+{
+    return devices_.at(geometry_->deviceIndex(id));
+}
+
+ExecutionContext
+Platform::startRun(int threads)
+{
+    DFAULT_ASSERT(threads > 0, "run needs at least one thread");
+    hierarchy_->reset();
+    ExecutionContext::Params exec = params_.exec;
+    exec.threads = threads;
+    return ExecutionContext(*hierarchy_, bus_, exec);
+}
+
+} // namespace dfault::sys

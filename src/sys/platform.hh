@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The assembled experimental platform: the simulated X-Gene2 server.
+ *
+ * Owns the DRAM geometry, the per-(DIMM,rank) device population, the
+ * cache/MCU hierarchy, the instrumentation bus, and the thermal testbed.
+ * A Platform is the "hardware under test": constructing two Platforms
+ * with the same seed yields identical simulated hardware.
+ */
+
+#ifndef DFAULT_SYS_PLATFORM_HH
+#define DFAULT_SYS_PLATFORM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/device.hh"
+#include "dram/geometry.hh"
+#include "mem/hierarchy.hh"
+#include "sys/execution.hh"
+#include "sys/thermal.hh"
+#include "trace/access.hh"
+
+namespace dfault::sys {
+
+/**
+ * Time-dilation factor appropriate for a workload footprint.
+ *
+ * The default ExecutionContext dilation (200) is calibrated for the
+ * standard 16 MiB scaled footprint; smaller footprints execute fewer
+ * instructions per data sweep, so the dilation must grow inversely to
+ * keep wall-clock quantities (reuse times, row re-open intervals vs
+ * TREFP) invariant under footprint scaling (DESIGN.md §4).
+ */
+double dilationForFootprint(std::uint64_t footprint_bytes);
+
+/** The full server assembly; see file comment. */
+class Platform
+{
+  public:
+    struct Params
+    {
+        dram::Geometry::Params geometry;
+        dram::DeviceFactory::Params devices;
+        mem::MemoryHierarchy::Params hierarchy;
+        ExecutionContext::Params exec;
+        ThermalTestbed::Params thermal;
+    };
+
+    Platform();
+    explicit Platform(const Params &params);
+
+    const dram::Geometry &geometry() const { return *geometry_; }
+    const std::vector<dram::DramDevice> &devices() const { return devices_; }
+    const dram::DramDevice &device(const dram::DeviceId &id) const;
+
+    mem::MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const mem::MemoryHierarchy &hierarchy() const { return *hierarchy_; }
+
+    trace::InstrumentationBus &bus() { return bus_; }
+    ThermalTestbed &thermal() { return *thermal_; }
+
+    /**
+     * Begin a fresh workload run with @p threads logical threads:
+     * caches, MCU statistics and counters are reset and a new execution
+     * context is returned. The context references this platform and must
+     * not outlive it.
+     */
+    ExecutionContext startRun(int threads);
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    std::unique_ptr<dram::Geometry> geometry_;
+    std::vector<dram::DramDevice> devices_;
+    std::unique_ptr<mem::MemoryHierarchy> hierarchy_;
+    trace::InstrumentationBus bus_;
+    std::unique_ptr<ThermalTestbed> thermal_;
+};
+
+} // namespace dfault::sys
+
+#endif // DFAULT_SYS_PLATFORM_HH

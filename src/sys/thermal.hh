@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DIMM thermal testbed: heating elements with closed-loop PID control.
+ *
+ * The paper's experimental framework clamps each DIMM to a target
+ * temperature with a resistive heating element, a thermocouple, and a
+ * per-DIMM PID controller on a Raspberry Pi (paper §IV-A, Figs 5/6).
+ * This model reproduces that loop: a first-order thermal plant per DIMM
+ * (lumped heat capacity, linear loss to ambient, plus the DRAM's own
+ * activity-dependent dissipation) driven by a discrete PID controller
+ * with anti-windup.
+ */
+
+#ifndef DFAULT_SYS_THERMAL_HH
+#define DFAULT_SYS_THERMAL_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dfault::sys {
+
+/** Discrete PID controller with output clamping and anti-windup. */
+class PidController
+{
+  public:
+    struct Gains
+    {
+        double kp = 8.0;
+        double ki = 0.8;
+        double kd = 4.0;
+    };
+
+    PidController(const Gains &gains, double output_min, double output_max);
+
+    /** One control step; returns the actuator command. */
+    double step(double setpoint, double measurement, Seconds dt);
+
+    /** Reset integral and derivative state. */
+    void reset();
+
+  private:
+    Gains gains_;
+    double outputMin_;
+    double outputMax_;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    bool hasPrev_ = false;
+};
+
+/**
+ * Thermal testbed for all DIMMs on the board.
+ *
+ * Temperatures evolve under explicit-Euler integration of
+ *   C dT/dt = P_heater + P_dram - k (T - T_ambient)
+ */
+class ThermalTestbed
+{
+  public:
+    struct Params
+    {
+        int dimms = 4;
+        Celsius ambient = 35.0;
+        double heatCapacity = 60.0;   ///< J/K per DIMM assembly
+        double lossCoeff = 0.8;       ///< W/K to ambient
+        double maxHeaterPower = 40.0; ///< W
+        Seconds dt = 0.25;            ///< control period
+        PidController::Gains gains;
+        Celsius tolerance = 0.5;      ///< settle band around the target
+    };
+
+    ThermalTestbed();
+    explicit ThermalTestbed(const Params &params);
+
+    /** Set the target temperature of one DIMM. */
+    void setTarget(int dimm, Celsius target);
+
+    /** Set the same target for every DIMM. */
+    void setTargetAll(Celsius target);
+
+    /**
+     * Account DRAM self-heating: @p watts dissipated by DIMM activity
+     * during subsequent steps.
+     */
+    void setDramPower(int dimm, double watts);
+
+    /** Advance the plant + controllers by one control period. */
+    void step();
+
+    /**
+     * Run the control loop until every DIMM has stayed within the
+     * tolerance band for one second of simulated time.
+     *
+     * @return true if settled within @p max_steps steps.
+     */
+    bool stepUntilSettled(int max_steps = 20000);
+
+    Celsius temperature(int dimm) const;
+    Celsius target(int dimm) const;
+    int dimms() const { return params_.dimms; }
+
+  private:
+    Params params_;
+    std::vector<Celsius> temperature_;
+    std::vector<Celsius> target_;
+    std::vector<double> dramPower_;
+    std::vector<PidController> controllers_;
+    std::vector<int> settledSteps_;
+};
+
+} // namespace dfault::sys
+
+#endif // DFAULT_SYS_THERMAL_HH

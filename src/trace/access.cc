@@ -1,0 +1,23 @@
+#include "trace/access.hh"
+
+#include <algorithm>
+
+namespace dfault::trace {
+
+void
+InstrumentationBus::attach(AccessSink *sink)
+{
+    if (sink == nullptr)
+        return;
+    if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
+        sinks_.push_back(sink);
+}
+
+void
+InstrumentationBus::detach(AccessSink *sink)
+{
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+                 sinks_.end());
+}
+
+} // namespace dfault::trace

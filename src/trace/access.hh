@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction-level memory-access events and instrumentation sinks.
+ *
+ * Plays the role DynamoRIO plays in the paper: every load and store a
+ * workload executes is published to a set of observers (reuse-distance
+ * tracking, write-data sampling) before it enters the cache hierarchy.
+ */
+
+#ifndef DFAULT_TRACE_ACCESS_HH
+#define DFAULT_TRACE_ACCESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace dfault::trace {
+
+/** One dynamic memory access as seen by the instrumentation layer. */
+struct AccessEvent
+{
+    int thread = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+    std::uint64_t value = 0;      ///< data written (stores only)
+    std::uint64_t instrIndex = 0; ///< global dynamic instruction number
+};
+
+/** Observer interface for instrumented accesses. */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+
+    /** Called for every instrumented access, in program order. */
+    virtual void onAccess(const AccessEvent &event) = 0;
+};
+
+/** Fan-out of access events to registered sinks. */
+class InstrumentationBus
+{
+  public:
+    /** Register a sink; the bus does not take ownership. */
+    void attach(AccessSink *sink);
+
+    /** Remove a previously attached sink (no-op if absent). */
+    void detach(AccessSink *sink);
+
+    /** Publish one event to all sinks. */
+    void publish(const AccessEvent &event)
+    {
+        for (AccessSink *sink : sinks_)
+            sink->onAccess(event);
+    }
+
+    bool empty() const { return sinks_.empty(); }
+
+  private:
+    std::vector<AccessSink *> sinks_;
+};
+
+} // namespace dfault::trace
+
+#endif // DFAULT_TRACE_ACCESS_HH

@@ -1,0 +1,86 @@
+#include "trace/entropy_sampler.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "stats/entropy.hh"
+
+namespace dfault::trace {
+
+EntropySampler::EntropySampler() : EntropySampler(Params{}) {}
+
+EntropySampler::EntropySampler(const Params &params) : params_(params)
+{
+    if (params_.stride == 0)
+        DFAULT_FATAL("entropy sampler: stride must be positive");
+    reservoir_.reserve(params_.reservoirSize);
+}
+
+void
+EntropySampler::onAccess(const AccessEvent &event)
+{
+    if (!event.isWrite)
+        return;
+    if (storeCounter_++ % params_.stride != 0)
+        return;
+    ++sampled_;
+
+    // Histogram the two 32-bit halves (Eq. 5 is defined over 32-bit
+    // words). Once the exact table is full, only update known values:
+    // the tail mass is dominated by the already-seen head for every
+    // workload we model, and the estimator remains a lower bound.
+    const auto lo = static_cast<std::uint32_t>(event.value);
+    const auto hi = static_cast<std::uint32_t>(event.value >> 32);
+    for (const std::uint32_t half : {lo, hi}) {
+        if (!saturated_) {
+            ++counts_[half];
+            if (counts_.size() >= params_.maxDistinct)
+                saturated_ = true;
+        } else {
+            auto it = counts_.find(half);
+            if (it != counts_.end())
+                ++it->second;
+        }
+    }
+
+    // Deterministic reservoir of raw 64-bit words.
+    ++reservoirSeen_;
+    if (reservoir_.size() < params_.reservoirSize) {
+        reservoir_.push_back(event.value);
+    } else {
+        std::uint64_t s = reservoirSeen_;
+        const std::uint64_t slot = splitMix64(s) % reservoirSeen_;
+        if (slot < reservoir_.size())
+            reservoir_[slot] = event.value;
+    }
+}
+
+double
+EntropySampler::entropyBits() const
+{
+    return stats::shannonEntropy(counts_);
+}
+
+std::array<double, 64>
+EntropySampler::bitOneProbabilities() const
+{
+    std::array<double, 64> p{};
+    if (reservoir_.empty()) {
+        p.fill(0.5);
+        return p;
+    }
+    stats::bitOneProbabilities(reservoir_, p);
+    return p;
+}
+
+void
+EntropySampler::reset()
+{
+    storeCounter_ = 0;
+    sampled_ = 0;
+    saturated_ = false;
+    counts_.clear();
+    reservoir_.clear();
+    reservoirSeen_ = 0;
+}
+
+} // namespace dfault::trace

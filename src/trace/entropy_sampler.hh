@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Data-pattern entropy sampling (paper §III-D, Eq. 5).
+ *
+ * The data-pattern entropy HDP quantifies the distribution of values a
+ * workload writes to memory: HDP = -sum_i P(x_i) log2 P(x_i) over the
+ * 32-bit words written. The sampler observes store data, splits each
+ * 64-bit store into two 32-bit words, and maintains an occurrence
+ * histogram (bounded; see maxDistinct). It also retains a bounded
+ * reservoir of raw 64-bit words from which the per-bit-position one-
+ * probabilities — used by the true-/anti-cell vulnerability model — are
+ * derived.
+ */
+
+#ifndef DFAULT_TRACE_ENTROPY_SAMPLER_HH
+#define DFAULT_TRACE_ENTROPY_SAMPLER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace dfault::trace {
+
+/** Bounded-memory estimator of HDP and per-bit write statistics. */
+class EntropySampler : public AccessSink
+{
+  public:
+    struct Params
+    {
+        /** Sample one of every `stride` stores. */
+        std::uint64_t stride = 7;
+        /** Cap on distinct 32-bit values tracked exactly. */
+        std::size_t maxDistinct = 1 << 20;
+        /** Size of the raw-word reservoir for bit statistics. */
+        std::size_t reservoirSize = 1 << 15;
+    };
+
+    EntropySampler();
+    explicit EntropySampler(const Params &params);
+
+    void onAccess(const AccessEvent &event) override;
+
+    /** Estimated data-pattern entropy in bits (0..32). */
+    double entropyBits() const;
+
+    /** Number of stores sampled. */
+    std::uint64_t sampledStores() const { return sampled_; }
+
+    /**
+     * Per-bit probability that a written 64-bit word has a 1 in each
+     * position, from the reservoir. All 0.5 when nothing was sampled.
+     */
+    std::array<double, 64> bitOneProbabilities() const;
+
+    /** Forget all state. */
+    void reset();
+
+  private:
+    Params params_;
+    std::uint64_t storeCounter_ = 0;
+    std::uint64_t sampled_ = 0;
+    bool saturated_ = false;
+    std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+    std::vector<std::uint64_t> reservoir_;
+    std::uint64_t reservoirSeen_ = 0;
+};
+
+} // namespace dfault::trace
+
+#endif // DFAULT_TRACE_ENTROPY_SAMPLER_HH

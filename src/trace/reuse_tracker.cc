@@ -1,0 +1,44 @@
+#include "trace/reuse_tracker.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::trace {
+
+ReuseTracker::ReuseTracker(std::uint64_t capacity_bytes)
+    : lastRef_(capacity_bytes / units::bytesPerWord + 1, 0)
+{
+}
+
+void
+ReuseTracker::onAccess(const AccessEvent &event)
+{
+    const std::uint64_t word = event.addr / units::bytesPerWord;
+    DFAULT_ASSERT(word < lastRef_.size(),
+                  "access outside the tracked range");
+    const std::uint64_t prev = lastRef_[word];
+    if (prev != 0) {
+        distances_.add(static_cast<double>(event.instrIndex - (prev - 1)));
+    } else {
+        ++uniqueWords_;
+    }
+    lastRef_[word] = event.instrIndex + 1;
+}
+
+double
+ReuseTracker::averageReuseSeconds(double cpi, double clock_hz) const
+{
+    DFAULT_ASSERT(clock_hz > 0.0, "clock frequency must be positive");
+    if (distances_.count() == 0)
+        return 0.0;
+    return distances_.mean() * cpi / clock_hz;
+}
+
+void
+ReuseTracker::reset()
+{
+    std::fill(lastRef_.begin(), lastRef_.end(), 0);
+    distances_.reset();
+    uniqueWords_ = 0;
+}
+
+} // namespace dfault::trace

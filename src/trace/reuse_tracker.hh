@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DRAM reuse-time measurement (paper §III-D, Eq. 4).
+ *
+ * The DRAM reuse time Treuse is the average time between accesses to the
+ * same 64-bit word. Per access i, T^i_reuse = CPI * D^i_reuse where
+ * D^i_reuse is the number of dynamic instructions since the last
+ * reference to the same word; Treuse averages over all accesses. The
+ * instruction distances are collected here; the CPI (and hence seconds)
+ * conversion happens after the run when the final CPI is known.
+ */
+
+#ifndef DFAULT_TRACE_REUSE_TRACKER_HH
+#define DFAULT_TRACE_REUSE_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hh"
+#include "trace/access.hh"
+
+namespace dfault::trace {
+
+/**
+ * Tracks per-word last-reference instruction indices over a contiguous
+ * address range [0, capacityBytes) and accumulates reuse distances.
+ */
+class ReuseTracker : public AccessSink
+{
+  public:
+    /** @param capacity_bytes size of the trackable address range. */
+    explicit ReuseTracker(std::uint64_t capacity_bytes);
+
+    void onAccess(const AccessEvent &event) override;
+
+    /** Number of accesses that had a prior reference (reuses). */
+    std::uint64_t reuseCount() const { return distances_.count(); }
+
+    /** Mean reuse distance in instructions. */
+    double meanReuseDistance() const { return distances_.mean(); }
+
+    /** Full distance statistics. */
+    const stats::RunningStats &distanceStats() const { return distances_; }
+
+    /** Number of distinct 64-bit words referenced (the footprint). */
+    std::uint64_t uniqueWords() const { return uniqueWords_; }
+
+    /**
+     * Average reuse time in seconds: meanReuseDistance * cpi / clock_hz
+     * (Eq. 4 summed per Eq. in §III-D). Accesses without a prior
+     * reference (cold misses) do not contribute, as in the paper.
+     */
+    double averageReuseSeconds(double cpi, double clock_hz) const;
+
+    /** Forget all state. */
+    void reset();
+
+  private:
+    /** last instruction index + 1 per word; 0 = never referenced. */
+    std::vector<std::uint64_t> lastRef_;
+    stats::RunningStats distances_;
+    std::uint64_t uniqueWords_ = 0;
+};
+
+} // namespace dfault::trace
+
+#endif // DFAULT_TRACE_REUSE_TRACKER_HH

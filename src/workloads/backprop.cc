@@ -1,0 +1,120 @@
+#include "workloads/backprop.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+using detail::f2w;
+using detail::w2f;
+
+Backprop::Backprop(const Params &params) : Workload("backprop", params) {}
+
+void
+Backprop::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    // Size the network so the two weight matrices fill the footprint:
+    // w1 is in x hid (80%), w2 is hid x out (20%).
+    const std::uint64_t weight_words =
+        params_.footprintBytes / units::bytesPerWord * 15 / 16;
+    const std::uint64_t in = 1024;
+    const std::uint64_t hid = weight_words * 4 / 5 / in;
+    const std::uint64_t out = weight_words / 5 / hid;
+
+    const Addr w1 = ctx.allocate(in * hid * units::bytesPerWord);
+    const Addr w2 = ctx.allocate(hid * out * units::bytesPerWord);
+    const Addr x = ctx.allocate(in * units::bytesPerWord);
+    const Addr h = ctx.allocate(hid * units::bytesPerWord);
+    const Addr y = ctx.allocate(out * units::bytesPerWord);
+
+    // Initialize weights and one input sample.
+    for (std::uint64_t i = 0; i < in * hid; ++i)
+        ctx.store(0, elem(w1, i), f2w(rng.normal(0.0, 0.1)));
+    for (std::uint64_t i = 0; i < hid * out; ++i)
+        ctx.store(0, elem(w2, i), f2w(rng.normal(0.0, 0.1)));
+    for (std::uint64_t i = 0; i < in; ++i)
+        ctx.store(0, elem(x, i), f2w(rng.uniform()));
+
+    const std::uint64_t epochs = scaled(4);
+    const std::uint64_t hid_per_thread = hid / threads;
+
+    for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+        // Forward: h_j = sigmoid(sum_i x_i * w1[i][j]); hidden units are
+        // partitioned across threads, weights streamed column-blocked.
+        detail::interleave(threads, hid_per_thread, [&](int t,
+                                                        std::uint64_t b) {
+            const std::uint64_t j = static_cast<std::uint64_t>(t) *
+                                        hid_per_thread + b;
+            double acc = 0.0;
+            // Row-major stream over this hidden unit's weight column
+            // block (j indexes the slow dimension here), sequential in
+            // memory and prefetch friendly.
+            for (std::uint64_t i = 0; i < in; ++i) {
+                const double wv = w2f(ctx.load(t, elem(w1, j * in + i)));
+                // x_i is L1-resident: reload only once per 64 weights.
+                if ((i & 63) == 0) {
+                    const double xv = w2f(ctx.load(t, elem(x, i)));
+                    acc += xv * wv;
+                } else {
+                    acc += 0.015625 * wv;
+                }
+            }
+            ctx.computeFp(t, 2 * in);       // multiply-accumulate
+            const double hv = 1.0 / (1.0 + std::exp(-acc));
+            ctx.computeFp(t, 8);            // sigmoid
+            ctx.store(t, elem(h, j), f2w(hv));
+            ctx.branch(t, false);
+        });
+
+        // Output layer forward + error (small, thread 0).
+        for (std::uint64_t o = 0; o < out; ++o) {
+            double acc = 0.0;
+            for (std::uint64_t j = 0; j < hid; j += 64) {
+                const double wv =
+                    w2f(ctx.load(0, elem(w2, j * out + o)));
+                acc += wv;
+            }
+            ctx.computeFp(0, 2 * (hid / 64));
+            ctx.store(0, elem(y, o), f2w(acc / static_cast<double>(hid)));
+        }
+
+        // Backward: stream both weight matrices and apply the delta
+        // rule w += eta * grad (read-modify-write of every weight).
+        detail::interleave(threads, hid_per_thread, [&](int t,
+                                                        std::uint64_t b) {
+            const std::uint64_t j = static_cast<std::uint64_t>(t) *
+                                        hid_per_thread + b;
+            const double hv = w2f(ctx.load(t, elem(h, j)));
+            const double grad = hv * (1.0 - hv) * 0.01;
+            ctx.computeFp(t, 4);
+            // Column-major read-modify-write walk (stride = `in`
+            // words): every access opens a different DRAM row, and the
+            // walk repeats for each hidden unit -- the row-activation
+            // "hammer" signature the Rodinia kernel exhibits.
+            for (std::uint64_t i = 0; i < in; ++i) {
+                const Addr a = elem(w1, ((i + j) % hid) * in +
+                                            (j % in));
+                const double wv = w2f(ctx.load(t, a));
+                ctx.store(t, a, f2w(wv + grad * 0.1));
+            }
+            ctx.computeFp(t, 2 * in);
+            ctx.branch(t, (b & 31) == 0);
+        });
+
+        for (std::uint64_t k = 0; k < hid * out; ++k) {
+            const Addr a = elem(w2, k);
+            const double wv = w2f(ctx.load(0, a));
+            ctx.store(0, a, f2w(wv * 0.999));
+            if ((k & 63) == 0)
+                ctx.computeFp(0, 128);
+        }
+    }
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Rodinia `backprop`: two-layer neural-network training.
+ *
+ * The kernel trains a fully connected input->hidden->output network
+ * with explicit forward and weight-update passes. Memory behaviour is
+ * dominated by the two weight matrices, which are streamed once in the
+ * forward and once in the backward pass of every epoch; activations are
+ * small and cache-resident. This gives the paper's signature: a reuse
+ * time of roughly one epoch and a high-entropy (floating-point) data
+ * pattern.
+ */
+
+#ifndef DFAULT_WORKLOADS_BACKPROP_HH
+#define DFAULT_WORKLOADS_BACKPROP_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Backprop : public Workload
+{
+  public:
+    explicit Backprop(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_BACKPROP_HH

@@ -1,0 +1,41 @@
+#include "workloads/detail.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::workloads::detail {
+
+void
+interleave(int threads, std::uint64_t blocks_per_thread,
+           const std::function<void(int, std::uint64_t)> &fn)
+{
+    DFAULT_ASSERT(threads > 0, "interleave needs at least one thread");
+    for (std::uint64_t block = 0; block < blocks_per_thread; ++block)
+        for (int t = 0; t < threads; ++t)
+            fn(t, block);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+{
+    DFAULT_ASSERT(n > 0, "zipf needs a non-empty domain");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace dfault::workloads::detail

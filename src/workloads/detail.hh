@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for workload kernels: float<->word bit casts, block
+ * interleaving of logical threads, and a Zipfian sampler.
+ */
+
+#ifndef DFAULT_WORKLOADS_DETAIL_HH
+#define DFAULT_WORKLOADS_DETAIL_HH
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace dfault::workloads::detail {
+
+/** Reinterpret a double as the 64-bit word stored in memory. */
+inline std::uint64_t
+f2w(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Reinterpret a stored 64-bit word as a double. */
+inline double
+w2f(std::uint64_t w)
+{
+    return std::bit_cast<double>(w);
+}
+
+/** Byte address of element @p i in an array of 64-bit elements. */
+inline Addr
+elem(Addr base, std::uint64_t i)
+{
+    return base + i * units::bytesPerWord;
+}
+
+/**
+ * Round-robin block scheduler emulating concurrent threads.
+ *
+ * Calls fn(thread, block) for every (thread, block) pair, interleaving
+ * threads at block granularity so that per-thread cycle clocks advance
+ * together, which is what the shared-channel DRAM timing model assumes.
+ */
+void interleave(int threads, std::uint64_t blocks_per_thread,
+                const std::function<void(int, std::uint64_t)> &fn);
+
+/**
+ * Zipfian sampler over [0, n) with parameter s (default 0.99, the YCSB
+ * convention), using the Gray et al. rejection-inversion method's
+ * simpler cumulative-table form for bounded n.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double s = 0.99);
+
+    /** Draw one index; hot indices are the small ones. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace dfault::workloads::detail
+
+#endif // DFAULT_WORKLOADS_DETAIL_HH

@@ -1,0 +1,104 @@
+#include "workloads/fmm.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+using detail::f2w;
+using detail::w2f;
+
+namespace {
+
+/** Words per particle record: pos[3] vel[3] force[3] mass. */
+constexpr std::uint64_t kRecord = 10;
+/** Multipole expansion terms per tree cell. */
+constexpr std::uint64_t kTerms = 16;
+
+} // namespace
+
+Fmm::Fmm(const Params &params) : Workload("fmm", params) {}
+
+void
+Fmm::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord;
+    const std::uint64_t n_particles = words * 9 / 10 / kRecord;
+    const std::uint64_t n_cells = 512; // leaf cells; interior is small
+
+    const Addr particles =
+        ctx.allocate(n_particles * kRecord * units::bytesPerWord);
+    const Addr cells =
+        ctx.allocate(n_cells * kTerms * units::bytesPerWord);
+
+    for (std::uint64_t i = 0; i < n_particles * kRecord; ++i)
+        ctx.store(0, elem(particles, i), f2w(rng.uniform(-1.0, 1.0)));
+
+    const std::uint64_t steps = scaled(3);
+    const std::uint64_t per_thread = n_particles / threads;
+
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        // P2M: aggregate particle mass/position into leaf multipoles.
+        detail::interleave(threads, per_thread / 64,
+                           [&](int t, std::uint64_t blk) {
+            const std::uint64_t base =
+                (static_cast<std::uint64_t>(t) * per_thread + blk * 64);
+            for (std::uint64_t k = 0; k < 64; ++k) {
+                const std::uint64_t p = base + k;
+                const Addr rec = elem(particles, p * kRecord);
+                const double x = w2f(ctx.load(t, rec));
+                ctx.load(t, rec + 8);  // y
+                ctx.load(t, rec + 16); // z
+                const std::uint64_t cell = p % n_cells;
+                const Addr c = elem(cells, cell * kTerms);
+                ctx.store(t, c, f2w(w2f(ctx.peek(c)) + x));
+            }
+            ctx.computeFp(t, 12 * 64);
+            ctx.branch(t, false);
+        });
+
+        // M2L: cell-to-cell interactions; the interaction lists are
+        // cache resident, so this phase is pure floating-point work
+        // plus multipole reads/writes of the small cell array.
+        for (std::uint64_t c = 0; c < n_cells; ++c) {
+            const int t = static_cast<int>(c % threads);
+            for (std::uint64_t term = 0; term < kTerms; term += 4)
+                ctx.load(t, elem(cells, c * kTerms + term));
+            ctx.computeFp(t, 27 * kTerms); // interaction-list kernels
+        }
+
+        // L2P + P2P: evaluate local expansion at each particle and the
+        // near-field pairwise forces against the ~8 cached neighbours;
+        // force components are read-modify-written.
+        detail::interleave(threads, per_thread / 64,
+                           [&](int t, std::uint64_t blk) {
+            const std::uint64_t base =
+                (static_cast<std::uint64_t>(t) * per_thread + blk * 64);
+            for (std::uint64_t k = 0; k < 64; ++k) {
+                const std::uint64_t p = base + k;
+                const Addr rec = elem(particles, p * kRecord);
+                const double x = w2f(ctx.load(t, rec));
+                const Addr fx = rec + 6 * 8;
+                const double f = w2f(ctx.load(t, fx));
+                ctx.store(t, fx, f2w(f + 1e-4 * x));
+                // Velocity kick (leapfrog half-step).
+                const Addr vx = rec + 3 * 8;
+                const double v = w2f(ctx.load(t, vx));
+                ctx.store(t, vx, f2w(v + 1e-4 * f));
+            }
+            // Near-field P2P dominates the FLOP count: ~400 FLOPs
+            // per particle against the cached neighbour list.
+            ctx.computeFp(t, 400 * 64);
+            ctx.branch(t, (blk & 15) == 0);
+        });
+    }
+}
+
+} // namespace dfault::workloads

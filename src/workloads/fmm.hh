@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SPLASH-2 `fmm`: fast multipole method for N-body forces.
+ *
+ * Particles carry position/velocity/force/mass records; each timestep
+ * runs the particle-to-multipole aggregation, a cache-resident cell-to-
+ * cell (M2L) interaction phase dominated by floating-point work, and the
+ * local evaluation + near-field (P2P) phase that re-reads particle
+ * positions and writes forces. The heavy per-particle compute stretches
+ * the time between successive touches of a particle record, giving fmm
+ * the second-longest reuse time in the suite.
+ */
+
+#ifndef DFAULT_WORKLOADS_FMM_HH
+#define DFAULT_WORKLOADS_FMM_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Fmm : public Workload
+{
+  public:
+    explicit Fmm(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_FMM_HH

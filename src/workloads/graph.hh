@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Graph-analytics workloads: pagerank, breadth-first search and
+ * betweenness centrality over a shared synthetic power-law graph.
+ *
+ * The paper runs these Ligra/GraphGrind kernels as its "analytics"
+ * class. The graph is an RMAT (Kronecker) instance in pull-style CSR
+ * layout; its power-law degree distribution makes hub-vertex state hot,
+ * yielding the sub-second reuse times of Table II, while edge arrays
+ * are streamed once per iteration/traversal.
+ */
+
+#ifndef DFAULT_WORKLOADS_GRAPH_HH
+#define DFAULT_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/**
+ * Shared RMAT graph backing one run. Built host-side (the construction
+ * is input generation, not the measured kernel), then written to
+ * simulated memory by the kernels.
+ */
+struct RmatGraph
+{
+    std::uint32_t vertices = 0;
+    std::vector<std::uint32_t> offsets; ///< CSR offsets, size V+1
+    std::vector<std::uint32_t> targets; ///< CSR neighbour lists
+
+    std::uint64_t edges() const { return targets.size(); }
+
+    /** Build an RMAT graph with ~e edges over v vertices. */
+    static RmatGraph generate(std::uint32_t v, std::uint64_t e,
+                              std::uint64_t seed);
+};
+
+/** PageRank: pull-style rank iteration. */
+class PageRank : public Workload
+{
+  public:
+    explicit PageRank(const Params &params);
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+/** Breadth-first search from multiple roots. */
+class Bfs : public Workload
+{
+  public:
+    explicit Bfs(const Params &params);
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+/** Brandes betweenness centrality on sampled sources. */
+class BetweennessCentrality : public Workload
+{
+  public:
+    explicit BetweennessCentrality(const Params &params);
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_GRAPH_HH

@@ -1,0 +1,114 @@
+#include "workloads/kmeans.hh"
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+using detail::f2w;
+using detail::w2f;
+
+namespace {
+
+constexpr std::uint64_t kDims = 16;     ///< features per point (128 B)
+constexpr std::uint64_t kClusters = 8;  ///< centroid count
+constexpr std::uint64_t kTilePoints = 4096; ///< parallel tile (L2-sized)
+
+} // namespace
+
+Kmeans::Kmeans(const Params &params) : Workload("kmeans", params) {}
+
+void
+Kmeans::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    const std::uint64_t point_words =
+        params_.footprintBytes / units::bytesPerWord * 9 / 10;
+    const std::uint64_t n_points = point_words / kDims;
+    const std::uint64_t per_thread = n_points / threads;
+
+    const Addr points = ctx.allocate(n_points * kDims *
+                                     units::bytesPerWord);
+    const Addr centroids = ctx.allocate(kClusters * kDims *
+                                        units::bytesPerWord);
+    const Addr assign = ctx.allocate(n_points * units::bytesPerWord);
+
+    for (std::uint64_t i = 0; i < n_points * kDims; ++i)
+        ctx.store(0, elem(points, i), f2w(rng.uniform(-1.0, 1.0)));
+    for (std::uint64_t i = 0; i < kClusters * kDims; ++i)
+        ctx.store(0, elem(centroids, i), f2w(rng.uniform(-1.0, 1.0)));
+
+    // Process one point: distance to every centroid, pick the argmin.
+    // The centroid table is re-read for every point; these cache-hot
+    // short-reuse loads dominate the access mix and give kmeans the
+    // shortest reuse time of the compute benchmarks (Table II).
+    auto process_point = [&](int t, std::uint64_t p) {
+        double best = 1e300;
+        std::uint64_t best_k = 0;
+        double pv[kDims];
+        for (std::uint64_t d = 0; d < kDims; ++d)
+            pv[d] = w2f(ctx.load(t, elem(points, p * kDims + d)));
+        for (std::uint64_t k = 0; k < kClusters; ++k) {
+            double dist = 0.0;
+            for (std::uint64_t d = 0; d < kDims; ++d) {
+                const double cv =
+                    w2f(ctx.load(t, elem(centroids, k * kDims + d)));
+                const double diff = pv[d] - cv;
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                best_k = k;
+            }
+            ctx.branch(t, false);
+        }
+        ctx.computeFp(t, 3 * kDims * kClusters);
+        ctx.store(t, elem(assign, p), best_k);
+        return best_k;
+    };
+
+    const std::uint64_t iterations = scaled(3);
+
+    if (threads == 1) {
+        // Serial: plain full sweep per iteration.
+        for (std::uint64_t it = 0; it < iterations; ++it) {
+            for (std::uint64_t p = 0; p < n_points; ++p)
+                process_point(0, p);
+            // Centroid update: small, cache-hot.
+            for (std::uint64_t i = 0; i < kClusters * kDims; ++i) {
+                const Addr a = elem(centroids, i);
+                ctx.store(0, a, f2w(w2f(ctx.load(0, a)) * 0.98 + 0.01));
+            }
+            ctx.computeFp(0, 2 * kClusters * kDims);
+        }
+    } else {
+        // Parallel: tile the point stream per thread and run the
+        // refinement passes locally on each (cache-resident) tile, so
+        // each point's words reach DRAM once per `iterations` passes.
+        const std::uint64_t tiles_per_thread =
+            per_thread / kTilePoints + 1;
+        detail::interleave(threads, tiles_per_thread,
+                           [&](int t, std::uint64_t tile) {
+            const std::uint64_t begin =
+                static_cast<std::uint64_t>(t) * per_thread +
+                tile * kTilePoints;
+            const std::uint64_t end =
+                std::min(begin + kTilePoints,
+                         (static_cast<std::uint64_t>(t) + 1) * per_thread);
+            for (std::uint64_t it = 0; it < iterations; ++it)
+                for (std::uint64_t p = begin; p < end; ++p)
+                    process_point(t, p);
+        });
+        // Global centroid reduction.
+        for (std::uint64_t i = 0; i < kClusters * kDims; ++i) {
+            const Addr a = elem(centroids, i);
+            ctx.store(0, a, f2w(w2f(ctx.load(0, a)) * 0.98 + 0.01));
+        }
+        ctx.computeFp(0, 2 * kClusters * kDims * threads);
+    }
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Rodinia `kmeans`: iterative k-means clustering.
+ *
+ * Points are streamed once per iteration while the small centroid table
+ * is re-read in the inner loop for every point; the resulting access
+ * mix is dominated by very short centroid reuse distances, giving
+ * kmeans the shortest reuse time among the compute benchmarks (paper
+ * Table II). The parallel variant processes points in cache-sized tiles
+ * with a local refinement pass per tile — the standard locality
+ * optimization of parallel kmeans — which reduces its DRAM traffic per
+ * cycle relative to the serial sweep.
+ */
+
+#ifndef DFAULT_WORKLOADS_KMEANS_HH
+#define DFAULT_WORKLOADS_KMEANS_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Kmeans : public Workload
+{
+  public:
+    explicit Kmeans(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_KMEANS_HH

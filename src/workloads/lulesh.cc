@@ -1,0 +1,92 @@
+#include "workloads/lulesh.hh"
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+using detail::f2w;
+using detail::w2f;
+
+namespace {
+
+constexpr std::uint64_t kFields = 8; ///< energy, pressure, volume, ...
+
+} // namespace
+
+Lulesh::Lulesh(const Params &params, OptLevel opt)
+    : Workload(opt == OptLevel::O2 ? "lulesh(O2)" : "lulesh(F)", params),
+      opt_(opt)
+{
+}
+
+void
+Lulesh::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord;
+    const std::uint64_t elements = words / kFields;
+
+    Addr field[kFields];
+    for (auto &f : field)
+        f = ctx.allocate(elements * units::bytesPerWord);
+
+    for (std::uint64_t i = 0; i < elements; ++i)
+        ctx.store(0, elem(field[0], i), f2w(rng.uniform(0.5, 1.5)));
+
+    // The aggressive build vectorizes: the same field sweeps issue
+    // fewer compute/branch instructions between memory accesses.
+    const std::uint64_t fp_per_elem = opt_ == OptLevel::O2 ? 14 : 5;
+    const std::uint64_t branch_every = opt_ == OptLevel::O2 ? 16 : 64;
+
+    const std::uint64_t steps = scaled(3);
+    const std::uint64_t per_thread = elements / threads;
+
+    for (std::uint64_t step = 0; step < steps; ++step) {
+        // Phase 1: stress/force sweep — read volume-ish fields, write
+        // force-ish fields.
+        detail::interleave(threads, per_thread / 64,
+                           [&](int t, std::uint64_t blk) {
+            const std::uint64_t base =
+                static_cast<std::uint64_t>(t) * per_thread + blk * 64;
+            for (std::uint64_t k = 0; k < 64; ++k) {
+                const std::uint64_t e = base + k;
+                const double v0 = w2f(ctx.load(t, elem(field[0], e)));
+                const double v1 = w2f(ctx.load(t, elem(field[1], e)));
+                ctx.store(t, elem(field[2], e), f2w(v0 * 0.5 + v1));
+                ctx.store(t, elem(field[3], e), f2w(v0 - v1 * 0.25));
+                if (k % branch_every == 0)
+                    ctx.branch(t, false);
+            }
+            ctx.computeFp(t, fp_per_elem * 64);
+        });
+
+        // Phase 2: equation-of-state sweep over the remaining fields.
+        detail::interleave(threads, per_thread / 64,
+                           [&](int t, std::uint64_t blk) {
+            const std::uint64_t base =
+                static_cast<std::uint64_t>(t) * per_thread + blk * 64;
+            for (std::uint64_t k = 0; k < 64; ++k) {
+                const std::uint64_t e = base + k;
+                const double f2 = w2f(ctx.load(t, elem(field[2], e)));
+                const double f3 = w2f(ctx.load(t, elem(field[3], e)));
+                ctx.store(t, elem(field[4], e), f2w(f2 * f3));
+                ctx.store(t, elem(field[5], e), f2w(f2 + f3));
+                ctx.store(t, elem(field[6], e), f2w(f2 - f3));
+                const double acc = w2f(ctx.load(t, elem(field[7], e)));
+                ctx.store(t, elem(field[7], e), f2w(acc + f2 * 1e-3));
+                ctx.store(t, elem(field[0], e), f2w(f2 * 0.999 + 0.001));
+                ctx.store(t, elem(field[1], e), f2w(f3 * 0.999));
+                if (k % branch_every == 0)
+                    ctx.branch(t, false);
+            }
+            ctx.computeFp(t, fp_per_elem * 64);
+        });
+    }
+}
+
+} // namespace dfault::workloads

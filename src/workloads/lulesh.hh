@@ -1,0 +1,43 @@
+/**
+ * @file
+ * LULESH-like Lagrangian shock hydrodynamics kernel.
+ *
+ * Sweeps eight per-element field arrays of a 3D mesh with stencil
+ * reads and heavy floating-point updates each timestep. Two compiler
+ * builds are modelled, as in the paper's Fig 13 study of the implicit
+ * effect of compiler optimization on DRAM reliability:
+ *  - O2 (default): scalar code, more compute instructions interleaved
+ *    between memory accesses;
+ *  - F  (aggressive): vectorized build with fewer compute and branch
+ *    instructions per element, i.e. a higher memory-access rate per
+ *    cycle — which raises the DRAM error rate by ~29% in the paper.
+ */
+
+#ifndef DFAULT_WORKLOADS_LULESH_HH
+#define DFAULT_WORKLOADS_LULESH_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Lulesh : public Workload
+{
+  public:
+    enum class OptLevel
+    {
+        O2, ///< default optimizations
+        F,  ///< aggressive optimizations (vectorized)
+    };
+
+    Lulesh(const Params &params, OptLevel opt);
+
+    void run(sys::ExecutionContext &ctx) override;
+
+  private:
+    OptLevel opt_;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_LULESH_HH

@@ -1,0 +1,87 @@
+#include "workloads/memcached.hh"
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+
+namespace {
+
+constexpr std::uint64_t kValueWords = 14; ///< ~112 B values
+constexpr std::uint64_t kOpsPerKey = 48;  ///< request volume scaling
+
+/** ASCII-ish payload word: memcached values are mostly text. */
+std::uint64_t
+textWord(Rng &rng)
+{
+    std::uint64_t w = 0;
+    for (int b = 0; b < 8; ++b)
+        w |= (0x61ULL + rng.uniformInt(std::uint64_t{26})) << (8 * b);
+    return w;
+}
+
+} // namespace
+
+Memcached::Memcached(const Params &params) : Workload("memcached", params)
+{
+}
+
+void
+Memcached::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord;
+    const std::uint64_t n_keys = words * 7 / 8 / kValueWords;
+    const std::uint64_t n_buckets = n_keys; // load factor 1
+
+    const Addr index = ctx.allocate(n_buckets * units::bytesPerWord);
+    const Addr slab =
+        ctx.allocate(n_keys * kValueWords * units::bytesPerWord);
+
+    // Populate: bucket -> slab slot, values with text payloads.
+    for (std::uint64_t k = 0; k < n_keys; ++k) {
+        ctx.store(0, elem(index, k), k);
+        for (std::uint64_t w = 0; w < kValueWords; ++w)
+            ctx.store(0, elem(slab, k * kValueWords + w), textWord(rng));
+    }
+
+    const detail::ZipfSampler zipf(n_keys, 1.2);
+    const std::uint64_t ops = scaled(n_keys * kOpsPerKey);
+    const std::uint64_t ops_per_thread = ops / threads;
+
+    std::vector<Rng> thread_rng;
+    for (int t = 0; t < threads; ++t)
+        thread_rng.push_back(rng.fork(t + 1));
+
+    detail::interleave(threads, ops_per_thread / 16,
+                       [&](int t, std::uint64_t) {
+        Rng &trng = thread_rng[t];
+        for (int i = 0; i < 16; ++i) {
+            const std::uint64_t key = zipf.sample(trng);
+            // Hash + bucket probe.
+            ctx.compute(t, 6);
+            const std::uint64_t slot = ctx.load(t, elem(index, key));
+            const Addr value = elem(slab, slot * kValueWords);
+            if (trng.uniform() < 0.95) {
+                // GET: parse header + read the first half of the value.
+                for (std::uint64_t w = 0; w < kValueWords / 2; ++w)
+                    ctx.load(t, value + w * units::bytesPerWord);
+                ctx.compute(t, 20);
+            } else {
+                // SET: rewrite the full value.
+                for (std::uint64_t w = 0; w < kValueWords; ++w)
+                    ctx.store(t, value + w * units::bytesPerWord,
+                              textWord(trng));
+                ctx.compute(t, 30);
+            }
+            ctx.branch(t, false);
+        }
+    });
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * `memcached`: in-memory key-value caching workload.
+ *
+ * A hash-indexed slab store served with a Zipfian GET/SET mix (95/5,
+ * the YCSB-B/memcached convention). The skew concentrates accesses on
+ * hot values, producing the shortest reuse time and the lowest DRAM
+ * error rate in the paper's suite: hot rows are implicitly refreshed by
+ * the access stream itself.
+ */
+
+#ifndef DFAULT_WORKLOADS_MEMCACHED_HH
+#define DFAULT_WORKLOADS_MEMCACHED_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Memcached : public Workload
+{
+  public:
+    explicit Memcached(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_MEMCACHED_HH

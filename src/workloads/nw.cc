@@ -1,0 +1,125 @@
+#include "workloads/nw.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+
+namespace {
+
+constexpr std::uint64_t kTile = 32; ///< wavefront tile edge (cells)
+
+} // namespace
+
+NeedlemanWunsch::NeedlemanWunsch(const Params &params)
+    : Workload("nw", params)
+{
+}
+
+void
+NeedlemanWunsch::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    // Three n x n DP matrices (M, Ix, Iy) fill the footprint.
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord;
+    const auto n = static_cast<std::uint64_t>(
+        std::sqrt(static_cast<double>(words / 3)));
+    const std::uint64_t n2 = n * n;
+
+    const Addr m = ctx.allocate(n2 * units::bytesPerWord);
+    const Addr ix = ctx.allocate(n2 * units::bytesPerWord);
+    const Addr iy = ctx.allocate(n2 * units::bytesPerWord);
+    const Addr seq_a = ctx.allocate(n * units::bytesPerWord);
+    const Addr seq_b = ctx.allocate(n * units::bytesPerWord);
+
+    const std::uint64_t passes = scaled(2);
+    const std::uint64_t tiles = n / kTile;
+
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        // Fresh random sequences per alignment pass (residues 0..3).
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ctx.store(0, elem(seq_a, i), rng.uniformInt(std::uint64_t{4}));
+            ctx.store(0, elem(seq_b, i), rng.uniformInt(std::uint64_t{4}));
+        }
+
+        // Anti-diagonal wavefront over tiles; tiles on one anti-diagonal
+        // are independent and assigned round-robin to threads.
+        for (std::uint64_t diag = 0; diag < 2 * tiles - 1; ++diag) {
+            const std::uint64_t r_lo =
+                diag < tiles ? 0 : diag - tiles + 1;
+            const std::uint64_t r_hi = std::min(diag, tiles - 1);
+            for (std::uint64_t tr = r_lo; tr <= r_hi; ++tr) {
+                const std::uint64_t tc = diag - tr;
+                const int t = threads == 1
+                                  ? 0
+                                  : static_cast<int>(tr % threads);
+
+                // Load the tile's top row and left column from the
+                // neighbouring tiles (the only DP re-reads).
+                for (std::uint64_t k = 0; k < kTile; ++k) {
+                    if (tr > 0)
+                        ctx.load(t, elem(m, (tr * kTile - 1) * n +
+                                                tc * kTile + k));
+                    if (tc > 0)
+                        ctx.load(t, elem(m, (tr * kTile + k) * n +
+                                                tc * kTile - 1));
+                }
+                // Sequence residues for this tile.
+                for (std::uint64_t k = 0; k < kTile; ++k) {
+                    ctx.load(t, elem(seq_a, tr * kTile + k));
+                    ctx.load(t, elem(seq_b, tc * kTile + k));
+                }
+
+                // Tile interior: affine-gap recurrence from registers;
+                // every cell of the three matrices is stored once.
+                for (std::uint64_t i = 0; i < kTile; ++i) {
+                    for (std::uint64_t j = 0; j < kTile; ++j) {
+                        const std::uint64_t cell =
+                            (tr * kTile + i) * n + tc * kTile + j;
+                        const std::uint64_t score =
+                            (cell * 2654435761ULL) >> 40;
+                        ctx.store(t, elem(m, cell), score);
+                        ctx.store(t, elem(ix, cell), score + 1);
+                        ctx.store(t, elem(iy, cell), score + 2);
+                    }
+                    // Affine-gap recurrence: three max/compare chains
+                    // plus the substitution-score lookup, ~60 integer
+                    // ops per cell.
+                    ctx.compute(t, 60 * kTile);
+                    ctx.branch(t, (i & 7) == 0);
+                }
+            }
+        }
+
+        // Traceback: walk the optimal path from (n-1,n-1) reading the
+        // three matrices; path length ~ 2n.
+        std::uint64_t i = n - 1, j = n - 1;
+        while (i > 0 && j > 0) {
+            ctx.load(0, elem(m, i * n + j));
+            ctx.load(0, elem(ix, i * n + j));
+            ctx.load(0, elem(iy, i * n + j));
+            ctx.compute(0, 6);
+            ctx.branch(0, false);
+            // Deterministic pseudo-path.
+            const std::uint64_t h = (i * 31 + j) % 3;
+            if (h == 0) {
+                --i;
+                --j;
+            } else if (h == 1) {
+                --i;
+            } else {
+                --j;
+            }
+        }
+    }
+}
+
+} // namespace dfault::workloads

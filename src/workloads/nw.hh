@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Rodinia `nw`: Needleman-Wunsch sequence alignment.
+ *
+ * Gotoh's affine-gap formulation with three DP matrices (match and two
+ * gap matrices), processed in wavefront tiles. Tile interiors compute
+ * from registers; every DP cell is written to memory exactly once per
+ * alignment pass and re-read only by the traceback and the next
+ * alignment pass. Reuse distances therefore span nearly a full pass,
+ * giving nw the longest reuse time in the suite (paper Table II).
+ */
+
+#ifndef DFAULT_WORKLOADS_NW_HH
+#define DFAULT_WORKLOADS_NW_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class NeedlemanWunsch : public Workload
+{
+  public:
+    explicit NeedlemanWunsch(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_NW_HH

@@ -1,0 +1,44 @@
+#include "workloads/random_pattern.hh"
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+
+RandomPattern::RandomPattern(const Params &params)
+    : Workload("random", params)
+{
+}
+
+void
+RandomPattern::run(sys::ExecutionContext &ctx)
+{
+    Rng rng(params_.seed);
+
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord;
+    const Addr region = ctx.allocate(words * units::bytesPerWord);
+
+    // Write the random pattern once.
+    for (std::uint64_t i = 0; i < words; ++i)
+        ctx.store(0, elem(region, i), rng.next());
+
+    // Idle across refresh windows, then scan for flips; repeat. The
+    // idle spin dominates the cycle count, so the DRAM access rate is
+    // minimal and rows are effectively never implicitly refreshed.
+    const std::uint64_t scans = scaled(2);
+    for (std::uint64_t s = 0; s < scans; ++s) {
+        ctx.compute(0, words * 12); // idle wait (timer spin)
+        for (std::uint64_t i = 0; i < words; ++i) {
+            ctx.load(0, elem(region, i));
+            if ((i & 255) == 0) {
+                ctx.compute(0, 256); // compare against expected pattern
+                ctx.branch(0, false);
+            }
+        }
+    }
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The `random` data-pattern micro-benchmark.
+ *
+ * The conventional retention-profiling workload (Liu'13, Khan'14): fill
+ * every word of the footprint with uniformly random data — the most
+ * stressful static pattern — then idle across several refresh windows
+ * and read the region back to detect flips. Memory is touched at a very
+ * low rate, so rows see no implicit refresh: the measured error rate
+ * reflects the raw retention tail, which is exactly what conventional
+ * workload-unaware error models assume for every application (paper
+ * Fig 2 / Fig 13).
+ */
+
+#ifndef DFAULT_WORKLOADS_RANDOM_PATTERN_HH
+#define DFAULT_WORKLOADS_RANDOM_PATTERN_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class RandomPattern : public Workload
+{
+  public:
+    explicit RandomPattern(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_RANDOM_PATTERN_HH

@@ -1,0 +1,77 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+#include "workloads/backprop.hh"
+#include "workloads/fmm.hh"
+#include "workloads/graph.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/lulesh.hh"
+#include "workloads/memcached.hh"
+#include "workloads/nw.hh"
+#include "workloads/random_pattern.hh"
+#include "workloads/srad.hh"
+
+namespace dfault::workloads {
+
+WorkloadPtr
+createWorkload(const std::string &kernel, const Workload::Params &params)
+{
+    if (kernel == "backprop")
+        return std::make_unique<Backprop>(params);
+    if (kernel == "kmeans")
+        return std::make_unique<Kmeans>(params);
+    if (kernel == "nw")
+        return std::make_unique<NeedlemanWunsch>(params);
+    if (kernel == "srad")
+        return std::make_unique<Srad>(params);
+    if (kernel == "fmm")
+        return std::make_unique<Fmm>(params);
+    if (kernel == "memcached")
+        return std::make_unique<Memcached>(params);
+    if (kernel == "pagerank")
+        return std::make_unique<PageRank>(params);
+    if (kernel == "bfs")
+        return std::make_unique<Bfs>(params);
+    if (kernel == "bc")
+        return std::make_unique<BetweennessCentrality>(params);
+    if (kernel == "lulesh_o2")
+        return std::make_unique<Lulesh>(params, Lulesh::OptLevel::O2);
+    if (kernel == "lulesh_f")
+        return std::make_unique<Lulesh>(params, Lulesh::OptLevel::F);
+    if (kernel == "random")
+        return std::make_unique<RandomPattern>(params);
+    DFAULT_FATAL("unknown workload kernel '", kernel, "'");
+}
+
+std::vector<std::string>
+workloadKernels()
+{
+    return {"backprop", "kmeans", "nw",       "srad",      "fmm",
+            "memcached", "pagerank", "bfs",   "bc",        "lulesh_o2",
+            "lulesh_f",  "random"};
+}
+
+std::vector<WorkloadConfig>
+standardSuite()
+{
+    std::vector<WorkloadConfig> suite;
+    for (const char *kernel : {"backprop", "kmeans", "nw", "srad", "fmm"}) {
+        suite.push_back({kernel, 1, kernel});
+        suite.push_back({kernel, 8, std::string(kernel) + "(par)"});
+    }
+    for (const char *kernel : {"memcached", "pagerank", "bfs", "bc"})
+        suite.push_back({kernel, 8, kernel});
+    return suite;
+}
+
+std::vector<WorkloadConfig>
+extendedSuite()
+{
+    return {
+        {"lulesh_o2", 8, "lulesh(O2)"},
+        {"lulesh_f", 8, "lulesh(F)"},
+        {"random", 8, "random"},
+    };
+}
+
+} // namespace dfault::workloads

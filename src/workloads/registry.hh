@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload registry and the paper's benchmark suite definitions.
+ *
+ * A WorkloadConfig names a (kernel, thread count) pair and carries the
+ * label used in the paper's figures: compute kernels appear twice, as
+ * the single-threaded "name" and the 8-thread "name(par)" variants
+ * (paper §IV-C); caching/analytics workloads run with 8 threads only.
+ */
+
+#ifndef DFAULT_WORKLOADS_REGISTRY_HH
+#define DFAULT_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** One benchmark configuration of the characterization campaign. */
+struct WorkloadConfig
+{
+    std::string kernel; ///< registry key, e.g. "backprop"
+    int threads = 8;
+    std::string label;  ///< figure label, e.g. "backprop(par)"
+};
+
+/**
+ * Instantiate a kernel by registry key. Known keys: backprop, kmeans,
+ * nw, srad, fmm, memcached, pagerank, bfs, bc, lulesh_o2, lulesh_f,
+ * random. fatal() on unknown keys.
+ */
+WorkloadPtr createWorkload(const std::string &kernel,
+                           const Workload::Params &params);
+
+/** All registry keys in deterministic order. */
+std::vector<std::string> workloadKernels();
+
+/**
+ * The 14 benchmark configurations of the paper's training campaign:
+ * {backprop, kmeans, nw, srad, fmm} x {1, 8 threads} plus
+ * {memcached, pagerank, bfs, bc} x {8 threads}.
+ */
+std::vector<WorkloadConfig> standardSuite();
+
+/**
+ * Additional configurations used by specific experiments: the lulesh
+ * compiler-flag pair and the random data-pattern micro-benchmark
+ * (Figs 2 and 13).
+ */
+std::vector<WorkloadConfig> extendedSuite();
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,80 @@
+#include "workloads/srad.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "workloads/detail.hh"
+
+namespace dfault::workloads {
+
+using detail::elem;
+using detail::f2w;
+using detail::w2f;
+
+Srad::Srad(const Params &params) : Workload("srad", params) {}
+
+void
+Srad::run(sys::ExecutionContext &ctx)
+{
+    const int threads = ctx.threads();
+    Rng rng(params_.seed);
+
+    // Image and coefficient arrays, each half of the footprint.
+    const std::uint64_t words = params_.footprintBytes /
+                                units::bytesPerWord / 2;
+    const std::uint64_t cols = 1024;
+    const std::uint64_t rows = words / cols;
+
+    const Addr img = ctx.allocate(rows * cols * units::bytesPerWord);
+    const Addr coeff = ctx.allocate(rows * cols * units::bytesPerWord);
+
+    for (std::uint64_t i = 0; i < rows * cols; ++i)
+        ctx.store(0, elem(img, i), f2w(rng.uniform(0.0, 255.0)));
+
+    const std::uint64_t iterations = scaled(3);
+    const std::uint64_t rows_per_thread = rows / threads;
+
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        // Pass 1: coefficient field from local gradients. The south
+        // neighbour is loaded explicitly; north/east/west come from the
+        // row registers of the previous sweep positions.
+        detail::interleave(threads, rows_per_thread,
+                           [&](int t, std::uint64_t rb) {
+            const std::uint64_t r =
+                static_cast<std::uint64_t>(t) * rows_per_thread + rb;
+            const std::uint64_t rs = r + 1 < rows ? r + 1 : r;
+            for (std::uint64_t c = 0; c < cols; ++c) {
+                const double center =
+                    w2f(ctx.load(t, elem(img, r * cols + c)));
+                const double south =
+                    w2f(ctx.load(t, elem(img, rs * cols + c)));
+                const double g = south - center;
+                const double k = 1.0 / (1.0 + g * g * 0.01);
+                ctx.store(t, elem(coeff, r * cols + c), f2w(k));
+            }
+            ctx.computeFp(t, 30 * cols); // gradients, laplacian, q0sqr
+            ctx.branch(t, false);
+        });
+
+        // Pass 2: image update from the coefficient field.
+        detail::interleave(threads, rows_per_thread,
+                           [&](int t, std::uint64_t rb) {
+            const std::uint64_t r =
+                static_cast<std::uint64_t>(t) * rows_per_thread + rb;
+            const std::uint64_t rs = r + 1 < rows ? r + 1 : r;
+            for (std::uint64_t c = 0; c < cols; ++c) {
+                const double k =
+                    w2f(ctx.load(t, elem(coeff, r * cols + c)));
+                const double ks =
+                    w2f(ctx.load(t, elem(coeff, rs * cols + c)));
+                const Addr cell = elem(img, r * cols + c);
+                const double v = w2f(ctx.load(t, cell));
+                ctx.store(t, cell, f2w(v + 0.125 * (k + ks) * 0.5));
+            }
+            ctx.computeFp(t, 20 * cols);
+            ctx.branch(t, false);
+        });
+    }
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Rodinia `srad`: speckle-reducing anisotropic diffusion.
+ *
+ * Two-pass stencil over an image: pass 1 computes the diffusion
+ * coefficient field from local gradients, pass 2 updates the image from
+ * the coefficient field. Rows are register-tiled so each image word is
+ * loaded once per pass; both large arrays are re-swept every iteration.
+ */
+
+#ifndef DFAULT_WORKLOADS_SRAD_HH
+#define DFAULT_WORKLOADS_SRAD_HH
+
+#include "workloads/workload.hh"
+
+namespace dfault::workloads {
+
+/** See file comment. */
+class Srad : public Workload
+{
+  public:
+    explicit Srad(const Params &params);
+
+    void run(sys::ExecutionContext &ctx) override;
+};
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_SRAD_HH

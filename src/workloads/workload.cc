@@ -1,0 +1,26 @@
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfault::workloads {
+
+Workload::Workload(std::string name, const Params &params)
+    : name_(std::move(name)), params_(params)
+{
+    if (params_.footprintBytes == 0)
+        DFAULT_FATAL("workload '", name_, "': footprint must be positive");
+    if (params_.workScale <= 0.0)
+        DFAULT_FATAL("workload '", name_, "': workScale must be positive");
+}
+
+std::uint64_t
+Workload::scaled(std::uint64_t base_iterations) const
+{
+    const double scaled =
+        std::ceil(static_cast<double>(base_iterations) * params_.workScale);
+    return scaled < 1.0 ? 1 : static_cast<std::uint64_t>(scaled);
+}
+
+} // namespace dfault::workloads

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload abstraction.
+ *
+ * Each workload is a miniature but algorithmically faithful kernel of
+ * one of the paper's benchmarks (Rodinia/PARSEC compute kernels, the
+ * memcached caching workload, Ligra-style graph analytics, LULESH). The
+ * kernels execute real loads/stores/compute against the simulated
+ * platform, so the program-inherent features the paper extracts —
+ * reuse time, data entropy, access rates — are *measured consequences*
+ * of the algorithm, not hard-coded constants.
+ */
+
+#ifndef DFAULT_WORKLOADS_WORKLOAD_HH
+#define DFAULT_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "common/units.hh"
+#include "sys/execution.hh"
+
+namespace dfault::workloads {
+
+using namespace units::literals;
+
+/** Base class of all benchmark kernels. */
+class Workload
+{
+  public:
+    struct Params
+    {
+        /** Data the workload allocates (the paper fixes 8 GB for all
+         *  benchmarks; we fix a scaled footprint for all, see DESIGN.md). */
+        std::uint64_t footprintBytes = 16_MiB;
+        /** Seed for the workload's own input generation. */
+        std::uint64_t seed = 42;
+        /** Multiplies iteration counts (profiling window length). */
+        double workScale = 1.0;
+    };
+
+    Workload(std::string name, const Params &params);
+    virtual ~Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /** Benchmark label as used in the paper's figures. */
+    const std::string &name() const { return name_; }
+
+    const Params &params() const { return params_; }
+
+    /**
+     * Allocate inputs and execute the kernel on @p ctx, using
+     * ctx.threads() logical threads.
+     */
+    virtual void run(sys::ExecutionContext &ctx) = 0;
+
+  protected:
+    /** Scaled iteration count helper. */
+    std::uint64_t scaled(std::uint64_t base_iterations) const;
+
+    std::string name_;
+    Params params_;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+} // namespace dfault::workloads
+
+#endif // DFAULT_WORKLOADS_WORKLOAD_HH

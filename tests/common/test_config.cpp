@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the key/value configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+namespace dfault {
+namespace {
+
+TEST(Config, FallbacksWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getString("missing", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(c.getInt("missing", -7), -7);
+    EXPECT_TRUE(c.getBool("missing", true));
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, TypedRoundTrips)
+{
+    Config c;
+    c.set("s", std::string("hello"));
+    c.set("d", 3.25);
+    c.set("i", std::int64_t{-42});
+    c.set("b", true);
+    EXPECT_EQ(c.getString("s"), "hello");
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0.0), 3.25);
+    EXPECT_EQ(c.getInt("i", 0), -42);
+    EXPECT_TRUE(c.getBool("b", false));
+    EXPECT_TRUE(c.has("s"));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("k", std::string(t));
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("k", std::string(f));
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, ParseArgsSplitsOnEquals)
+{
+    Config c;
+    const char *argv[] = {"prog", "a.b=3", "positional", "flag=on",
+                          "weird=x=y"};
+    const auto rest = c.parseArgs(5, argv);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], "positional");
+    EXPECT_EQ(c.getInt("a.b", 0), 3);
+    EXPECT_TRUE(c.getBool("flag", false));
+    EXPECT_EQ(c.getString("weird"), "x=y");
+}
+
+TEST(Config, IntAcceptsHex)
+{
+    Config c;
+    c.set("k", std::string("0x10"));
+    EXPECT_EQ(c.getInt("k", 0), 16);
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("b", std::int64_t{1});
+    c.set("a", std::int64_t{2});
+    const auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigDeath, MalformedNumberIsFatal)
+{
+    Config c;
+    c.set("k", std::string("not_a_number"));
+    EXPECT_EXIT((void)c.getDouble("k", 0.0),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT((void)c.getInt("k", 0), ::testing::ExitedWithCode(1),
+                "not an integer");
+    EXPECT_EXIT((void)c.getBool("k", false),
+                ::testing::ExitedWithCode(1), "not a boolean");
+}
+
+} // namespace
+} // namespace dfault

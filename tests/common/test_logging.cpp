@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the panic/fatal/warn reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace dfault {
+namespace {
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 3, " y=", 2.5), "x=3 y=2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, QuietToggle)
+{
+    detail::setQuiet(true);
+    EXPECT_TRUE(detail::quiet());
+    detail::setQuiet(false);
+    EXPECT_FALSE(detail::quiet());
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ DFAULT_PANIC("boom ", 42); }, "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithError)
+{
+    EXPECT_EXIT({ DFAULT_FATAL("bad config ", 7); },
+                ::testing::ExitedWithCode(1), "fatal: bad config 7");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH({ DFAULT_ASSERT(1 == 2, "math broke"); },
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    DFAULT_ASSERT(2 + 2 == 4, "never printed");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    detail::setQuiet(true); // keep test output clean
+    DFAULT_WARN("warning message");
+    DFAULT_INFORM("info message");
+    detail::setQuiet(false);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace dfault

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and its distribution helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "stats/summary.hh"
+
+namespace dfault {
+namespace {
+
+TEST(SplitMix, IsDeterministicAndAdvancesState)
+{
+    std::uint64_t a = 1, b = 1;
+    EXPECT_EQ(splitMix64(a), splitMix64(b));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(splitMix64(a), splitMix64(a));
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+    EXPECT_EQ(hashCombine(17, 42), hashCombine(17, 42));
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(123), b(124);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation)
+{
+    Rng parent(7);
+    Rng child = parent.fork(1);
+    // Child stream should not simply replay the parent.
+    int equal = 0;
+    Rng parent2(7);
+    (void)parent2.fork(1);
+    for (int i = 0; i < 64; ++i)
+        equal += child.next() == parent.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsReproducible)
+{
+    Rng a(7), b(7);
+    Rng ca = a.fork(5), cb = b.fork(5);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversDomain)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(std::uint64_t{7});
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(std::int64_t{-2}, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    stats::RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.normal());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(6);
+    stats::RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 100000; ++i)
+        xs.push_back(rng.lognormal(1.0, 0.5));
+    EXPECT_NEAR(stats::median(xs), std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(8);
+    stats::RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(9);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(10);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+/** Poisson mean/variance across a range of intensities, including the
+ *  small-mean (Knuth) and large-mean (normal approximation) regimes. */
+class PoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonTest, MeanAndVarianceMatch)
+{
+    const double mean = GetParam();
+    Rng rng(42 + static_cast<std::uint64_t>(mean * 100));
+    stats::RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(rng.poisson(mean)));
+    EXPECT_NEAR(s.mean(), mean, 0.05 * mean + 0.02);
+    EXPECT_NEAR(s.variance(), mean, 0.08 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, PoissonTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 12.0, 40.0,
+                                           150.0));
+
+TEST(Rng, PoissonZeroMean)
+{
+    Rng rng(11);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-3.0), 0u);
+}
+
+} // namespace
+} // namespace dfault

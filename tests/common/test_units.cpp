@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the physical-unit literals and constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace dfault {
+namespace {
+
+using namespace units::literals;
+
+TEST(Units, TimeLiterals)
+{
+    EXPECT_DOUBLE_EQ(64_ms, 0.064);
+    EXPECT_DOUBLE_EQ(2.283_sec, 2.283);
+    EXPECT_DOUBLE_EQ(7.8125_us, 7.8125e-6);
+    EXPECT_DOUBLE_EQ(260_ns, 260e-9);
+    EXPECT_DOUBLE_EQ(120_minutes, 7200.0);
+    EXPECT_DOUBLE_EQ(1.5_minutes, 90.0);
+}
+
+TEST(Units, ElectricalAndThermalLiterals)
+{
+    EXPECT_DOUBLE_EQ(1.5_volt, 1.5);
+    EXPECT_DOUBLE_EQ(1428_mvolt, 1.428);
+    EXPECT_DOUBLE_EQ(70_celsius, 70.0);
+    EXPECT_DOUBLE_EQ(52.5_celsius, 52.5);
+}
+
+TEST(Units, CapacityLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(16_MiB, 16u * 1024 * 1024);
+    EXPECT_EQ(8_GiB, 8ull << 30);
+}
+
+TEST(Units, EccWordConstants)
+{
+    EXPECT_EQ(units::bytesPerWord, 8u);
+    EXPECT_EQ(units::dataBitsPerWord, 64);
+    EXPECT_EQ(units::checkBitsPerWord, 8);
+    EXPECT_EQ(units::totalBitsPerWord, 72);
+    EXPECT_EQ(units::dataBitsPerWord + units::checkBitsPerWord,
+              units::totalBitsPerWord);
+}
+
+TEST(Units, LiteralsComposeInExpressions)
+{
+    // 8 GiB of 64-bit words — the paper's per-run allocation.
+    EXPECT_DOUBLE_EQ(static_cast<double>(8_GiB / units::bytesPerWord),
+                     1073741824.0);
+    // Refresh commands per nominal period at DDR3's tREFI.
+    EXPECT_NEAR((64_ms) / (7.8125_us), 8192.0, 1e-9);
+}
+
+} // namespace
+} // namespace dfault

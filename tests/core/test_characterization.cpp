@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the characterization campaign driver: thermal-loop
+ * coupling, sweep bookkeeping, and the operating-point grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hh"
+
+namespace dfault::core {
+namespace {
+
+sys::Platform &
+sharedPlatform()
+{
+    static sys::Platform platform([] {
+        sys::Platform::Params p;
+        p.hierarchy.l1.sizeBytes = 16 * 1024;
+        p.hierarchy.l2.sizeBytes = 1 << 20;
+        p.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+        return p;
+    }());
+    return platform;
+}
+
+CharacterizationCampaign::Params
+smallParams(bool thermal)
+{
+    CharacterizationCampaign::Params p;
+    p.workload.footprintBytes = 2 << 20;
+    p.workload.workScale = 0.5;
+    p.integrator.epochs = 30;
+    p.useThermalLoop = thermal;
+    return p;
+}
+
+TEST(Campaign, ThermalLoopCompensatesSelfHeating)
+{
+    // A busy workload dissipates DRAM power; the PID loop must still
+    // regulate each DIMM to the requested temperature.
+    CharacterizationCampaign campaign(sharedPlatform(),
+                                      smallParams(true));
+    const Measurement m = campaign.measure(
+        {"srad", 8, "srad(par)"}, {1.173, dram::kMinVdd, 60.0});
+    EXPECT_NEAR(m.achieved.temperature, 60.0, 0.6);
+}
+
+TEST(Campaign, ThermalLoopOffUsesRequestedTemperature)
+{
+    CharacterizationCampaign campaign(sharedPlatform(),
+                                      smallParams(false));
+    const Measurement m = campaign.measure(
+        {"srad", 8, "srad(par)"}, {1.173, dram::kMinVdd, 60.0});
+    EXPECT_DOUBLE_EQ(m.achieved.temperature, 60.0);
+}
+
+TEST(Campaign, SweepCoversTheGrid)
+{
+    CharacterizationCampaign campaign(sharedPlatform(),
+                                      smallParams(false));
+    const std::vector<workloads::WorkloadConfig> suite{
+        {"kmeans", 8, "kmeans(par)"}, {"srad", 1, "srad"}};
+    const std::vector<dram::OperatingPoint> points{
+        {1.173, dram::kMinVdd, 50.0}, {2.283, dram::kMinVdd, 50.0}};
+    const auto measurements = campaign.sweep(suite, points);
+    ASSERT_EQ(measurements.size(), 4u);
+    EXPECT_EQ(measurements[0].label, "kmeans(par)");
+    EXPECT_EQ(measurements[1].requested.trefp, 2.283);
+    EXPECT_EQ(measurements[3].label, "srad");
+}
+
+TEST(Campaign, MeasurePueCountsCrashes)
+{
+    CharacterizationCampaign campaign(sharedPlatform(),
+                                      smallParams(false));
+    const double mild = campaign.measurePue(
+        {"kmeans", 8, "kmeans(par)"}, {0.618, dram::kMinVdd, 50.0}, 3);
+    EXPECT_DOUBLE_EQ(mild, 0.0);
+}
+
+TEST(Campaign, OperatingPointGridsMatchThePaper)
+{
+    const auto wer_points = werOperatingPoints();
+    // 4 TREFP levels x {50, 60} C plus the two UE-free 70 C points.
+    EXPECT_EQ(wer_points.size(), 10u);
+    for (const auto &op : wer_points) {
+        EXPECT_DOUBLE_EQ(op.vdd, dram::kMinVdd);
+        if (op.temperature >= 70.0)
+            EXPECT_LE(op.trefp, 1.2);
+    }
+
+    const auto pue_points = pueOperatingPoints();
+    ASSERT_EQ(pue_points.size(), 3u);
+    for (const auto &op : pue_points)
+        EXPECT_DOUBLE_EQ(op.temperature, 70.0);
+}
+
+TEST(Campaign, DilationRuleIsInverseInFootprint)
+{
+    EXPECT_DOUBLE_EQ(sys::dilationForFootprint(16 << 20), 200.0);
+    EXPECT_DOUBLE_EQ(sys::dilationForFootprint(8 << 20), 400.0);
+    EXPECT_DOUBLE_EQ(sys::dilationForFootprint(32 << 20), 100.0);
+}
+
+TEST(Campaign, DataPatternAblationToggleWorks)
+{
+    // With the vulnerability gate off, rows of both orientations see
+    // the same v = 0.5; the aggregate WER must still be positive and
+    // deterministic.
+    CharacterizationCampaign::Params p = smallParams(false);
+    p.integrator.dataPatternVulnerability = false;
+    CharacterizationCampaign campaign(sharedPlatform(), p);
+    const Measurement a = campaign.measure(
+        {"srad", 8, "srad(par)"}, {2.283, dram::kMinVdd, 60.0});
+    const Measurement b = campaign.measure(
+        {"srad", 8, "srad(par)"}, {2.283, dram::kMinVdd, 60.0});
+    EXPECT_GT(a.run.wer(), 0.0);
+    EXPECT_DOUBLE_EQ(a.run.wer(), b.run.wer());
+}
+
+} // namespace
+} // namespace dfault::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the Table III input sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/input_sets.hh"
+#include "features/catalog.hh"
+
+namespace dfault::core {
+namespace {
+
+TEST(InputSets, Names)
+{
+    EXPECT_EQ(inputSetName(InputSet::Set1), "Input set 1");
+    EXPECT_EQ(inputSetName(InputSet::Set2), "Input set 2");
+    EXPECT_EQ(inputSetName(InputSet::Set3), "Input set 3");
+}
+
+TEST(InputSets, Set1HasTheFourStrongFeatures)
+{
+    const auto f = inputSetFeatures(InputSet::Set1);
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_NE(std::find(f.begin(), f.end(), "wait_cycles_ratio"),
+              f.end());
+    EXPECT_NE(std::find(f.begin(), f.end(), "mem_accesses_per_cycle"),
+              f.end());
+    EXPECT_NE(std::find(f.begin(), f.end(), "hdp_entropy"), f.end());
+    EXPECT_NE(std::find(f.begin(), f.end(), "treuse_seconds"), f.end());
+}
+
+TEST(InputSets, Set2DropsHdpAndTreuse)
+{
+    const auto f = inputSetFeatures(InputSet::Set2);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(std::find(f.begin(), f.end(), "hdp_entropy"), f.end());
+    EXPECT_EQ(std::find(f.begin(), f.end(), "treuse_seconds"), f.end());
+}
+
+TEST(InputSets, Set3IsTheFullCatalog)
+{
+    const auto f = inputSetFeatures(InputSet::Set3);
+    EXPECT_EQ(f.size(), features::kFeatureCount);
+}
+
+TEST(InputSets, AllFeatureNamesAreValid)
+{
+    const auto &catalog = features::FeatureCatalog::instance();
+    for (const InputSet set : kAllInputSets)
+        for (const auto &name : inputSetFeatures(set))
+            EXPECT_TRUE(catalog.contains(name)) << name;
+}
+
+TEST(InputSets, SetsAreNested)
+{
+    // Set2 subset of Set1 subset of Set3 (paper's construction).
+    const auto s1 = inputSetFeatures(InputSet::Set1);
+    const auto s2 = inputSetFeatures(InputSet::Set2);
+    const auto s3 = inputSetFeatures(InputSet::Set3);
+    for (const auto &f : s2)
+        EXPECT_NE(std::find(s1.begin(), s1.end(), f), s1.end());
+    for (const auto &f : s1)
+        EXPECT_NE(std::find(s3.begin(), s3.end(), f), s3.end());
+}
+
+} // namespace
+} // namespace dfault::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for campaign reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace dfault::core {
+namespace {
+
+/** Hand-built measurements; no simulation needed for format tests. */
+std::vector<Measurement>
+fakeMeasurements(const dram::Geometry &geometry)
+{
+    std::vector<Measurement> out;
+    for (int i = 0; i < 2; ++i) {
+        Measurement m;
+        m.label = i == 0 ? "alpha" : "beta";
+        m.threads = 8;
+        m.requested = {1.0 + i, 1.428, 50.0};
+        m.run.cePerDevice.assign(geometry.deviceCount(), 10.0 * (i + 1));
+        m.run.wordsPerDevice.assign(geometry.deviceCount(), 1e6);
+        m.run.allocatedWords = 8e6;
+        m.run.crashed = i == 1;
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+TEST(Report, CsvHasOneRowPerDevicePlusAggregate)
+{
+    dram::Geometry geometry;
+    const auto measurements = fakeMeasurements(geometry);
+    std::stringstream out;
+    writeMeasurementsCsv(measurements, geometry, out);
+
+    std::string line;
+    std::getline(out, line);
+    EXPECT_EQ(line,
+              "benchmark,threads,trefp_s,vdd_v,temp_c,device,wer,"
+              "crashed");
+    int rows = 0, aggregates = 0, crashed = 0;
+    while (std::getline(out, line)) {
+        ++rows;
+        if (line.find(",all,") != std::string::npos)
+            ++aggregates;
+        if (line.back() == '1')
+            ++crashed;
+    }
+    EXPECT_EQ(rows, 2 * (geometry.deviceCount() + 1));
+    EXPECT_EQ(aggregates, 2);
+    EXPECT_EQ(crashed, geometry.deviceCount() + 1); // all beta rows
+}
+
+TEST(Report, CsvValuesRoundTripNumerically)
+{
+    dram::Geometry geometry;
+    const auto measurements = fakeMeasurements(geometry);
+    std::stringstream out;
+    writeMeasurementsCsv(measurements, geometry, out);
+    // alpha's per-device WER is 10 / 1e6.
+    EXPECT_NE(out.str().find("1e-05"), std::string::npos);
+}
+
+TEST(Report, WerTableLayout)
+{
+    dram::Geometry geometry;
+    const auto measurements = fakeMeasurements(geometry);
+    std::stringstream out;
+    printWerTable(measurements, out);
+    const std::string text = out.str();
+    // One row per benchmark; crashed runs print UE.
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("UE"), std::string::npos);
+    EXPECT_NE(text.find("TREFP=1.000s"), std::string::npos);
+    EXPECT_NE(text.find("TREFP=2.000s"), std::string::npos);
+}
+
+TEST(ReportDeath, UnwritablePathIsFatal)
+{
+    dram::Geometry geometry;
+    EXPECT_EXIT(writeMeasurementsCsvFile(fakeMeasurements(geometry),
+                                         geometry,
+                                         "/no/such/dir/report.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace dfault::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for per-row intensity analysis and the conventional
+ * retention profiler (paper §II-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/retention_profiler.hh"
+#include "features/extractor.hh"
+
+namespace dfault::core {
+namespace {
+
+struct Fixture
+{
+    sys::Platform platform;
+    CharacterizationCampaign campaign;
+
+    Fixture()
+        : platform([] {
+              sys::Platform::Params p;
+              p.hierarchy.l1.sizeBytes = 16 * 1024;
+              p.hierarchy.l2.sizeBytes = 1 << 20;
+              p.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+              return p;
+          }()),
+          campaign(platform, [] {
+              CharacterizationCampaign::Params p;
+              p.workload.footprintBytes = 2 << 20;
+              p.workload.workScale = 0.5;
+              p.useThermalLoop = false;
+              return p;
+          }())
+    {
+    }
+
+    int
+    weakestDevice() const
+    {
+        int weakest = 0;
+        for (int d = 1; d < platform.geometry().deviceCount(); ++d)
+            if (platform.devices()[d].retentionScale() <
+                platform.devices()[weakest].retentionScale())
+                weakest = d;
+        return weakest;
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+TEST(AnalyzeRows, CoversTouchedRowsWithFiniteIntensities)
+{
+    auto &f = fixture();
+    const auto &profile = features::ProfileCache::instance().get(
+        f.platform, {"srad", 8, "srad(par)"},
+        f.campaign.params().workload);
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
+    const int dev = f.weakestDevice();
+    const auto rows = f.campaign.integrator().analyzeRows(
+        profile, op, f.platform.geometry(), f.platform.devices()[dev],
+        dev);
+    ASSERT_EQ(rows.size(), profile.deviceRows[dev].size());
+    double total = 0.0;
+    for (const auto &row : rows) {
+        EXPECT_GE(row.ceLambda, 0.0);
+        EXPECT_GT(row.suppression, 0.0);
+        EXPECT_LE(row.suppression, 1.0);
+        EXPECT_GE(row.interferenceDelta, 0.0);
+        total += row.ceLambda;
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(AnalyzeRows, IntensityGrowsWithTrefp)
+{
+    auto &f = fixture();
+    const auto &profile = features::ProfileCache::instance().get(
+        f.platform, {"random", 8, "random"},
+        f.campaign.params().workload);
+    const int dev = f.weakestDevice();
+    double prev = 0.0;
+    for (const Seconds trefp : {0.618, 1.173, 2.283}) {
+        const dram::OperatingPoint op{trefp, dram::kMinVdd, 60.0};
+        double total = 0.0;
+        for (const auto &row : f.campaign.integrator().analyzeRows(
+                 profile, op, f.platform.geometry(),
+                 f.platform.devices()[dev], dev))
+            total += row.ceLambda;
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+TEST(Profiler, WeakDeviceGetsFlaggedRows)
+{
+    auto &f = fixture();
+    RetentionProfiler profiler(f.campaign);
+    const auto profile = profiler.profileDevice(f.weakestDevice());
+    EXPECT_GT(profile.firstFailingTrefp.size(), 0u);
+    // First-failing levels must come from the configured ladder and be
+    // recorded at the shortest level that fails.
+    for (const auto &[row, level] : profile.firstFailingTrefp) {
+        bool known = false;
+        for (const Seconds l : profiler.params().levels)
+            known = known || l == level;
+        EXPECT_TRUE(known) << level;
+    }
+}
+
+TEST(Profiler, CompareProducesConsistentCounts)
+{
+    auto &f = fixture();
+    RetentionProfiler profiler(f.campaign);
+    const int dev = f.weakestDevice();
+    const auto profile = profiler.profileDevice(dev);
+    const auto mismatch = profiler.compare(
+        profile, {"srad", 8, "srad(par)"}, 2.283, dev);
+    EXPECT_LE(mismatch.missedByProfile, mismatch.appErrorRows);
+    EXPECT_LE(mismatch.falseAlarms, mismatch.flaggedRows);
+    EXPECT_GE(mismatch.missRate(), 0.0);
+    EXPECT_LE(mismatch.missRate(), 1.0);
+    EXPECT_GE(mismatch.falseAlarmRate(), 0.0);
+    EXPECT_LE(mismatch.falseAlarmRate(), 1.0);
+}
+
+TEST(Profiler, RealAppsEscapeTheMicroProfileSomewhere)
+{
+    // The paper's §II-C claim: across devices, real workloads manifest
+    // errors in rows the micro-benchmark profile does not flag (the
+    // interference effect), or leave flagged rows clean (implicit
+    // refresh). At least one direction must be observable.
+    auto &f = fixture();
+    RetentionProfiler profiler(f.campaign);
+    std::uint64_t missed = 0, false_alarms = 0;
+    for (int dev = 0; dev < f.platform.geometry().deviceCount();
+         ++dev) {
+        const auto profile = profiler.profileDevice(dev);
+        for (const char *kernel : {"backprop", "memcached"}) {
+            const auto mismatch = profiler.compare(
+                profile, {kernel, 8, kernel}, 2.283, dev);
+            missed += mismatch.missedByProfile;
+            false_alarms += mismatch.falseAlarms;
+        }
+    }
+    EXPECT_GT(missed + false_alarms, 0u);
+}
+
+TEST(ProfilerDeath, BadParamsAreFatal)
+{
+    auto &f = fixture();
+    RetentionProfiler::Params p;
+    p.levels = {};
+    EXPECT_EXIT(RetentionProfiler(f.campaign, p),
+                ::testing::ExitedWithCode(1), "at least one");
+    RetentionProfiler::Params q;
+    q.levels = {2.0, 1.0};
+    EXPECT_EXIT(RetentionProfiler(f.campaign, q),
+                ::testing::ExitedWithCode(1), "ascending");
+    RetentionProfiler::Params r;
+    r.detectionLambda = 0.0;
+    EXPECT_EXIT(RetentionProfiler(f.campaign, r),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace dfault::core

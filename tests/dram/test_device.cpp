@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for per-device manufacturing variation (DIMM-to-DIMM
+ * spread, row scrambling, true-/anti-cell organization).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dram/device.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(DeviceFactory, DeterministicForSeed)
+{
+    Geometry g;
+    DeviceFactory f1(g), f2(g);
+    const auto a = f1.buildAll();
+    const auto b = f2.buildAll();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].retentionScale(), b[i].retentionScale());
+        EXPECT_EQ(a[i].variation().rowScrambleKey,
+                  b[i].variation().rowScrambleKey);
+    }
+}
+
+TEST(DeviceFactory, DifferentSeedDifferentHardware)
+{
+    Geometry g;
+    DeviceFactory::Params p;
+    p.masterSeed = 0xabcd;
+    const auto a = DeviceFactory(g).buildAll();
+    const auto b = DeviceFactory(g, p).buildAll();
+    int equal = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        equal += a[i].retentionScale() == b[i].retentionScale();
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(DeviceFactory, BuildSingleMatchesPopulation)
+{
+    Geometry g;
+    DeviceFactory f(g);
+    const auto all = f.buildAll();
+    const DramDevice one = f.build(DeviceId{2, 1});
+    const int idx = g.deviceIndex(DeviceId{2, 1});
+    EXPECT_DOUBLE_EQ(one.retentionScale(), all[idx].retentionScale());
+}
+
+TEST(DeviceFactory, PopulationShowsSpread)
+{
+    // The 188x WER spread of paper Fig 8 requires a real scale spread.
+    Geometry g;
+    const auto devices = DeviceFactory(g).buildAll();
+    double lo = 1e300, hi = 0.0;
+    for (const auto &d : devices) {
+        lo = std::min(lo, d.retentionScale());
+        hi = std::max(hi, d.retentionScale());
+        EXPECT_GT(d.retentionScale(), 0.0);
+    }
+    EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST(Device, ScrambleIsBijectiveInvolution)
+{
+    Geometry g;
+    const DramDevice dev = DeviceFactory(g).build(DeviceId{1, 0});
+    for (std::uint32_t row = 0; row < g.params().rowsPerBank; ++row) {
+        const std::uint32_t phys = dev.physicalRow(row);
+        EXPECT_LT(phys, g.params().rowsPerBank);
+        EXPECT_EQ(dev.physicalRow(phys), row); // XOR is an involution
+    }
+}
+
+TEST(Device, TrueCellFractionApproximatesParameter)
+{
+    Geometry g;
+    const DramDevice dev = DeviceFactory(g).build(DeviceId{0, 0});
+    const double target = dev.variation().trueCellFraction;
+    int true_rows = 0;
+    const int n = static_cast<int>(g.params().rowsPerBank);
+    for (int r = 0; r < n; ++r)
+        true_rows += dev.rowIsTrueCell(static_cast<std::uint32_t>(r));
+    EXPECT_NEAR(static_cast<double>(true_rows) / n, target, 0.05);
+}
+
+TEST(Device, TrueCellAssignmentIsDeterministic)
+{
+    Geometry g;
+    const DramDevice dev = DeviceFactory(g).build(DeviceId{3, 1});
+    for (std::uint32_t r = 0; r < 64; ++r)
+        EXPECT_EQ(dev.rowIsTrueCell(r), dev.rowIsTrueCell(r));
+}
+
+TEST(Device, ChipScalesCoverAllBits)
+{
+    Geometry g;
+    const DramDevice dev = DeviceFactory(g).build(DeviceId{0, 1});
+    EXPECT_EQ(dev.variation().chipScales.size(), 9u); // 8 data + 1 ECC
+    for (int bit = 0; bit < 72; ++bit)
+        EXPECT_GT(dev.chipScaleForBit(bit), 0.0);
+    // Bits of the same x8 chip share a scale.
+    EXPECT_DOUBLE_EQ(dev.chipScaleForBit(0), dev.chipScaleForBit(7));
+    EXPECT_DOUBLE_EQ(dev.chipScaleForBit(64), dev.chipScaleForBit(71));
+}
+
+TEST(DeviceDeath, InvalidVariationPanics)
+{
+    DramDevice::Variation v;
+    v.retentionScale = 0.0;
+    EXPECT_DEATH(DramDevice(DeviceId{0, 0}, v), "positive");
+    DramDevice::Variation w;
+    w.trueCellFraction = 1.5;
+    EXPECT_DEATH(DramDevice(DeviceId{0, 0}, w), "probability");
+}
+
+TEST(DeviceFactoryDeath, BadPopulationParams)
+{
+    Geometry g;
+    DeviceFactory::Params p;
+    p.trueCellMin = 0.8;
+    p.trueCellMax = 0.2;
+    EXPECT_EXIT(DeviceFactory(g, p), ::testing::ExitedWithCode(1),
+                "true-cell");
+}
+
+} // namespace
+} // namespace dfault::dram

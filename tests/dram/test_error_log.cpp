@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the SLIMpro-style error log and its unique-location
+ * WER accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/error_log.hh"
+
+namespace dfault::dram {
+namespace {
+
+ErrorRecord
+makeCe(int dimm, int rank, std::uint32_t row, std::uint32_t col)
+{
+    ErrorRecord r;
+    r.device = DeviceId{dimm, rank};
+    r.bank = 0;
+    r.row = row;
+    r.column = col;
+    r.type = ErrorType::CE;
+    return r;
+}
+
+TEST(ErrorLog, CountsUniqueCeWords)
+{
+    Geometry g;
+    ErrorLog log(g);
+    EXPECT_TRUE(log.report(makeCe(0, 0, 1, 2)));
+    EXPECT_TRUE(log.report(makeCe(0, 0, 1, 3)));
+    // Same word again: deduplicated (paper Eq. 2 counts unique words).
+    EXPECT_FALSE(log.report(makeCe(0, 0, 1, 2)));
+    EXPECT_EQ(log.uniqueCeWords(DeviceId{0, 0}), 2u);
+    EXPECT_EQ(log.records().size(), 2u);
+}
+
+TEST(ErrorLog, SeparatesDevices)
+{
+    Geometry g;
+    ErrorLog log(g);
+    log.report(makeCe(0, 0, 5, 5));
+    log.report(makeCe(2, 1, 5, 5)); // same coordinates, other device
+    EXPECT_EQ(log.uniqueCeWords(DeviceId{0, 0}), 1u);
+    EXPECT_EQ(log.uniqueCeWords(DeviceId{2, 1}), 1u);
+    EXPECT_EQ(log.uniqueCeWords(DeviceId{1, 0}), 0u);
+    EXPECT_EQ(log.uniqueCeWordsTotal(), 2u);
+}
+
+TEST(ErrorLog, UeCountsAreNotDeduplicated)
+{
+    Geometry g;
+    ErrorLog log(g);
+    ErrorRecord ue = makeCe(1, 1, 9, 0);
+    ue.type = ErrorType::UE;
+    EXPECT_TRUE(log.report(ue));
+    EXPECT_TRUE(log.report(ue));
+    EXPECT_EQ(log.ueCount(DeviceId{1, 1}), 2u);
+    EXPECT_EQ(log.ueCountTotal(), 2u);
+}
+
+TEST(ErrorLog, SdcCounting)
+{
+    Geometry g;
+    ErrorLog log(g);
+    ErrorRecord sdc = makeCe(0, 1, 3, 1);
+    sdc.type = ErrorType::SDC;
+    log.report(sdc);
+    EXPECT_EQ(log.sdcCountTotal(), 1u);
+}
+
+TEST(ErrorLog, ClearResetsEverything)
+{
+    Geometry g;
+    ErrorLog log(g);
+    log.report(makeCe(0, 0, 1, 1));
+    ErrorRecord ue = makeCe(0, 0, 2, 2);
+    ue.type = ErrorType::UE;
+    log.report(ue);
+    log.clear();
+    EXPECT_EQ(log.uniqueCeWordsTotal(), 0u);
+    EXPECT_EQ(log.ueCountTotal(), 0u);
+    EXPECT_TRUE(log.records().empty());
+    // A cleared location counts as new again.
+    EXPECT_TRUE(log.report(makeCe(0, 0, 1, 1)));
+}
+
+TEST(ErrorLog, DifferentBanksAreDistinctWords)
+{
+    Geometry g;
+    ErrorLog log(g);
+    ErrorRecord a = makeCe(0, 0, 1, 1);
+    ErrorRecord b = makeCe(0, 0, 1, 1);
+    b.bank = 1;
+    EXPECT_TRUE(log.report(a));
+    EXPECT_TRUE(log.report(b));
+    EXPECT_EQ(log.uniqueCeWords(DeviceId{0, 0}), 2u);
+}
+
+} // namespace
+} // namespace dfault::dram

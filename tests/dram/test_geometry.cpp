@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for DRAM geometry and physical address mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/geometry.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(Geometry, DefaultOrganizationMatchesPlatform)
+{
+    Geometry g;
+    EXPECT_EQ(g.params().channels, 4);
+    EXPECT_EQ(g.params().ranksPerDimm, 2);
+    EXPECT_EQ(g.deviceCount(), 8);
+    EXPECT_EQ(g.capacityBytes(),
+              g.capacityWords() * units::bytesPerWord);
+    EXPECT_EQ(g.wordsPerDevice() * 8, g.capacityWords());
+    EXPECT_EQ(g.rowsPerDevice(),
+              static_cast<std::uint64_t>(g.params().banksPerRank) *
+                  g.params().rowsPerBank);
+}
+
+TEST(Geometry, DeviceIndexBijection)
+{
+    Geometry g;
+    for (int i = 0; i < g.deviceCount(); ++i) {
+        const DeviceId id = g.deviceAt(i);
+        EXPECT_EQ(g.deviceIndex(id), i);
+    }
+}
+
+TEST(Geometry, DeviceLabels)
+{
+    EXPECT_EQ((DeviceId{2, 1}.label()), "DIMM2/rank1");
+    EXPECT_EQ((DeviceId{0, 0}.label()), "DIMM0/rank0");
+}
+
+TEST(Geometry, DecodeFieldRanges)
+{
+    Geometry g;
+    const WordCoord c = g.decode(g.capacityBytes() - 8);
+    EXPECT_LT(c.channel, g.params().channels);
+    EXPECT_LT(c.rank, g.params().ranksPerDimm);
+    EXPECT_LT(c.bank, g.params().banksPerRank);
+    EXPECT_LT(c.row, g.params().rowsPerBank);
+    EXPECT_LT(c.column, g.params().wordsPerRow);
+}
+
+TEST(Geometry, ConsecutiveLinesInterleaveChannels)
+{
+    Geometry g;
+    // With the default 128-word rows and 4 channels, consecutive
+    // 1 KiB blocks land on different channels.
+    const WordCoord a = g.decode(0);
+    const WordCoord b = g.decode(g.params().wordsPerRow *
+                                 units::bytesPerWord);
+    EXPECT_NE(a.channel, b.channel);
+}
+
+TEST(Geometry, RowAndWordIndexConsistency)
+{
+    Geometry g;
+    WordCoord c;
+    c.channel = 1;
+    c.rank = 1;
+    c.bank = 3;
+    c.row = 17;
+    c.column = 5;
+    EXPECT_EQ(g.rowIndex(c),
+              3ull * g.params().rowsPerBank + 17);
+    EXPECT_EQ(g.wordIndexInDevice(c),
+              g.rowIndex(c) * g.params().wordsPerRow + 5);
+}
+
+/** Encode/decode round trip over word-aligned addresses. */
+class GeometryRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeometryRoundTrip, EncodeDecode)
+{
+    Geometry g;
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            rng.uniformInt(g.capacityBytes() / 8) * 8;
+        const WordCoord c = g.decode(addr);
+        EXPECT_EQ(g.encode(c), addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryRoundTrip,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Geometry, SmallCustomGeometry)
+{
+    Geometry::Params p;
+    p.channels = 2;
+    p.ranksPerDimm = 1;
+    p.banksPerRank = 4;
+    p.rowsPerBank = 64;
+    p.wordsPerRow = 16;
+    Geometry g(p);
+    EXPECT_EQ(g.deviceCount(), 2);
+    EXPECT_EQ(g.capacityWords(), 2ull * 4 * 64 * 16);
+    for (Addr a = 0; a < g.capacityBytes(); a += 8)
+        EXPECT_EQ(g.encode(g.decode(a)), a);
+}
+
+TEST(GeometryDeath, NonPowerOfTwoIsFatal)
+{
+    Geometry::Params p;
+    p.rowsPerBank = 1000;
+    EXPECT_EXIT(Geometry{p}, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(GeometryDeath, OutOfRangeAddressPanics)
+{
+    Geometry g;
+    EXPECT_DEATH((void)g.decode(g.capacityBytes()), "beyond DRAM");
+}
+
+} // namespace
+} // namespace dfault::dram

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for operating-point validation and the paper's sweep
+ * levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/operating_point.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(OperatingPoint, DefaultsAreNominal)
+{
+    OperatingPoint op;
+    EXPECT_DOUBLE_EQ(op.trefp, kNominalTrefp);
+    EXPECT_DOUBLE_EQ(op.vdd, kNominalVdd);
+    EXPECT_DOUBLE_EQ(op.temperature, 50.0);
+    op.validate(); // must not exit
+}
+
+TEST(OperatingPoint, LabelFormat)
+{
+    OperatingPoint op{2.283, 1.428, 70.0};
+    EXPECT_EQ(op.label(), "TREFP=2.283s VDD=1.428V T=70C");
+}
+
+TEST(OperatingPoint, Equality)
+{
+    OperatingPoint a{1.0, 1.5, 50.0};
+    OperatingPoint b{1.0, 1.5, 50.0};
+    OperatingPoint c{1.0, 1.5, 60.0};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(OperatingPoint, PaperSweepLevels)
+{
+    // Fig 7 uses four TREFP levels; Fig 9 uses three at 70 C.
+    EXPECT_EQ(std::size(kWerTrefpLevels), 4u);
+    EXPECT_EQ(std::size(kUeTrefpLevels), 3u);
+    EXPECT_DOUBLE_EQ(kWerTrefpLevels[3], kMaxTrefp);
+    EXPECT_DOUBLE_EQ(kUeTrefpLevels[0], 1.450);
+    EXPECT_EQ(std::size(kTemperatureLevels), 3u);
+}
+
+TEST(OperatingPointDeath, InvalidValuesAreFatal)
+{
+    OperatingPoint bad_trefp{-1.0, 1.5, 50.0};
+    EXPECT_EXIT(bad_trefp.validate(), ::testing::ExitedWithCode(1),
+                "TREFP");
+    OperatingPoint bad_vdd{1.0, 0.0, 50.0};
+    EXPECT_EXIT(bad_vdd.validate(), ::testing::ExitedWithCode(1),
+                "VDD");
+    OperatingPoint bad_temp{1.0, 1.5, 300.0};
+    EXPECT_EXIT(bad_temp.validate(), ::testing::ExitedWithCode(1),
+                "temperature");
+}
+
+} // namespace
+} // namespace dfault::dram

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the DRAM power model behind the paper's energy
+ * motivation (refresh-power scaling with TREFP and VDD).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/power.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(Power, NominalIdleBreakdown)
+{
+    PowerModel model;
+    const OperatingPoint nominal{};
+    const PowerBreakdown p = model.rankPower(nominal, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(p.background, model.params().backgroundWatts);
+    EXPECT_DOUBLE_EQ(p.refresh, model.params().refreshWattsNominal);
+    EXPECT_DOUBLE_EQ(p.activate, 0.0);
+    EXPECT_DOUBLE_EQ(p.readWrite, 0.0);
+    EXPECT_DOUBLE_EQ(p.total(), p.background + p.refresh);
+}
+
+TEST(Power, RefreshInverselyProportionalToTrefp)
+{
+    PowerModel model;
+    const OperatingPoint nominal{};
+    const OperatingPoint relaxed{kNominalTrefp * 10.0, kNominalVdd,
+                                 50.0};
+    const double r_nominal = model.rankPower(nominal, 0, 0).refresh;
+    const double r_relaxed = model.rankPower(relaxed, 0, 0).refresh;
+    EXPECT_NEAR(r_nominal / r_relaxed, 10.0, 1e-9);
+}
+
+TEST(Power, MaxTrefpNearlyEliminatesRefreshPower)
+{
+    // The paper's point: at TREFP = 2.283 s the refresh rate is ~36x
+    // below nominal, making refresh power negligible.
+    PowerModel model;
+    const OperatingPoint op{kMaxTrefp, kMinVdd, 50.0};
+    const PowerBreakdown p = model.rankPower(op, 0, 0);
+    EXPECT_LT(p.refresh, 0.05 * model.params().refreshWattsNominal);
+}
+
+TEST(Power, VddScalesQuadratically)
+{
+    PowerModel model;
+    const OperatingPoint high{kNominalTrefp, 1.5, 50.0};
+    const OperatingPoint low{kNominalTrefp, 1.428, 50.0};
+    const double ratio = model.rankPower(low, 100, 100).total() /
+                         model.rankPower(high, 100, 100).total();
+    EXPECT_NEAR(ratio, (1.428 / 1.5) * (1.428 / 1.5), 1e-9);
+}
+
+TEST(Power, ActivityTermsScaleLinearly)
+{
+    PowerModel model;
+    const OperatingPoint op{};
+    const PowerBreakdown slow = model.rankPower(op, 1000.0, 2000.0);
+    const PowerBreakdown fast = model.rankPower(op, 2000.0, 4000.0);
+    EXPECT_NEAR(fast.activate, 2.0 * slow.activate, 1e-12);
+    EXPECT_NEAR(fast.readWrite, 2.0 * slow.readWrite, 1e-12);
+    EXPECT_DOUBLE_EQ(fast.background, slow.background);
+}
+
+TEST(Power, RefreshSavingsOverTwoHours)
+{
+    PowerModel model;
+    const OperatingPoint op{kMaxTrefp, kNominalVdd, 50.0};
+    const double joules = model.refreshSavings(op, 7200.0);
+    // Close to the full nominal refresh energy of the window.
+    const double full = model.params().refreshWattsNominal * 7200.0;
+    EXPECT_GT(joules, 0.9 * full);
+    EXPECT_LT(joules, full);
+    EXPECT_DOUBLE_EQ(model.refreshSavings(
+                         OperatingPoint{kNominalTrefp, kNominalVdd,
+                                        50.0},
+                         7200.0),
+                     0.0);
+}
+
+TEST(PowerDeath, NegativeRatesPanic)
+{
+    PowerModel model;
+    EXPECT_DEATH((void)model.rankPower(OperatingPoint{}, -1.0, 0.0),
+                 "negative");
+    EXPECT_DEATH((void)model.refreshSavings(OperatingPoint{}, -1.0),
+                 "negative");
+}
+
+TEST(PowerDeath, NegativeConstantsAreFatal)
+{
+    PowerModel::Params p;
+    p.backgroundWatts = -0.1;
+    EXPECT_EXIT(PowerModel{p}, ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+} // namespace
+} // namespace dfault::dram

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the DDR3 refresh-scheduling arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/refresh.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(Refresh, NominalDdr3Interval)
+{
+    RefreshScheduler scheduler;
+    const OperatingPoint nominal{};
+    // 64 ms / 8192 = 7.8125 us, the DDR3 tREFI.
+    EXPECT_NEAR(scheduler.refreshInterval(nominal), 7.8125e-6, 1e-12);
+    EXPECT_NEAR(scheduler.commandRate(nominal), 128000.0, 1.0);
+}
+
+TEST(Refresh, RelaxedPeriodScalesEverything)
+{
+    RefreshScheduler scheduler;
+    const OperatingPoint nominal{};
+    const OperatingPoint relaxed{kMaxTrefp, kNominalVdd, 50.0};
+    const double ratio = kMaxTrefp / kNominalTrefp; // ~35.7x
+    EXPECT_NEAR(scheduler.refreshInterval(relaxed) /
+                    scheduler.refreshInterval(nominal),
+                ratio, 1e-9);
+    EXPECT_NEAR(scheduler.commandRate(nominal) /
+                    scheduler.commandRate(relaxed),
+                ratio, 1e-9);
+    EXPECT_NEAR(scheduler.refreshPower(nominal) /
+                    scheduler.refreshPower(relaxed),
+                ratio, 1e-9);
+}
+
+TEST(Refresh, BlockedFractionIsSmallButReal)
+{
+    RefreshScheduler scheduler;
+    const OperatingPoint nominal{};
+    // 260 ns / 7.8125 us ~ 3.3% of the rank's time at nominal DDR3.
+    EXPECT_NEAR(scheduler.blockedFraction(nominal), 0.03328, 1e-4);
+    const OperatingPoint relaxed{kMaxTrefp, kNominalVdd, 50.0};
+    EXPECT_LT(scheduler.blockedFraction(relaxed), 0.001);
+}
+
+TEST(Refresh, CommandsWithinWindow)
+{
+    RefreshScheduler scheduler;
+    const OperatingPoint nominal{};
+    EXPECT_NEAR(scheduler.commandsWithin(nominal, 7.8125e-6), 1.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(scheduler.commandsWithin(nominal, 0.0), 0.0);
+}
+
+TEST(RefreshDeath, DegenerateConfigsAreFatal)
+{
+    RefreshScheduler::Params p;
+    p.commandsPerPeriod = 0;
+    EXPECT_EXIT(RefreshScheduler{p}, ::testing::ExitedWithCode(1),
+                "commandsPerPeriod");
+    RefreshScheduler::Params q;
+    q.trfc = 0.0;
+    EXPECT_EXIT(RefreshScheduler{q}, ::testing::ExitedWithCode(1),
+                "tRFC");
+
+    // A TREFP so short that refresh saturates the rank.
+    RefreshScheduler scheduler;
+    const OperatingPoint absurd{1e-3, kNominalVdd, 50.0};
+    EXPECT_EXIT((void)scheduler.blockedFraction(absurd),
+                ::testing::ExitedWithCode(1), "no time");
+}
+
+} // namespace
+} // namespace dfault::dram

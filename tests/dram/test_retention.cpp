@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the retention-time model: the physics that makes the
+ * nominal DDR3 point error-free and the relaxed points error-prone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/retention.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(Retention, NominalPointIsEffectivelyErrorFree)
+{
+    RetentionModel model;
+    const OperatingPoint nominal{}; // 64 ms, 1.5 V, 50 C
+    const double p = model.weakProbability(kNominalTrefp, nominal);
+    EXPECT_LT(p, 1e-15); // far below one failing cell per 8 GiB
+}
+
+TEST(Retention, RelaxedPointInPaperBand)
+{
+    RetentionModel model;
+    const OperatingPoint relaxed{kMaxTrefp, kMinVdd, 50.0};
+    const double p = model.weakProbability(kMaxTrefp, relaxed);
+    // Per-cell weak probability that yields the paper's 1e-8..1e-6
+    // per-word WER band once multiplied by 72 bits and vulnerability.
+    EXPECT_GT(p, 1e-11);
+    EXPECT_LT(p, 1e-6);
+}
+
+TEST(Retention, MonotoneInExposureTime)
+{
+    RetentionModel model;
+    const OperatingPoint op{1.0, kMinVdd, 60.0};
+    double prev = 0.0;
+    for (const Seconds t : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+        const double p = model.weakProbability(t, op);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Retention, MonotoneInTemperature)
+{
+    RetentionModel model;
+    double prev = 0.0;
+    for (const Celsius temp : {40.0, 50.0, 60.0, 70.0, 80.0}) {
+        const OperatingPoint op{kMaxTrefp, kMinVdd, temp};
+        const double p = model.weakProbability(kMaxTrefp, op);
+        EXPECT_GT(p, prev) << temp;
+        prev = p;
+    }
+}
+
+TEST(Retention, TemperatureAccelerationIsOrdersOfMagnitude)
+{
+    // Paper §V: 50 -> 70 C inflates error rates by orders of magnitude.
+    RetentionModel model;
+    const OperatingPoint cold{kMaxTrefp, kMinVdd, 50.0};
+    const OperatingPoint hot{kMaxTrefp, kMinVdd, 70.0};
+    const double ratio = model.weakProbability(kMaxTrefp, hot) /
+                         model.weakProbability(kMaxTrefp, cold);
+    EXPECT_GT(ratio, 100.0);
+    EXPECT_LT(ratio, 1e6);
+}
+
+TEST(Retention, VddReductionHasMildEffect)
+{
+    // Paper §V: lowering VDD by 5% alone is near error-free; the effect
+    // must be small compared to temperature.
+    RetentionModel model;
+    const OperatingPoint nominal_v{kMaxTrefp, kNominalVdd, 50.0};
+    const OperatingPoint low_v{kMaxTrefp, kMinVdd, 50.0};
+    const double ratio = model.weakProbability(kMaxTrefp, low_v) /
+                         model.weakProbability(kMaxTrefp, nominal_v);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Retention, DeviceScaleShiftsTail)
+{
+    RetentionModel model;
+    const OperatingPoint op{kMaxTrefp, kMinVdd, 50.0};
+    const double weak_dev = model.weakProbability(kMaxTrefp, op, 0.5);
+    const double strong_dev = model.weakProbability(kMaxTrefp, op, 2.0);
+    // A device whose cells retain half as long fails far more often.
+    EXPECT_GT(weak_dev / strong_dev, 100.0);
+}
+
+TEST(Retention, QuantileInvertsCdf)
+{
+    RetentionModel model;
+    const OperatingPoint op{kMaxTrefp, kMinVdd, 60.0};
+    for (const double p : {1e-9, 1e-6, 1e-3, 0.5}) {
+        const Seconds t = model.weakQuantile(p, op);
+        EXPECT_NEAR(model.weakProbability(t, op), p, p * 1e-6);
+    }
+}
+
+TEST(Retention, TauScaleNominalIsUnity)
+{
+    RetentionModel model;
+    const OperatingPoint ref{kNominalTrefp, kNominalVdd, 50.0};
+    EXPECT_NEAR(model.tauScale(ref), 1.0, 1e-12);
+}
+
+TEST(Retention, ZeroExposureHasZeroProbability)
+{
+    RetentionModel model;
+    EXPECT_DOUBLE_EQ(model.weakProbability(0.0, OperatingPoint{}), 0.0);
+    EXPECT_DOUBLE_EQ(model.weakProbability(-1.0, OperatingPoint{}), 0.0);
+}
+
+TEST(RetentionDeath, BadParamsAreFatal)
+{
+    RetentionModel::Params p;
+    p.sigma = 0.0;
+    EXPECT_EXIT(RetentionModel{p}, ::testing::ExitedWithCode(1),
+                "sigma");
+    RetentionModel::Params q;
+    q.tempAlpha = -0.1;
+    EXPECT_EXIT(RetentionModel{q}, ::testing::ExitedWithCode(1),
+                "tempAlpha");
+}
+
+} // namespace
+} // namespace dfault::dram

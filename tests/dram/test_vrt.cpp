@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the variable-retention-time model that shapes WER(t).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/vrt.hh"
+
+namespace dfault::dram {
+namespace {
+
+TEST(Vrt, StationaryFraction)
+{
+    VrtModel m({0.2, 0.6});
+    EXPECT_NEAR(m.stationaryActiveFraction(), 0.25, 1e-12);
+}
+
+TEST(Vrt, EverActiveStartsAtStationary)
+{
+    VrtModel m({0.1, 0.4});
+    EXPECT_NEAR(m.everActiveProbability(1),
+                m.stationaryActiveFraction(), 1e-12);
+}
+
+TEST(Vrt, EverActiveMonotoneToOne)
+{
+    VrtModel m;
+    double prev = 0.0;
+    for (std::uint64_t k = 1; k <= 400; k *= 2) {
+        const double p = m.everActiveProbability(k);
+        EXPECT_GT(p, prev);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+    EXPECT_GT(m.everActiveProbability(400), 0.999);
+}
+
+TEST(Vrt, ZeroEpochsIsZero)
+{
+    VrtModel m;
+    EXPECT_DOUBLE_EQ(m.everActiveProbability(0), 0.0);
+}
+
+TEST(Vrt, FirstActivationsSumToEverActive)
+{
+    VrtModel m;
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= 120; ++k)
+        sum += m.firstActivationProbability(k);
+    EXPECT_NEAR(sum, m.everActiveProbability(120), 1e-12);
+}
+
+TEST(Vrt, ConvergenceWithinTwoHours)
+{
+    // Paper Fig 4: the last 10 minutes of the 2-hour run change WER by
+    // less than ~3%. The discovery curve must be nearly flat there.
+    VrtModel m;
+    const double at110 = m.everActiveProbability(110);
+    const double at120 = m.everActiveProbability(120);
+    EXPECT_LT((at120 - at110) / at120, 0.03);
+}
+
+TEST(Vrt, FirstActivationDecreasing)
+{
+    VrtModel m;
+    double prev = 1.0;
+    for (std::uint64_t k = 2; k <= 50; ++k) {
+        const double p = m.firstActivationProbability(k);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(VrtDeath, BadRatesAreFatal)
+{
+    EXPECT_EXIT(VrtModel({0.0, 0.5}), ::testing::ExitedWithCode(1),
+                "onRate");
+    EXPECT_EXIT(VrtModel({0.5, 1.5}), ::testing::ExitedWithCode(1),
+                "offRate");
+}
+
+} // namespace
+} // namespace dfault::dram

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the 249-feature catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/catalog.hh"
+
+namespace dfault::features {
+namespace {
+
+TEST(Catalog, HasExactly249Features)
+{
+    // The count is part of the paper's identity: 247 counter metrics
+    // plus Treuse and HDP.
+    EXPECT_EQ(FeatureCatalog::instance().size(), 249u);
+    EXPECT_EQ(kFeatureCount, 249u);
+}
+
+TEST(Catalog, NamesAreUnique)
+{
+    const auto &names = FeatureCatalog::instance().names();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Catalog, HeadlineIndicesMatchNames)
+{
+    const auto &c = FeatureCatalog::instance();
+    EXPECT_EQ(c.name(kMemAccessesPerCycle), "mem_accesses_per_cycle");
+    EXPECT_EQ(c.name(kWaitCyclesRatio), "wait_cycles_ratio");
+    EXPECT_EQ(c.name(kHdpEntropy), "hdp_entropy");
+    EXPECT_EQ(c.name(kTreuseSeconds), "treuse_seconds");
+    EXPECT_EQ(c.name(kIpc), "ipc");
+    EXPECT_EQ(c.name(kCpuUtilization), "cpu_utilization");
+}
+
+TEST(Catalog, IndexInvertsName)
+{
+    const auto &c = FeatureCatalog::instance();
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c.index(c.name(i)), i);
+}
+
+TEST(Catalog, ContainsChecks)
+{
+    const auto &c = FeatureCatalog::instance();
+    EXPECT_TRUE(c.contains("l1_miss_ratio"));
+    EXPECT_TRUE(c.contains("bit63_one_prob"));
+    EXPECT_FALSE(c.contains("no_such_feature"));
+}
+
+TEST(CatalogDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)FeatureCatalog::instance().index("bogus"),
+                ::testing::ExitedWithCode(1), "unknown feature");
+}
+
+TEST(FeatureVector, DefaultsToZeros)
+{
+    FeatureVector v;
+    EXPECT_EQ(v.size(), kFeatureCount);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(FeatureVector, NamedAccess)
+{
+    FeatureVector v;
+    v.set("ipc", 1.5);
+    EXPECT_DOUBLE_EQ(v.get("ipc"), 1.5);
+    EXPECT_DOUBLE_EQ(v[kIpc], 1.5);
+    v[kHdpEntropy] = 20.0;
+    EXPECT_DOUBLE_EQ(v.get("hdp_entropy"), 20.0);
+}
+
+} // namespace
+} // namespace dfault::features

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and behavioural tests for the profiling phase (feature
+ * extraction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "features/extractor.hh"
+
+namespace dfault::features {
+namespace {
+
+sys::Platform &
+sharedPlatform()
+{
+    static sys::Platform platform;
+    return platform;
+}
+
+workloads::Workload::Params
+smallParams()
+{
+    workloads::Workload::Params p;
+    p.footprintBytes = 2 << 20;
+    p.workScale = 0.5;
+    return p;
+}
+
+const WorkloadProfile &
+sradProfile()
+{
+    static const WorkloadProfile profile = extractProfile(
+        sharedPlatform(), {"srad", 8, "srad(par)"}, smallParams());
+    return profile;
+}
+
+TEST(Extractor, ProfileIdentity)
+{
+    const auto &p = sradProfile();
+    EXPECT_EQ(p.label, "srad(par)");
+    EXPECT_EQ(p.threads, 8);
+    EXPECT_GT(p.footprintWords, 100000u);
+    EXPECT_GT(p.wallSeconds, 0.0);
+}
+
+TEST(Extractor, HeadlineFeaturesPopulated)
+{
+    const auto &f = sradProfile().features;
+    EXPECT_GT(f[kMemAccessesPerCycle], 0.0);
+    EXPECT_GT(f[kIpc], 0.0);
+    EXPECT_LE(f[kIpc], 1.0); // in-order core cannot exceed 1
+    EXPECT_GT(f[kWaitCyclesRatio], 0.0);
+    EXPECT_LT(f[kWaitCyclesRatio], 1.0);
+    EXPECT_GT(f[kHdpEntropy], 0.0);
+    EXPECT_GT(f[kTreuseSeconds], 0.0);
+    EXPECT_GT(f[kCpuUtilization], 0.5); // 8 threads on 8 cores
+}
+
+TEST(Extractor, CacheAndMcuFeaturesConsistent)
+{
+    const auto &f = sradProfile().features;
+    EXPECT_GT(f.get("l1_read_accesses_per_kc"), 0.0);
+    EXPECT_GT(f.get("l2_miss_ratio"), 0.0);
+    EXPECT_LE(f.get("l2_miss_ratio"), 1.0);
+    double mcu_cmds = 0.0;
+    for (int m = 0; m < 4; ++m)
+        mcu_cmds += f.get("mcu" + std::to_string(m) +
+                          "_read_cmds_per_kc") +
+                    f.get("mcu" + std::to_string(m) +
+                          "_write_cmds_per_kc");
+    EXPECT_NEAR(mcu_cmds, f.get("dram_cmds_per_kc"), 1e-6);
+    for (int m = 0; m < 4; ++m) {
+        const double hit_ratio =
+            f.get("mcu" + std::to_string(m) + "_row_hit_ratio");
+        EXPECT_GE(hit_ratio, 0.0);
+        EXPECT_LE(hit_ratio, 1.0);
+    }
+}
+
+TEST(Extractor, BankSharesSumToOnePerChannel)
+{
+    const auto &f = sradProfile().features;
+    for (int ch = 0; ch < 4; ++ch) {
+        double sum = 0.0;
+        for (int b = 0; b < 8; ++b)
+            sum += f.get("ch" + std::to_string(ch) + "_bank" +
+                         std::to_string(b) + "_act_share");
+        EXPECT_NEAR(sum, 1.0, 1e-6) << "channel " << ch;
+    }
+}
+
+TEST(Extractor, DeviceSharesSumToOne)
+{
+    const auto &f = sradProfile().features;
+    double sum = 0.0;
+    for (int d = 0; d < 8; ++d)
+        sum += f.get("dev" + std::to_string(d) +
+                     "_words_touched_share");
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Extractor, RowStatisticsCoverTouchedFootprint)
+{
+    const auto &p = sradProfile();
+    std::uint64_t rows = 0;
+    double touched_words = 0.0;
+    for (const auto &dev : p.deviceRows) {
+        rows += dev.size();
+        for (const auto &r : dev) {
+            EXPECT_GT(r.accessRate, 0.0);
+            EXPECT_GE(r.activationRate, 0.0);
+            EXPECT_GE(r.longestGap, 0.0);
+            EXPECT_GT(r.touchedWords, 0);
+            touched_words += r.touchedWords;
+        }
+    }
+    EXPECT_GT(rows, 100u);
+    // Touched words roughly cover the allocated footprint.
+    EXPECT_GT(touched_words,
+              0.5 * static_cast<double>(p.footprintWords));
+}
+
+TEST(Extractor, BitProbabilitiesAreProbabilities)
+{
+    const auto &p = sradProfile();
+    for (const double prob : p.bitOneProb) {
+        EXPECT_GE(prob, 0.0);
+        EXPECT_LE(prob, 1.0);
+    }
+}
+
+TEST(Extractor, UnusedThreadSlotsStayZero)
+{
+    // A 1-thread profile must leave thread1..7 features at zero.
+    const WorkloadProfile p = extractProfile(
+        sharedPlatform(), {"kmeans", 1, "kmeans"}, smallParams());
+    EXPECT_GT(p.features.get("thread0_ipc"), 0.0);
+    for (int t = 1; t < 8; ++t)
+        EXPECT_DOUBLE_EQ(
+            p.features.get("thread" + std::to_string(t) + "_ipc"),
+            0.0);
+}
+
+TEST(ProfileCache, ReturnsSameObjectForSameKey)
+{
+    auto &cache = ProfileCache::instance();
+    const workloads::WorkloadConfig config{"kmeans", 1, "kmeans"};
+    const auto params = smallParams();
+    const WorkloadProfile &a =
+        cache.get(sharedPlatform(), config, params);
+    const WorkloadProfile &b =
+        cache.get(sharedPlatform(), config, params);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Extractor, SupportsSmallerCustomGeometries)
+{
+    // A 2-channel platform must profile cleanly; the catalog's
+    // channel-2/3 features simply stay zero.
+    sys::Platform::Params pp;
+    pp.geometry.channels = 2;
+    pp.exec.timeDilation = sys::dilationForFootprint(1 << 20);
+    sys::Platform platform(pp);
+    workloads::Workload::Params wp;
+    wp.footprintBytes = 1 << 20;
+    wp.workScale = 0.5;
+    const WorkloadProfile p =
+        extractProfile(platform, {"kmeans", 1, "kmeans"}, wp);
+    EXPECT_GT(p.features.get("mcu0_read_cmds_per_kc"), 0.0);
+    EXPECT_DOUBLE_EQ(p.features.get("mcu2_read_cmds_per_kc"), 0.0);
+    EXPECT_DOUBLE_EQ(p.features.get("mcu3_read_cmds_per_kc"), 0.0);
+}
+
+TEST(ProfileCache, DistinguishesThreadCounts)
+{
+    auto &cache = ProfileCache::instance();
+    const auto params = smallParams();
+    const WorkloadProfile &serial = cache.get(
+        sharedPlatform(), {"kmeans", 1, "kmeans"}, params);
+    const WorkloadProfile &parallel = cache.get(
+        sharedPlatform(), {"kmeans", 8, "kmeans(par)"}, params);
+    EXPECT_NE(&serial, &parallel);
+    EXPECT_NE(serial.features[kCpuUtilization],
+              parallel.features[kCpuUtilization]);
+}
+
+} // namespace
+} // namespace dfault::features

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Integration tests of the paper's workload-level claims on the scaled
+ * platform: Table II reuse-time orderings, the entropy spectrum, and
+ * the serial-vs-parallel contrasts of §V-A.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/operating_point.hh"
+#include "features/extractor.hh"
+#include "sys/platform.hh"
+
+namespace dfault::features {
+namespace {
+
+constexpr std::uint64_t kFootprint = 4 << 20;
+
+sys::Platform &
+sharedPlatform()
+{
+    static sys::Platform platform([] {
+        sys::Platform::Params p;
+        p.hierarchy.l1.sizeBytes = 16 * 1024;
+        p.hierarchy.l2.sizeBytes = 1 << 20;
+        p.exec.timeDilation = sys::dilationForFootprint(kFootprint);
+        return p;
+    }());
+    return platform;
+}
+
+const WorkloadProfile &
+profileOf(const char *kernel, int threads)
+{
+    workloads::Workload::Params p;
+    p.footprintBytes = kFootprint;
+    p.workScale = 1.0;
+    return ProfileCache::instance().get(
+        sharedPlatform(),
+        {kernel, threads,
+         std::string(kernel) + (threads == 1 ? "" : "(par)")},
+        p);
+}
+
+TEST(PaperClaims, ReuseTimeOrderingMatchesTableII)
+{
+    // Table II (1 thread): nw 10.93 > fmm 8.88 > srad 2.82 >
+    // backprop 1.61 > kmeans 0.17; memcached 0.09 lowest overall.
+    const double nw = profileOf("nw", 1).treuse;
+    const double fmm = profileOf("fmm", 1).treuse;
+    const double kmeans = profileOf("kmeans", 1).treuse;
+    const double memcached = profileOf("memcached", 8).treuse;
+
+    EXPECT_GT(nw, fmm * 0.8);     // the two long-reuse kernels lead
+    EXPECT_GT(fmm, kmeans);       // compute-heavy above centroid-hot
+    EXPECT_GT(kmeans, memcached); // kmeans above the caching workload
+    EXPECT_LT(memcached, 0.25 * nw);
+}
+
+TEST(PaperClaims, ParallelReuseTimeIsShorterForComputeKernels)
+{
+    // §V-A: backprop/srad parallel versions implicitly refresh memory
+    // more frequently -> smaller Treuse than their serial versions.
+    EXPECT_LT(profileOf("backprop", 8).treuse,
+              profileOf("backprop", 1).treuse);
+    EXPECT_LT(profileOf("srad", 8).treuse,
+              profileOf("srad", 1).treuse);
+}
+
+TEST(PaperClaims, EntropySpectrumSpansTheSuite)
+{
+    // HDP varies across workloads: integer DP kernels (nw) carry far
+    // less write entropy than float kernels, and the random pattern
+    // micro-benchmark sits near the top of the spectrum.
+    const double nw = profileOf("nw", 8).entropy;
+    const double srad = profileOf("srad", 8).entropy;
+    const double random = profileOf("random", 8).entropy;
+    EXPECT_LT(nw, 0.6 * srad);
+    EXPECT_GT(random, 15.0);
+    EXPECT_LE(random, 32.0);
+    EXPECT_GT(srad, 15.0); // double-precision payloads
+}
+
+TEST(PaperClaims, MemcachedHasTheLowestReuseTime)
+{
+    const double memcached = profileOf("memcached", 8).treuse;
+    for (const char *kernel : {"backprop", "nw", "srad", "fmm"})
+        EXPECT_LT(memcached, profileOf(kernel, 8).treuse) << kernel;
+}
+
+TEST(PaperClaims, AggressiveBuildRaisesMemoryRate)
+{
+    // Fig 13's premise: the -F build has a higher memory-access rate
+    // per cycle than -O2 (fewer compute instructions in between).
+    const auto &o2 = profileOf("lulesh_o2", 8);
+    const auto &f = profileOf("lulesh_f", 8);
+    EXPECT_GT(f.features[kMemAccessesPerCycle],
+              o2.features[kMemAccessesPerCycle]);
+    EXPECT_GT(f.features.get("loads_per_cycle"),
+              o2.features.get("loads_per_cycle"));
+}
+
+TEST(PaperClaims, RandomMicroBenchmarkIsIdle)
+{
+    // The conventional profiling workload touches memory at a far
+    // lower rate than any real application (paper §II-C discussion).
+    const auto &random = profileOf("random", 8);
+    const auto &srad = profileOf("srad", 8);
+    EXPECT_LT(random.features[kMemAccessesPerCycle],
+              0.5 * srad.features[kMemAccessesPerCycle]);
+    // ... and its reuse gaps exceed the largest TREFP.
+    EXPECT_GT(random.treuse, dram::kMaxTrefp);
+}
+
+} // namespace
+} // namespace dfault::features

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Integration test: the 14-benchmark suite produces separable feature
+ * vectors — the precondition for the paper's ML study. Two benchmarks
+ * with identical features would be indistinguishable to any model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/extractor.hh"
+#include "sys/platform.hh"
+
+namespace dfault::features {
+namespace {
+
+constexpr std::uint64_t kFootprint = 4 << 20;
+
+std::vector<const WorkloadProfile *>
+suiteProfiles()
+{
+    static sys::Platform platform([] {
+        sys::Platform::Params p;
+        p.hierarchy.l1.sizeBytes = 16 * 1024;
+        p.hierarchy.l2.sizeBytes = 1 << 20;
+        p.exec.timeDilation = sys::dilationForFootprint(kFootprint);
+        return p;
+    }());
+    workloads::Workload::Params wp;
+    wp.footprintBytes = kFootprint;
+    wp.workScale = 0.5;
+
+    std::vector<const WorkloadProfile *> profiles;
+    for (const auto &config : workloads::standardSuite())
+        profiles.push_back(
+            &ProfileCache::instance().get(platform, config, wp));
+    return profiles;
+}
+
+/** Euclidean distance over the headline (input set 1) features. */
+double
+set1Distance(const WorkloadProfile &a, const WorkloadProfile &b)
+{
+    double d2 = 0.0;
+    for (const std::size_t idx :
+         {kMemAccessesPerCycle, kWaitCyclesRatio, kHdpEntropy,
+          kTreuseSeconds}) {
+        // Relative difference keeps the scales comparable.
+        const double va = a.features[idx];
+        const double vb = b.features[idx];
+        const double scale = std::max({std::abs(va), std::abs(vb),
+                                       1e-9});
+        const double d = (va - vb) / scale;
+        d2 += d * d;
+    }
+    return std::sqrt(d2);
+}
+
+TEST(Separability, SuiteProfilesArePairwiseDistinct)
+{
+    const auto profiles = suiteProfiles();
+    ASSERT_EQ(profiles.size(), 14u);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+            EXPECT_GT(set1Distance(*profiles[i], *profiles[j]), 1e-3)
+                << profiles[i]->label << " vs " << profiles[j]->label;
+        }
+    }
+}
+
+TEST(Separability, SerialAndParallelVariantsDiffer)
+{
+    const auto profiles = suiteProfiles();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const std::string &label = profiles[i]->label;
+        if (label.find("(par)") == std::string::npos)
+            continue;
+        const std::string serial = label.substr(0, label.find('('));
+        for (std::size_t j = 0; j < profiles.size(); ++j) {
+            if (profiles[j]->label != serial)
+                continue;
+            // Utilization alone must already separate 1 vs 8 threads.
+            EXPECT_GT(profiles[i]->features[kCpuUtilization],
+                      2.0 * profiles[j]->features[kCpuUtilization])
+                << label;
+        }
+    }
+}
+
+TEST(Separability, FootprintsAreComparableAcrossTheSuite)
+{
+    // The paper fixes the allocation size for every benchmark to
+    // exclude the data-size factor; the kernels must respect that.
+    const auto profiles = suiteProfiles();
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const auto *p : profiles) {
+        lo = std::min(lo, p->footprintWords);
+        hi = std::max(hi, p->footprintWords);
+    }
+    EXPECT_LT(static_cast<double>(hi) / lo, 1.5);
+}
+
+} // namespace
+} // namespace dfault::features

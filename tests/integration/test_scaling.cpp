@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Integration test of the fidelity-scaling assumptions (DESIGN.md §4):
+ * WER is a density and must be approximately invariant to the scaled
+ * footprint, and the characterization window length only matters
+ * through VRT convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.hh"
+
+namespace dfault::core {
+namespace {
+
+double
+werAtFootprint(std::uint64_t footprint_bytes)
+{
+    sys::Platform::Params pp;
+    pp.hierarchy.l1.sizeBytes = 16 * 1024;
+    pp.hierarchy.l2.sizeBytes = 1 << 20;
+    pp.exec.timeDilation = sys::dilationForFootprint(footprint_bytes);
+    sys::Platform platform(pp);
+    CharacterizationCampaign::Params params;
+    params.workload.footprintBytes = footprint_bytes;
+    params.workload.workScale = 0.5;
+    params.useThermalLoop = false;
+    CharacterizationCampaign campaign(platform, params);
+    const Measurement m = campaign.measure(
+        {"srad", 8, "srad(par)"}, {2.283, dram::kMinVdd, 60.0});
+    return m.run.wer();
+}
+
+TEST(Scaling, WerIsFootprintInvariantWithinTolerance)
+{
+    const double at2 = werAtFootprint(2 << 20);
+    const double at8 = werAtFootprint(8 << 20);
+    ASSERT_GT(at2, 0.0);
+    ASSERT_GT(at8, 0.0);
+    // Density metric: a 4x footprint change must stay within ~2.5x
+    // (sampling noise + cache-pressure effects are real but bounded).
+    const double ratio = at8 / at2;
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Scaling, LongerWindowsOnlyAddVrtTail)
+{
+    sys::Platform platform;
+    CharacterizationCampaign::Params params;
+    params.workload.footprintBytes = 2 << 20;
+    params.workload.workScale = 0.5;
+    params.useThermalLoop = false;
+
+    params.integrator.epochs = 60;
+    CharacterizationCampaign one_hour(platform, params);
+    params.integrator.epochs = 120;
+    CharacterizationCampaign two_hours(platform, params);
+
+    const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
+    const double wer60 =
+        one_hour.measure({"srad", 8, "srad(par)"}, op).run.wer();
+    const double wer120 =
+        two_hours.measure({"srad", 8, "srad(par)"}, op).run.wer();
+    ASSERT_GT(wer60, 0.0);
+    EXPECT_GE(wer120, wer60 * 0.95);
+    // The second hour finds only the VRT tail: < 35% more locations.
+    EXPECT_LT(wer120 / wer60, 1.35);
+}
+
+TEST(Scaling, ExposureDefaultsToPaperFootprint)
+{
+    // The default integrator emulates the paper's 8 GiB allocation for
+    // absolute counts.
+    ErrorIntegrator integrator;
+    EXPECT_LE(integrator.params().exposureWords, 0.0); // auto
+}
+
+} // namespace
+} // namespace dfault::core

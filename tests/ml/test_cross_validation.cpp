@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the Leave-One-Benchmark-Out protocol (paper §III-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/cross_validation.hh"
+
+namespace dfault::ml {
+namespace {
+
+Dataset
+threeGroups()
+{
+    Dataset d({"f"});
+    d.addSample({1.0}, 0.1, "a");
+    d.addSample({2.0}, 0.2, "b");
+    d.addSample({3.0}, 0.3, "a");
+    d.addSample({4.0}, 0.4, "c");
+    d.addSample({5.0}, 0.5, "b");
+    return d;
+}
+
+TEST(Logo, OneFoldPerGroup)
+{
+    const auto folds = leaveOneGroupOut(threeGroups());
+    ASSERT_EQ(folds.size(), 3u);
+    EXPECT_EQ(folds[0].heldOutGroup, "a");
+    EXPECT_EQ(folds[1].heldOutGroup, "b");
+    EXPECT_EQ(folds[2].heldOutGroup, "c");
+}
+
+TEST(Logo, TestRowsAreExactlyTheGroup)
+{
+    const Dataset d = threeGroups();
+    for (const auto &fold : leaveOneGroupOut(d)) {
+        for (const std::size_t r : fold.testRows)
+            EXPECT_EQ(d.groups()[r], fold.heldOutGroup);
+        for (const std::size_t r : fold.trainRows)
+            EXPECT_NE(d.groups()[r], fold.heldOutGroup);
+    }
+}
+
+TEST(Logo, SplitsPartitionTheDataset)
+{
+    const Dataset d = threeGroups();
+    for (const auto &fold : leaveOneGroupOut(d)) {
+        EXPECT_EQ(fold.trainRows.size() + fold.testRows.size(),
+                  d.size());
+        std::vector<std::size_t> all = fold.trainRows;
+        all.insert(all.end(), fold.testRows.begin(),
+                   fold.testRows.end());
+        std::sort(all.begin(), all.end());
+        for (std::size_t i = 0; i < all.size(); ++i)
+            EXPECT_EQ(all[i], i);
+    }
+}
+
+TEST(Logo, SingleGroupYieldsEmptyTraining)
+{
+    Dataset d({"f"});
+    d.addSample({1.0}, 0.1, "only");
+    d.addSample({2.0}, 0.2, "only");
+    const auto folds = leaveOneGroupOut(d);
+    ASSERT_EQ(folds.size(), 1u);
+    EXPECT_TRUE(folds[0].trainRows.empty());
+    EXPECT_EQ(folds[0].testRows.size(), 2u);
+}
+
+TEST(Logo, EmptyDatasetYieldsNoFolds)
+{
+    Dataset d({"f"});
+    EXPECT_TRUE(leaveOneGroupOut(d).empty());
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the ML dataset container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hh"
+
+namespace dfault::ml {
+namespace {
+
+Dataset
+sample()
+{
+    Dataset d({"a", "b"});
+    d.addSample({1.0, 10.0}, 0.1, "g1");
+    d.addSample({2.0, 20.0}, 0.2, "g2");
+    d.addSample({3.0, 30.0}, 0.3, "g1");
+    return d;
+}
+
+TEST(Dataset, BasicAccessors)
+{
+    const Dataset d = sample();
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_EQ(d.featureCount(), 2u);
+    EXPECT_FALSE(d.empty());
+    EXPECT_DOUBLE_EQ(d.x()[1][0], 2.0);
+    EXPECT_DOUBLE_EQ(d.y()[2], 0.3);
+    EXPECT_EQ(d.groups()[0], "g1");
+}
+
+TEST(Dataset, ColumnExtraction)
+{
+    const Dataset d = sample();
+    const auto col = d.column(1);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[0], 10.0);
+    EXPECT_DOUBLE_EQ(col[2], 30.0);
+}
+
+TEST(Dataset, DistinctGroupsInAppearanceOrder)
+{
+    const Dataset d = sample();
+    const auto groups = d.distinctGroups();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], "g1");
+    EXPECT_EQ(groups[1], "g2");
+}
+
+TEST(Dataset, SubsetByRows)
+{
+    const Dataset d = sample();
+    const std::vector<std::size_t> rows{2, 0};
+    const Dataset s = d.subset(rows);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.y()[0], 0.3);
+    EXPECT_DOUBLE_EQ(s.y()[1], 0.1);
+    EXPECT_EQ(s.featureNames(), d.featureNames());
+}
+
+TEST(Dataset, ProjectColumns)
+{
+    const Dataset d = sample();
+    const std::vector<std::size_t> cols{1};
+    const Dataset p = d.project(cols);
+    EXPECT_EQ(p.featureCount(), 1u);
+    EXPECT_EQ(p.featureNames()[0], "b");
+    EXPECT_DOUBLE_EQ(p.x()[0][0], 10.0);
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.groups(), d.groups());
+}
+
+TEST(DatasetDeath, SchemaMismatchPanics)
+{
+    Dataset d({"a", "b"});
+    EXPECT_DEATH(d.addSample({1.0}, 0.0, "g"), "schema");
+}
+
+TEST(DatasetDeath, BadIndicesPanic)
+{
+    const Dataset d = sample();
+    EXPECT_DEATH((void)d.column(5), "out of range");
+    const std::vector<std::size_t> bad{9};
+    EXPECT_DEATH((void)d.subset(bad), "out of range");
+    EXPECT_DEATH((void)d.project(bad), "out of range");
+}
+
+} // namespace
+} // namespace dfault::ml

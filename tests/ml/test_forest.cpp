@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the random-forest regressor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/forest.hh"
+
+namespace dfault::ml {
+namespace {
+
+TEST(Forest, FitsStepFunction)
+{
+    RandomForestRegressor::Params p;
+    p.trees = 30;
+    RandomForestRegressor rf(p);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        const double v = i / 100.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 5.0);
+    }
+    rf.fit(x, y);
+    EXPECT_NEAR(rf.predict(std::vector<double>{0.2}), 1.0, 0.3);
+    EXPECT_NEAR(rf.predict(std::vector<double>{0.8}), 5.0, 0.3);
+}
+
+TEST(Forest, ConstantTargetExactly)
+{
+    RandomForestRegressor rf;
+    const Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+    const std::vector<double> y{7.0, 7.0, 7.0, 7.0};
+    rf.fit(x, y);
+    EXPECT_DOUBLE_EQ(rf.predict(std::vector<double>{1.5}), 7.0);
+}
+
+TEST(Forest, UsesMultipleFeatures)
+{
+    RandomForestRegressor::Params p;
+    p.trees = 50;
+    p.maxFeatures = 2;
+    RandomForestRegressor rf(p);
+    Rng rng(4);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(a > 0.5 && b > 0.5 ? 10.0 : 0.0);
+    }
+    rf.fit(x, y);
+    EXPECT_GT(rf.predict(std::vector<double>{0.9, 0.9}), 6.0);
+    EXPECT_LT(rf.predict(std::vector<double>{0.1, 0.1}), 2.0);
+}
+
+TEST(Forest, DeterministicForSeed)
+{
+    Rng rng(5);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back({rng.uniform()});
+        y.push_back(rng.uniform());
+    }
+    RandomForestRegressor a, b;
+    a.fit(x, y);
+    b.fit(x, y);
+    for (const double q : {0.1, 0.5, 0.9})
+        EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{q}),
+                         b.predict(std::vector<double>{q}));
+}
+
+TEST(Forest, DepthLimitCoarsensFit)
+{
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 64; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y.push_back(static_cast<double>(i));
+    }
+    RandomForestRegressor::Params shallow;
+    shallow.maxDepth = 1;
+    shallow.trees = 10;
+    RandomForestRegressor rf(shallow);
+    rf.fit(x, y);
+    // A depth-1 tree can produce at most two distinct leaf values, so
+    // the fit must be visibly coarse at the extremes.
+    const double low = rf.predict(std::vector<double>{0.0});
+    const double high = rf.predict(std::vector<double>{63.0});
+    EXPECT_GT(low, 5.0);
+    EXPECT_LT(high, 58.0);
+    EXPECT_LT(low, high);
+}
+
+TEST(Forest, MinSamplesLeafRespected)
+{
+    RandomForestRegressor::Params p;
+    p.minSamplesLeaf = 50; // larger than half the data -> no split
+    p.trees = 5;
+    RandomForestRegressor rf(p);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 60; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y.push_back(i < 30 ? 0.0 : 10.0);
+    }
+    rf.fit(x, y);
+    // With no split possible every prediction is near the global mean
+    // of the bootstrap samples.
+    EXPECT_NEAR(rf.predict(std::vector<double>{0.0}), 5.0, 2.0);
+    EXPECT_NEAR(rf.predict(std::vector<double>{59.0}), 5.0, 2.0);
+}
+
+TEST(Forest, Name)
+{
+    EXPECT_EQ(RandomForestRegressor().name(), "RDF");
+}
+
+TEST(ForestDeath, InvalidParamsAreFatal)
+{
+    RandomForestRegressor::Params p;
+    p.trees = 0;
+    EXPECT_EXIT(RandomForestRegressor{p}, ::testing::ExitedWithCode(1),
+                "tree count");
+    RandomForestRegressor::Params q;
+    q.minSamplesLeaf = 0;
+    EXPECT_EXIT(RandomForestRegressor{q}, ::testing::ExitedWithCode(1),
+                "minSamplesLeaf");
+}
+
+TEST(ForestDeath, PredictBeforeFitPanics)
+{
+    RandomForestRegressor rf;
+    EXPECT_DEATH((void)rf.predict(std::vector<double>{0.0}),
+                 "before fit");
+}
+
+} // namespace
+} // namespace dfault::ml

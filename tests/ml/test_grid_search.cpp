@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for LOGO grid search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/grid_search.hh"
+#include "ml/knn.hh"
+
+namespace dfault::ml {
+namespace {
+
+Dataset
+smoothData()
+{
+    Dataset d({"x"});
+    Rng rng(7);
+    for (int g = 0; g < 6; ++g)
+        for (int i = 0; i < 10; ++i) {
+            const double x = g / 6.0 + rng.uniform() / 6.0;
+            d.addSample({x}, x * x, "g" + std::to_string(g));
+        }
+    return d;
+}
+
+std::vector<GridCandidate>
+knnGrid()
+{
+    std::vector<GridCandidate> grid;
+    for (const int k : {1, 3, 25}) {
+        KnnRegressor::Params p;
+        p.k = k;
+        grid.push_back({"knn_k" + std::to_string(k), [p] {
+                            return std::make_unique<KnnRegressor>(p);
+                        }});
+    }
+    return grid;
+}
+
+TEST(GridSearch, EvaluatesEveryCandidate)
+{
+    const auto results = gridSearch(smoothData(), knnGrid());
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].label, "knn_k1");
+    for (const auto &r : results)
+        EXPECT_GT(r.meanRmse, 0.0);
+}
+
+TEST(GridSearch, PrefersSensibleK)
+{
+    // k=25 averages over nearly the whole 50-sample training set and
+    // must lose to small k on a smooth function.
+    const auto results = gridSearch(smoothData(), knnGrid());
+    const std::size_t best = bestCandidate(results);
+    EXPECT_NE(results[best].label, "knn_k25");
+    EXPECT_LT(results[best].meanRmse, results[2].meanRmse);
+}
+
+TEST(GridSearch, DeterministicResults)
+{
+    const auto a = gridSearch(smoothData(), knnGrid());
+    const auto b = gridSearch(smoothData(), knnGrid());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].meanRmse, b[i].meanRmse);
+}
+
+TEST(GridSearchDeath, BadInputsAreFatal)
+{
+    Dataset empty({"x"});
+    EXPECT_DEATH((void)gridSearch(empty, knnGrid()), "needs data");
+    EXPECT_DEATH((void)gridSearch(smoothData(), {}),
+                 "needs candidates");
+    EXPECT_DEATH((void)bestCandidate({}), "no grid results");
+
+    // A single group cannot be cross-validated.
+    Dataset one_group({"x"});
+    one_group.addSample({0.0}, 0.0, "only");
+    one_group.addSample({1.0}, 1.0, "only");
+    EXPECT_DEATH((void)gridSearch(one_group, knnGrid()),
+                 "two groups");
+}
+
+} // namespace
+} // namespace dfault::ml

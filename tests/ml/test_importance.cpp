@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for permutation feature importance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/forest.hh"
+#include "ml/importance.hh"
+#include "ml/knn.hh"
+
+namespace dfault::ml {
+namespace {
+
+/** target = 3*informative + noise; "noise" column is pure noise. */
+Dataset
+twoFeatureData(std::uint64_t seed, int n = 200)
+{
+    Dataset d({"informative", "noise"});
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        d.addSample({a, b}, 3.0 * a + 0.01 * rng.normal(),
+                    "g" + std::to_string(i % 4));
+    }
+    return d;
+}
+
+TEST(Importance, InformativeFeatureDominates)
+{
+    const Dataset train = twoFeatureData(1);
+    const Dataset eval = twoFeatureData(2, 100);
+    RandomForestRegressor model;
+    model.fit(train.x(), train.y());
+
+    const auto importances = permutationImportance(model, eval);
+    ASSERT_EQ(importances.size(), 2u);
+    EXPECT_GT(importances[0].rmseIncrease, 0.3);
+    EXPECT_LT(std::abs(importances[1].rmseIncrease),
+              0.3 * importances[0].rmseIncrease);
+    EXPECT_EQ(importances[0].name, "informative");
+}
+
+TEST(Importance, RankingSortsDescending)
+{
+    const Dataset train = twoFeatureData(3);
+    const Dataset eval = twoFeatureData(4, 100);
+    KnnRegressor model;
+    model.fit(train.x(), train.y());
+    const auto ranked = rankImportance(model, eval);
+    ASSERT_EQ(ranked.size(), 2u);
+    EXPECT_GE(ranked[0].rmseIncrease, ranked[1].rmseIncrease);
+    EXPECT_EQ(ranked[0].name, "informative");
+}
+
+TEST(Importance, DeterministicForSeed)
+{
+    const Dataset train = twoFeatureData(5);
+    const Dataset eval = twoFeatureData(6, 60);
+    KnnRegressor model;
+    model.fit(train.x(), train.y());
+    const auto a = permutationImportance(model, eval, 3, 99);
+    const auto b = permutationImportance(model, eval, 3, 99);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i].rmseIncrease, b[i].rmseIncrease);
+}
+
+TEST(ImportanceDeath, EmptyEvalPanics)
+{
+    KnnRegressor model;
+    model.fit(Matrix{{0.0}}, std::vector<double>{0.0});
+    Dataset empty({"x"});
+    EXPECT_DEATH((void)permutationImportance(model, empty),
+                 "evaluation samples");
+}
+
+} // namespace
+} // namespace dfault::ml

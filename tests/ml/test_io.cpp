@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for dataset CSV serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/io.hh"
+
+namespace dfault::ml {
+namespace {
+
+Dataset
+sample()
+{
+    Dataset d({"alpha", "beta"});
+    d.addSample({1.5, -2.25}, 1e-7, "backprop");
+    d.addSample({0.0, 1e-300}, 0.0, "memcached");
+    d.addSample({3.14159265358979, 42.0}, 0.5, "srad(par)");
+    return d;
+}
+
+TEST(CsvIo, RoundTripPreservesEverything)
+{
+    const Dataset original = sample();
+    std::stringstream buffer;
+    writeCsv(original, buffer);
+    const Dataset loaded = readCsv(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.featureNames(), original.featureNames());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded.groups()[i], original.groups()[i]);
+        EXPECT_DOUBLE_EQ(loaded.y()[i], original.y()[i]);
+        for (std::size_t j = 0; j < original.featureCount(); ++j)
+            EXPECT_DOUBLE_EQ(loaded.x()[i][j], original.x()[i][j]);
+    }
+}
+
+TEST(CsvIo, HeaderLayout)
+{
+    std::stringstream buffer;
+    writeCsv(sample(), buffer);
+    std::string header;
+    std::getline(buffer, header);
+    EXPECT_EQ(header, "alpha,beta,target,group");
+}
+
+TEST(CsvIo, EmptyDatasetRoundTrips)
+{
+    Dataset empty({"x"});
+    std::stringstream buffer;
+    writeCsv(empty, buffer);
+    const Dataset loaded = readCsv(buffer);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.featureCount(), 1u);
+}
+
+TEST(CsvIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "dfault_io.csv";
+    writeCsvFile(sample(), path);
+    const Dataset loaded = readCsvFile(path);
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.groups()[2], "srad(par)");
+}
+
+TEST(CsvIo, SkipsBlankLines)
+{
+    std::stringstream buffer("x,target,group\n1,2,g\n\n3,4,h\n");
+    const Dataset loaded = readCsv(buffer);
+    EXPECT_EQ(loaded.size(), 2u);
+}
+
+TEST(CsvIoDeath, MalformedInputsAreFatal)
+{
+    {
+        std::stringstream missing_header("");
+        EXPECT_EXIT((void)readCsv(missing_header),
+                    ::testing::ExitedWithCode(1), "header");
+    }
+    {
+        std::stringstream bad_header("a,b\n");
+        EXPECT_EXIT((void)readCsv(bad_header),
+                    ::testing::ExitedWithCode(1), "target,group");
+    }
+    {
+        std::stringstream short_row("x,target,group\n1,2\n");
+        EXPECT_EXIT((void)readCsv(short_row),
+                    ::testing::ExitedWithCode(1), "fields");
+    }
+    {
+        std::stringstream bad_number("x,target,group\nnope,2,g\n");
+        EXPECT_EXIT((void)readCsv(bad_number),
+                    ::testing::ExitedWithCode(1), "bad number");
+    }
+}
+
+TEST(CsvIoDeath, UnserializableLabelsAreFatal)
+{
+    Dataset d({"x"});
+    d.addSample({1.0}, 0.0, "has,comma");
+    std::stringstream buffer;
+    EXPECT_EXIT(writeCsv(d, buffer), ::testing::ExitedWithCode(1),
+                "separator");
+    EXPECT_EXIT(writeCsvFile(sample(), "/no/such/dir/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace dfault::ml

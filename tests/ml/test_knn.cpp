@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the KNN regressor — the paper's most accurate model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ml/knn.hh"
+
+namespace dfault::ml {
+namespace {
+
+TEST(Knn, ExactMatchReturnsStoredTarget)
+{
+    KnnRegressor knn;
+    const Matrix x{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+    const std::vector<double> y{10.0, 20.0, 30.0};
+    knn.fit(x, y);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{1.0, 0.0}), 20.0);
+}
+
+TEST(Knn, UnweightedAveragesNeighbours)
+{
+    KnnRegressor::Params p;
+    p.k = 2;
+    p.distanceWeighted = false;
+    KnnRegressor knn(p);
+    const Matrix x{{0.0}, {1.0}, {100.0}};
+    const std::vector<double> y{10.0, 20.0, 500.0};
+    knn.fit(x, y);
+    // Nearest two of 0.4 are x=0 and x=1.
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.4}), 15.0);
+}
+
+TEST(Knn, DistanceWeightingFavoursCloserNeighbour)
+{
+    KnnRegressor::Params p;
+    p.k = 2;
+    KnnRegressor knn(p);
+    const Matrix x{{0.0}, {1.0}};
+    const std::vector<double> y{10.0, 20.0};
+    knn.fit(x, y);
+    const double pred = knn.predict(std::vector<double>{0.1});
+    EXPECT_GT(pred, 10.0);
+    EXPECT_LT(pred, 15.0); // closer to y(0)=10 than the midpoint
+}
+
+TEST(Knn, KLargerThanTrainingSetClamps)
+{
+    KnnRegressor::Params p;
+    p.k = 10;
+    p.distanceWeighted = false;
+    KnnRegressor knn(p);
+    const Matrix x{{0.0}, {2.0}};
+    const std::vector<double> y{1.0, 3.0};
+    knn.fit(x, y);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{1.0}), 2.0);
+}
+
+TEST(Knn, RecoversSmoothFunction)
+{
+    // Dense 1-D samples of a smooth function: interpolation error must
+    // be small, which is exactly why KNN wins on the paper's dataset.
+    KnnRegressor knn;
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i <= 100; ++i) {
+        const double v = i / 100.0;
+        x.push_back({v});
+        y.push_back(v * v);
+    }
+    knn.fit(x, y);
+    for (const double q : {0.105, 0.333, 0.777}) {
+        EXPECT_NEAR(knn.predict(std::vector<double>{q}), q * q, 0.01);
+    }
+}
+
+TEST(Knn, RefitReplacesModel)
+{
+    KnnRegressor knn;
+    knn.fit(Matrix{{0.0}}, std::vector<double>{5.0});
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.0}), 5.0);
+    knn.fit(Matrix{{0.0}}, std::vector<double>{9.0});
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.0}), 9.0);
+}
+
+TEST(Knn, Name)
+{
+    EXPECT_EQ(KnnRegressor().name(), "KNN");
+}
+
+TEST(KnnDeath, PredictBeforeFitPanics)
+{
+    KnnRegressor knn;
+    EXPECT_DEATH((void)knn.predict(std::vector<double>{1.0}),
+                 "before fit");
+}
+
+TEST(KnnDeath, MismatchedTrainingDataPanics)
+{
+    KnnRegressor knn;
+    EXPECT_DEATH(knn.fit(Matrix{{1.0}}, std::vector<double>{1.0, 2.0}),
+                 "size mismatch");
+}
+
+TEST(KnnDeath, BadKIsFatal)
+{
+    KnnRegressor::Params p;
+    p.k = 0;
+    EXPECT_EXIT(KnnRegressor{p}, ::testing::ExitedWithCode(1),
+                "k must be positive");
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the accuracy metrics (MPE as reported in Figs 11/12,
+ * multiplicative error factor as in Fig 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hh"
+
+namespace dfault::ml {
+namespace {
+
+TEST(Metrics, PercentageError)
+{
+    EXPECT_DOUBLE_EQ(percentageError(10.0, 11.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentageError(10.0, 9.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentageError(10.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentageError(-4.0, -6.0), 50.0);
+}
+
+TEST(Metrics, MeanPercentageError)
+{
+    const std::vector<double> measured{10.0, 20.0};
+    const std::vector<double> predicted{11.0, 16.0};
+    // 10% and 20% -> 15%.
+    EXPECT_DOUBLE_EQ(meanPercentageError(measured, predicted), 15.0);
+}
+
+TEST(Metrics, MpeSkipsZeroBaselines)
+{
+    const std::vector<double> measured{0.0, 10.0};
+    const std::vector<double> predicted{5.0, 12.0};
+    EXPECT_DOUBLE_EQ(meanPercentageError(measured, predicted), 20.0);
+}
+
+TEST(Metrics, MpeAllZerosIsZero)
+{
+    const std::vector<double> measured{0.0, 0.0};
+    const std::vector<double> predicted{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(meanPercentageError(measured, predicted), 0.0);
+}
+
+TEST(Metrics, Rmse)
+{
+    const std::vector<double> measured{1.0, 2.0, 3.0};
+    const std::vector<double> predicted{2.0, 2.0, 5.0};
+    EXPECT_NEAR(rmse(measured, predicted), std::sqrt(5.0 / 3.0),
+                1e-12);
+    EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+TEST(Metrics, ErrorFactorMultiplicative)
+{
+    // A uniform 2.9x over/under-estimate gives factor 2.9 — the
+    // conventional-model error the paper quotes.
+    const std::vector<double> measured{1e-7, 2e-7, 5e-8};
+    std::vector<double> predicted;
+    for (const double m : measured)
+        predicted.push_back(m * 2.9);
+    EXPECT_NEAR(errorFactor(measured, predicted), 2.9, 1e-9);
+
+    std::vector<double> under;
+    for (const double m : measured)
+        under.push_back(m / 2.9);
+    EXPECT_NEAR(errorFactor(measured, under), 2.9, 1e-9);
+}
+
+TEST(Metrics, ErrorFactorPerfect)
+{
+    const std::vector<double> v{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(errorFactor(v, v), 1.0);
+}
+
+TEST(Metrics, ErrorFactorSkipsNonPositive)
+{
+    const std::vector<double> measured{0.0, 1.0};
+    const std::vector<double> predicted{5.0, 2.0};
+    EXPECT_NEAR(errorFactor(measured, predicted), 2.0, 1e-12);
+}
+
+TEST(MetricsDeath, LengthMismatchPanics)
+{
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_DEATH((void)meanPercentageError(a, b), "length");
+    EXPECT_DEATH((void)rmse(a, b), "length");
+    EXPECT_DEATH((void)errorFactor(a, b), "length");
+}
+
+TEST(MetricsDeath, ZeroBaselinePanicsInPointForm)
+{
+    EXPECT_DEATH((void)percentageError(0.0, 1.0), "zero baseline");
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for feature standardization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/scaler.hh"
+
+namespace dfault::ml {
+namespace {
+
+TEST(Scaler, StandardizesToZeroMeanUnitVariance)
+{
+    const Matrix x{{1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}};
+    StandardScaler s;
+    s.fit(x);
+    const Matrix t = s.transform(x);
+
+    for (std::size_t j = 0; j < 2; ++j) {
+        double mean = 0.0, var = 0.0;
+        for (const auto &row : t)
+            mean += row[j];
+        mean /= 3.0;
+        for (const auto &row : t)
+            var += (row[j] - mean) * (row[j] - mean);
+        var /= 3.0;
+        EXPECT_NEAR(mean, 0.0, 1e-12);
+        EXPECT_NEAR(var, 1.0, 1e-12);
+    }
+}
+
+TEST(Scaler, ConstantColumnCentersToZero)
+{
+    const Matrix x{{5.0}, {5.0}, {5.0}};
+    StandardScaler s;
+    s.fit(x);
+    for (const auto &row : s.transform(x))
+        EXPECT_DOUBLE_EQ(row[0], 0.0);
+}
+
+TEST(Scaler, TransformUnseenRowUsesTrainStatistics)
+{
+    const Matrix train{{0.0}, {10.0}};
+    StandardScaler s;
+    s.fit(train);
+    const std::vector<double> row{5.0};
+    EXPECT_NEAR(s.transform(row)[0], 0.0, 1e-12); // at the train mean
+    const std::vector<double> outlier{20.0};
+    EXPECT_GT(s.transform(outlier)[0], 2.0);
+}
+
+TEST(Scaler, FittedFlag)
+{
+    StandardScaler s;
+    EXPECT_FALSE(s.fitted());
+    s.fit(Matrix{{1.0}});
+    EXPECT_TRUE(s.fitted());
+}
+
+TEST(ScalerDeath, UseBeforeFitPanics)
+{
+    StandardScaler s;
+    const std::vector<double> row{1.0};
+    EXPECT_DEATH((void)s.transform(row), "before fit");
+}
+
+TEST(ScalerDeath, WidthMismatchPanics)
+{
+    StandardScaler s;
+    s.fit(Matrix{{1.0, 2.0}});
+    const std::vector<double> row{1.0};
+    EXPECT_DEATH((void)s.transform(row), "width mismatch");
+}
+
+TEST(ScalerDeath, EmptyFitPanics)
+{
+    StandardScaler s;
+    EXPECT_DEATH(s.fit(Matrix{}), "empty");
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for Spearman-based feature selection (paper Fig 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/selection.hh"
+
+namespace dfault::ml {
+namespace {
+
+Dataset
+syntheticFeatures()
+{
+    // Feature 0: monotone with target (rs = 1).
+    // Feature 1: anti-monotone (rs = -1).
+    // Feature 2: independent noise (rs ~ 0).
+    Dataset d({"monotone", "anti", "noise"});
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        const double t = i / 200.0;
+        d.addSample({std::exp(t), 1.0 / (1.0 + t), rng.uniform()},
+                    t * t, "g" + std::to_string(i % 5));
+    }
+    return d;
+}
+
+TEST(Selection, CorrelationsInFeatureOrder)
+{
+    const auto cors = correlateFeatures(syntheticFeatures());
+    ASSERT_EQ(cors.size(), 3u);
+    EXPECT_EQ(cors[0].name, "monotone");
+    EXPECT_NEAR(cors[0].rs, 1.0, 1e-9);
+    EXPECT_NEAR(cors[1].rs, -1.0, 1e-9);
+    EXPECT_NEAR(cors[2].rs, 0.0, 0.15);
+    EXPECT_EQ(cors[0].featureIndex, 0u);
+    EXPECT_EQ(cors[2].featureIndex, 2u);
+}
+
+TEST(Selection, RankingSortsByAbsoluteRs)
+{
+    const auto ranked = rankFeatures(syntheticFeatures());
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[2].name, "noise");
+    EXPECT_GE(std::abs(ranked[0].rs), std::abs(ranked[1].rs));
+    EXPECT_GE(std::abs(ranked[1].rs), std::abs(ranked[2].rs));
+}
+
+TEST(Selection, ConstantFeatureScoresZero)
+{
+    Dataset d({"constant"});
+    for (int i = 0; i < 10; ++i)
+        d.addSample({5.0}, static_cast<double>(i), "g");
+    const auto cors = correlateFeatures(d);
+    EXPECT_DOUBLE_EQ(cors[0].rs, 0.0);
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the epsilon-SVR with RBF kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/svr.hh"
+
+namespace dfault::ml {
+namespace {
+
+TEST(Svr, FitsConstantTarget)
+{
+    SvrRegressor svr;
+    const Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+    const std::vector<double> y{5.0, 5.0, 5.0, 5.0};
+    svr.fit(x, y);
+    EXPECT_NEAR(svr.predict(std::vector<double>{1.5}), 5.0, 0.1);
+}
+
+TEST(Svr, FitsLinearTrendWithinTube)
+{
+    SvrRegressor::Params p;
+    p.epsilon = 0.01;
+    p.c = 100.0;
+    SvrRegressor svr(p);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i <= 20; ++i) {
+        x.push_back({i / 20.0});
+        y.push_back(2.0 * i / 20.0 - 0.5);
+    }
+    svr.fit(x, y);
+    for (const auto &row : x) {
+        const double target = 2.0 * row[0] - 0.5;
+        EXPECT_NEAR(svr.predict(row), target, 0.1);
+    }
+}
+
+TEST(Svr, FitsNonlinearFunction)
+{
+    SvrRegressor::Params p;
+    p.epsilon = 0.02;
+    p.c = 50.0;
+    SvrRegressor svr(p);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i <= 40; ++i) {
+        const double v = i / 40.0 * 3.0;
+        x.push_back({v});
+        y.push_back(std::sin(v));
+    }
+    svr.fit(x, y);
+    for (const double q : {0.5, 1.5, 2.5})
+        EXPECT_NEAR(svr.predict(std::vector<double>{q}), std::sin(q),
+                    0.15);
+}
+
+TEST(Svr, EpsilonTubeSparsifiesSupports)
+{
+    // With a wide tube around constant-ish data, almost no sample
+    // should become a support vector.
+    SvrRegressor::Params wide;
+    wide.epsilon = 1.0;
+    SvrRegressor svr(wide);
+    Matrix x;
+    std::vector<double> y;
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        x.push_back({rng.uniform()});
+        y.push_back(0.1 * rng.uniform());
+    }
+    svr.fit(x, y);
+    EXPECT_EQ(svr.supportVectorCount(), 0u);
+
+    SvrRegressor::Params narrow;
+    narrow.epsilon = 0.0001;
+    SvrRegressor svr2(narrow);
+    svr2.fit(x, y);
+    EXPECT_GT(svr2.supportVectorCount(), 10u);
+}
+
+TEST(Svr, BoxConstraintLimitsInfluence)
+{
+    // A single wild outlier must not dominate with a small C.
+    SvrRegressor::Params p;
+    p.c = 0.1;
+    p.epsilon = 0.01;
+    SvrRegressor svr(p);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back({i / 20.0});
+        y.push_back(0.0);
+    }
+    x.push_back({0.5});
+    y.push_back(100.0); // outlier
+    svr.fit(x, y);
+    EXPECT_LT(svr.predict(std::vector<double>{0.5}), 10.0);
+}
+
+TEST(Svr, ExplicitGammaAccepted)
+{
+    SvrRegressor::Params p;
+    p.gamma = 2.0;
+    SvrRegressor svr(p);
+    svr.fit(Matrix{{0.0}, {1.0}}, std::vector<double>{0.0, 1.0});
+    const double mid = svr.predict(std::vector<double>{0.5});
+    EXPECT_GT(mid, 0.1);
+    EXPECT_LT(mid, 0.9);
+}
+
+TEST(Svr, Name)
+{
+    EXPECT_EQ(SvrRegressor().name(), "SVM");
+}
+
+TEST(SvrDeath, InvalidParamsAreFatal)
+{
+    SvrRegressor::Params p;
+    p.c = 0.0;
+    EXPECT_EXIT(SvrRegressor{p}, ::testing::ExitedWithCode(1), "C");
+    SvrRegressor::Params q;
+    q.epsilon = -1.0;
+    EXPECT_EXIT(SvrRegressor{q}, ::testing::ExitedWithCode(1),
+                "epsilon");
+}
+
+TEST(SvrDeath, PredictBeforeFitPanics)
+{
+    SvrRegressor svr;
+    EXPECT_DEATH((void)svr.predict(std::vector<double>{0.0}),
+                 "before fit");
+}
+
+} // namespace
+} // namespace dfault::ml

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the percentile bootstrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "stats/bootstrap.hh"
+
+namespace dfault::stats {
+namespace {
+
+TEST(Bootstrap, MeanMatchesSampleMean)
+{
+    const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+    const auto ci = bootstrapMeanCi(sample);
+    EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+    EXPECT_LE(ci.lo, ci.mean);
+    EXPECT_GE(ci.hi, ci.mean);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth)
+{
+    const std::vector<double> sample{7.0, 7.0, 7.0};
+    const auto ci = bootstrapMeanCi(sample);
+    EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(Bootstrap, CoversTrueMeanAtNominalRate)
+{
+    // Draw many N(5, 1) samples of size 30; the 95% interval should
+    // contain the true mean in roughly 95% of the experiments.
+    Rng rng(42);
+    int covered = 0;
+    const int experiments = 300;
+    for (int e = 0; e < experiments; ++e) {
+        std::vector<double> sample;
+        for (int i = 0; i < 30; ++i)
+            sample.push_back(rng.normal(5.0, 1.0));
+        const auto ci = bootstrapMeanCi(sample, 0.95, 500,
+                                        1000 + static_cast<std::uint64_t>(e));
+        covered += ci.lo <= 5.0 && 5.0 <= ci.hi;
+    }
+    const double rate = static_cast<double>(covered) / experiments;
+    EXPECT_GT(rate, 0.88);
+    EXPECT_LT(rate, 0.99);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval)
+{
+    Rng rng(7);
+    std::vector<double> sample;
+    for (int i = 0; i < 50; ++i)
+        sample.push_back(rng.uniform());
+    const auto narrow = bootstrapMeanCi(sample, 0.80);
+    const auto wide = bootstrapMeanCi(sample, 0.99);
+    EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, DeterministicForSeed)
+{
+    const std::vector<double> sample{1.0, 5.0, 2.0, 8.0, 3.0};
+    const auto a = bootstrapMeanCi(sample, 0.9, 500, 11);
+    const auto b = bootstrapMeanCi(sample, 0.9, 500, 11);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapDeath, BadInputsPanic)
+{
+    EXPECT_DEATH((void)bootstrapMeanCi({}), "empty");
+    const std::vector<double> s{1.0};
+    EXPECT_DEATH((void)bootstrapMeanCi(s, 1.5), "confidence");
+    EXPECT_DEATH((void)bootstrapMeanCi(s, 0.9, 0), "resample");
+}
+
+} // namespace
+} // namespace dfault::stats

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for Pearson and Spearman correlation (the feature-selection
+ * statistic of paper Fig 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/correlation.hh"
+
+namespace dfault::stats {
+namespace {
+
+TEST(Pearson, PerfectLinear)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> neg(y.rbegin(), y.rend());
+    EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantColumnGivesZero)
+{
+    const std::vector<double> x{3, 3, 3, 3};
+    const std::vector<double> y{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(y, x), 0.0);
+}
+
+TEST(Pearson, KnownValue)
+{
+    // Anscombe's first quartet: r = 0.81642.
+    const std::vector<double> x{10, 8, 13, 9, 11, 14, 6, 4, 12, 7, 5};
+    const std::vector<double> y{8.04, 6.95, 7.58, 8.81, 8.33, 9.96,
+                                7.24, 4.26, 10.84, 4.82, 5.68};
+    EXPECT_NEAR(pearson(x, y), 0.81642, 1e-4);
+}
+
+TEST(Ranks, MidrankTies)
+{
+    const std::vector<double> x{10.0, 20.0, 20.0, 30.0};
+    const auto r = ranks(x);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Ranks, AllEqual)
+{
+    const auto r = ranks(std::vector<double>{5, 5, 5});
+    for (const double v : r)
+        EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Spearman, MonotonicNonlinearIsPerfect)
+{
+    // Spearman detects any monotonic relation, unlike Pearson; this is
+    // why the paper uses rs for feature selection.
+    std::vector<double> x, y;
+    for (int i = 1; i <= 20; ++i) {
+        x.push_back(i);
+        y.push_back(std::exp(0.5 * i)); // convex, strictly increasing
+    }
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+    EXPECT_LT(pearson(x, y), 0.9);
+}
+
+TEST(Spearman, AntiMonotonic)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 10; ++i) {
+        x.push_back(i);
+        y.push_back(1.0 / (1.0 + i));
+    }
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentNearZero)
+{
+    Rng rng(99);
+    std::vector<double> x, y;
+    for (int i = 0; i < 3000; ++i) {
+        x.push_back(rng.uniform());
+        y.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(spearman(x, y), 0.0, 0.05);
+}
+
+TEST(Spearman, TiesHandled)
+{
+    const std::vector<double> x{1, 2, 2, 3};
+    const std::vector<double> y{10, 20, 20, 30};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationDeath, LengthMismatchPanics)
+{
+    const std::vector<double> x{1, 2, 3};
+    const std::vector<double> y{1, 2};
+    EXPECT_DEATH((void)pearson(x, y), "length mismatch");
+    EXPECT_DEATH((void)spearman(x, y), "length mismatch");
+}
+
+} // namespace
+} // namespace dfault::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the analytic normal/lognormal CDFs and quantiles the
+ * retention model relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hh"
+
+namespace dfault::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.0), 0.1586553, 1e-6);
+    EXPECT_NEAR(normalCdf(1.959964), 0.975, 1e-6);
+}
+
+TEST(NormalCdf, Symmetry)
+{
+    for (const double z : {0.3, 1.7, 2.9, 4.2})
+        EXPECT_NEAR(normalCdf(z) + normalCdf(-z), 1.0, 1e-12);
+}
+
+TEST(NormalCdf, DeepTailIsAccurate)
+{
+    // The retention model evaluates the CDF 5-7 sigmas into the tail;
+    // erfc-based evaluation must not underflow there.
+    EXPECT_NEAR(normalCdf(-6.0) / 9.8659e-10, 1.0, 1e-3);
+    EXPECT_GT(normalCdf(-8.0), 0.0);
+}
+
+TEST(NormalCdf, ShiftedScaled)
+{
+    EXPECT_NEAR(normalCdf(12.0, 10.0, 2.0), normalCdf(1.0), 1e-12);
+}
+
+TEST(LognormalCdf, NonPositiveSupport)
+{
+    EXPECT_DOUBLE_EQ(lognormalCdf(0.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(lognormalCdf(-5.0, 0.0, 1.0), 0.0);
+}
+
+TEST(LognormalCdf, MedianAtExpMu)
+{
+    EXPECT_NEAR(lognormalCdf(std::exp(2.0), 2.0, 0.7), 0.5, 1e-12);
+}
+
+/** Quantile/CDF round-trip across the probability range. */
+class QuantileRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantileRoundTrip, NormalInverse)
+{
+    const double p = GetParam();
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-8);
+}
+
+TEST_P(QuantileRoundTrip, LognormalInverse)
+{
+    const double p = GetParam();
+    const double x = lognormalQuantile(p, 1.5, 0.8);
+    EXPECT_NEAR(lognormalCdf(x, 1.5, 0.8), p, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantileRoundTrip,
+                         ::testing::Values(1e-9, 1e-6, 0.01, 0.1, 0.5,
+                                           0.9, 0.999, 1.0 - 1e-7));
+
+TEST(NormalQuantile, KnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(NormalQuantileDeath, RejectsBoundaries)
+{
+    EXPECT_DEATH((void)normalQuantile(0.0), "out of");
+    EXPECT_DEATH((void)normalQuantile(1.0), "out of");
+}
+
+} // namespace
+} // namespace dfault::stats

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for Shannon entropy estimators (HDP, paper Eq. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "stats/entropy.hh"
+
+namespace dfault::stats {
+namespace {
+
+TEST(Entropy, UniformDistributionIsLogN)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> counts;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        counts[i] = 10;
+    EXPECT_NEAR(shannonEntropy(counts), 4.0, 1e-12);
+}
+
+TEST(Entropy, DegenerateDistributionIsZero)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> counts{{7u, 1000u}};
+    EXPECT_DOUBLE_EQ(shannonEntropy(counts), 0.0);
+}
+
+TEST(Entropy, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(
+        shannonEntropy(std::unordered_map<std::uint32_t,
+                                          std::uint64_t>{}),
+        0.0);
+}
+
+TEST(Entropy, ZeroCountEntriesIgnored)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> counts{{1u, 5u},
+                                                            {2u, 0u}};
+    EXPECT_DOUBLE_EQ(shannonEntropy(counts), 0.0);
+}
+
+TEST(Entropy, BiasedCoin)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> counts{{0u, 9u},
+                                                            {1u, 1u}};
+    const double expected =
+        -(0.9 * std::log2(0.9) + 0.1 * std::log2(0.1));
+    EXPECT_NEAR(shannonEntropy(counts), expected, 1e-12);
+}
+
+TEST(Entropy, ProbabilityVectorForm)
+{
+    const std::vector<double> p{0.5, 0.25, 0.25};
+    EXPECT_NEAR(shannonEntropy(p), 1.5, 1e-12);
+    const std::vector<double> with_zero{1.0, 0.0};
+    EXPECT_DOUBLE_EQ(shannonEntropy(with_zero), 0.0);
+}
+
+TEST(BitOneProbabilities, AllOnesAndAllZeros)
+{
+    std::array<double, 64> p{};
+    const std::vector<std::uint64_t> ones{~0ULL, ~0ULL};
+    bitOneProbabilities(ones, p);
+    for (const double v : p)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+
+    const std::vector<std::uint64_t> zeros{0, 0, 0};
+    bitOneProbabilities(zeros, p);
+    for (const double v : p)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BitOneProbabilities, PerPositionMix)
+{
+    std::array<double, 64> p{};
+    // Bit 0 set in half of the words, bit 1 in all, others in none.
+    const std::vector<std::uint64_t> words{0b10, 0b11, 0b10, 0b11};
+    bitOneProbabilities(words, p);
+    EXPECT_DOUBLE_EQ(p[0], 0.5);
+    EXPECT_DOUBLE_EQ(p[1], 1.0);
+    for (int b = 2; b < 64; ++b)
+        EXPECT_DOUBLE_EQ(p[b], 0.0);
+}
+
+TEST(BitOneProbabilities, EmptyInputGivesZeros)
+{
+    std::array<double, 64> p{};
+    p.fill(0.7);
+    bitOneProbabilities(std::vector<std::uint64_t>{}, p);
+    for (const double v : p)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+} // namespace
+} // namespace dfault::stats

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for linear and logarithmic histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hh"
+
+namespace dfault::stats {
+namespace {
+
+TEST(Histogram, BinningBasics)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);  // bin 0
+    h.add(1.9);  // bin 0
+    h.add(2.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0); // upper edge is exclusive
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(2.0, 12.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 4.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 12.0);
+}
+
+TEST(Histogram, ProbabilitiesExcludeOutliers)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(99.0); // overflow, excluded from probabilities
+    const auto p = h.probabilities();
+    EXPECT_NEAR(p[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(p[1], 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(p[2], 0.0);
+}
+
+TEST(Histogram, EmptyProbabilitiesAreZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    for (const double p : h.probabilities())
+        EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(HistogramDeath, BadConstruction)
+{
+    EXPECT_DEATH(Histogram(1.0, 0.0, 4), "inverted");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one bin");
+}
+
+TEST(LogHistogram, DecadeBins)
+{
+    LogHistogram h(1.0, 1000.0, 3);
+    h.add(2.0);    // first decade
+    h.add(50.0);   // second decade
+    h.add(500.0);  // third decade
+    h.add(999.0);  // third decade
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_NEAR(h.binLow(1), 10.0, 1e-9);
+    EXPECT_NEAR(h.binHigh(1), 100.0, 1e-9);
+}
+
+TEST(LogHistogram, NonPositiveGoesToUnderflow)
+{
+    LogHistogram h(1.0, 100.0, 2);
+    h.add(0.0);
+    h.add(-3.0);
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 3u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogramDeath, RequiresPositiveLowerBound)
+{
+    EXPECT_DEATH(LogHistogram(0.0, 10.0, 2), "positive lower bound");
+}
+
+} // namespace
+} // namespace dfault::stats

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the execution context (core model + simulated memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/geometry.hh"
+#include "mem/hierarchy.hh"
+#include "sys/execution.hh"
+#include "trace/access.hh"
+
+namespace dfault::sys {
+namespace {
+
+struct Fixture
+{
+    dram::Geometry geometry;
+    mem::MemoryHierarchy hierarchy{geometry};
+    trace::InstrumentationBus bus;
+};
+
+TEST(Execution, AllocateIsAlignedAndMonotone)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    const Addr a = ctx.allocate(100);
+    const Addr b = ctx.allocate(1);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(ctx.footprintBytes(), b + 64);
+}
+
+TEST(Execution, StoreLoadRoundTrip)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    const Addr base = ctx.allocate(1024);
+    ctx.store(0, base + 8, 0xdeadbeefULL);
+    EXPECT_EQ(ctx.load(0, base + 8), 0xdeadbeefULL);
+    EXPECT_EQ(ctx.peek(base + 8), 0xdeadbeefULL);
+    EXPECT_EQ(ctx.peek(base), 0u); // zero initialized
+}
+
+TEST(Execution, CountersTrackInstructionMix)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    const Addr base = ctx.allocate(1024);
+    ctx.load(0, base);
+    ctx.store(0, base, 1);
+    ctx.compute(0, 10);
+    ctx.computeFp(0, 5);
+    ctx.branch(0, true);
+    const CoreStats &s = ctx.coreStats(0);
+    EXPECT_EQ(s.loads, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.intOps, 10u);
+    EXPECT_EQ(s.fpOps, 5u);
+    EXPECT_EQ(s.branches, 1u);
+    EXPECT_EQ(s.branchMisses, 1u);
+    EXPECT_EQ(s.instructions, 18u);
+    EXPECT_EQ(ctx.globalInstructions(), 18u);
+}
+
+TEST(Execution, ThreadsHaveIndependentClocks)
+{
+    Fixture f;
+    ExecutionContext::Params p;
+    p.threads = 2;
+    ExecutionContext ctx(f.hierarchy, f.bus, p);
+    ctx.compute(0, 100);
+    ctx.compute(1, 30);
+    EXPECT_EQ(ctx.coreStats(0).cycles, 100u);
+    EXPECT_EQ(ctx.coreStats(1).cycles, 30u);
+    EXPECT_EQ(ctx.wallCycles(), 100u);
+    EXPECT_EQ(ctx.totalStats().cycles, 130u);
+}
+
+TEST(Execution, MemoryStallsAccrueWaitCycles)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    const Addr base = ctx.allocate(1024);
+    ctx.load(0, base); // cold miss all the way to DRAM
+    EXPECT_GT(ctx.coreStats(0).waitCycles, 0u);
+    EXPECT_GT(ctx.coreStats(0).cycles, 1u);
+}
+
+TEST(Execution, MlpDiscountsStall)
+{
+    Fixture a, b;
+    ExecutionContext::Params p1;
+    p1.memoryLevelParallelism = 1.0;
+    ExecutionContext slow(a.hierarchy, a.bus, p1);
+    ExecutionContext::Params p8;
+    p8.memoryLevelParallelism = 8.0;
+    ExecutionContext fast(b.hierarchy, b.bus, p8);
+    const Addr x = slow.allocate(64);
+    const Addr y = fast.allocate(64);
+    slow.load(0, x);
+    fast.load(0, y);
+    EXPECT_GT(slow.coreStats(0).waitCycles,
+              fast.coreStats(0).waitCycles);
+}
+
+TEST(Execution, WallSecondsUsesDilation)
+{
+    Fixture f;
+    ExecutionContext::Params p;
+    p.clockHz = 1e9;
+    p.timeDilation = 100.0;
+    ExecutionContext ctx(f.hierarchy, f.bus, p);
+    ctx.compute(0, 1000000); // 1e6 cycles
+    EXPECT_NEAR(ctx.wallSeconds(), 1e6 * 100.0 / 1e9, 1e-12);
+}
+
+TEST(Execution, CpiAndPerInstructionTime)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    ctx.compute(0, 500); // pure ALU: CPI = 1
+    EXPECT_DOUBLE_EQ(ctx.cpi(), 1.0);
+    EXPECT_GT(ctx.wallSecondsPerInstruction(), 0.0);
+}
+
+TEST(Execution, EventsReachInstrumentationBus)
+{
+    Fixture f;
+    struct Counter : trace::AccessSink
+    {
+        int events = 0;
+        std::uint64_t lastValue = 0;
+        void
+        onAccess(const trace::AccessEvent &e) override
+        {
+            ++events;
+            if (e.isWrite)
+                lastValue = e.value;
+        }
+    } counter;
+    f.bus.attach(&counter);
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    const Addr base = ctx.allocate(64);
+    ctx.load(0, base);
+    ctx.store(0, base, 42);
+    EXPECT_EQ(counter.events, 2);
+    EXPECT_EQ(counter.lastValue, 42u);
+    f.bus.detach(&counter);
+    ctx.load(0, base);
+    EXPECT_EQ(counter.events, 2);
+}
+
+TEST(ExecutionDeath, OutOfBoundsAccessPanics)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    ctx.allocate(64);
+    EXPECT_DEATH(ctx.store(0, 4096, 1), "beyond allocated");
+}
+
+TEST(ExecutionDeath, CapacityExhaustionIsFatal)
+{
+    Fixture f;
+    ExecutionContext ctx(f.hierarchy, f.bus);
+    EXPECT_EXIT(ctx.allocate(f.geometry.capacityBytes() + 64),
+                ::testing::ExitedWithCode(1), "exceeds DRAM capacity");
+}
+
+TEST(ExecutionDeath, BadThreadPanics)
+{
+    Fixture f;
+    ExecutionContext::Params p;
+    p.threads = 2;
+    ExecutionContext ctx(f.hierarchy, f.bus, p);
+    EXPECT_DEATH(ctx.compute(2, 1), "thread id");
+}
+
+} // namespace
+} // namespace dfault::sys

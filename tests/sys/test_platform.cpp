@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the assembled platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/platform.hh"
+
+namespace dfault::sys {
+namespace {
+
+TEST(Platform, DefaultAssemblyMatchesPaperServer)
+{
+    Platform p;
+    EXPECT_EQ(p.geometry().params().channels, 4);
+    EXPECT_EQ(p.devices().size(), 8u);
+    EXPECT_EQ(p.hierarchy().cores(), 8);
+    EXPECT_EQ(p.thermal().dimms(), 4);
+}
+
+TEST(Platform, SameSeedSameHardware)
+{
+    Platform a, b;
+    for (std::size_t i = 0; i < a.devices().size(); ++i)
+        EXPECT_DOUBLE_EQ(a.devices()[i].retentionScale(),
+                         b.devices()[i].retentionScale());
+}
+
+TEST(Platform, DeviceLookupByIdentity)
+{
+    Platform p;
+    const auto &dev = p.device(dram::DeviceId{2, 1});
+    EXPECT_EQ(dev.id().dimm, 2);
+    EXPECT_EQ(dev.id().rank, 1);
+}
+
+TEST(Platform, StartRunResetsHierarchy)
+{
+    Platform p;
+    {
+        ExecutionContext ctx = p.startRun(1);
+        const Addr a = ctx.allocate(4096);
+        ctx.load(0, a);
+        EXPECT_GT(p.hierarchy().l1CountersTotal().accesses(), 0u);
+    }
+    ExecutionContext fresh = p.startRun(2);
+    EXPECT_EQ(p.hierarchy().l1CountersTotal().accesses(), 0u);
+    EXPECT_EQ(fresh.threads(), 2);
+    EXPECT_EQ(fresh.footprintBytes(), 0u);
+}
+
+TEST(Platform, ThermalDimmCountFollowsGeometry)
+{
+    Platform::Params params;
+    params.geometry.channels = 2;
+    params.geometry.ranksPerDimm = 2;
+    Platform p(params);
+    EXPECT_EQ(p.thermal().dimms(), 2);
+    EXPECT_EQ(p.devices().size(), 4u);
+}
+
+TEST(PlatformDeath, ZeroThreadRunPanics)
+{
+    Platform p;
+    EXPECT_DEATH((void)p.startRun(0), "at least one thread");
+}
+
+} // namespace
+} // namespace dfault::sys

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the thermal testbed: heater plant + PID control loop
+ * (paper §IV-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/thermal.hh"
+
+namespace dfault::sys {
+namespace {
+
+TEST(Pid, DrivesTowardSetpoint)
+{
+    PidController pid({2.0, 0.1, 0.0}, 0.0, 100.0);
+    double command = pid.step(10.0, 0.0, 0.1);
+    EXPECT_GT(command, 0.0);
+    command = pid.step(10.0, 20.0, 0.1); // overshoot -> back off
+    EXPECT_DOUBLE_EQ(command, 0.0);      // clamped at the low bound
+}
+
+TEST(Pid, OutputClamped)
+{
+    PidController pid({1000.0, 0.0, 0.0}, 0.0, 40.0);
+    EXPECT_DOUBLE_EQ(pid.step(100.0, 0.0, 0.1), 40.0);
+}
+
+TEST(Pid, ResetClearsIntegral)
+{
+    PidController pid({0.0, 10.0, 0.0}, -100.0, 100.0);
+    for (int i = 0; i < 10; ++i)
+        pid.step(1.0, 0.0, 0.1);
+    const double wound = pid.step(1.0, 0.0, 0.1);
+    pid.reset();
+    const double fresh = pid.step(1.0, 0.0, 0.1);
+    EXPECT_GT(wound, fresh);
+}
+
+/** The testbed must settle at every temperature the paper uses. */
+class ThermalSettle : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThermalSettle, ReachesTarget)
+{
+    ThermalTestbed bed;
+    bed.setTargetAll(GetParam());
+    ASSERT_TRUE(bed.stepUntilSettled());
+    for (int d = 0; d < bed.dimms(); ++d)
+        EXPECT_NEAR(bed.temperature(d), GetParam(), 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLevels, ThermalSettle,
+                         ::testing::Values(50.0, 60.0, 70.0));
+
+TEST(Thermal, StartsAtAmbient)
+{
+    ThermalTestbed::Params p;
+    p.ambient = 30.0;
+    ThermalTestbed bed(p);
+    for (int d = 0; d < bed.dimms(); ++d)
+        EXPECT_DOUBLE_EQ(bed.temperature(d), 30.0);
+}
+
+TEST(Thermal, PerDimmTargets)
+{
+    ThermalTestbed bed;
+    bed.setTarget(0, 50.0);
+    bed.setTarget(1, 60.0);
+    bed.setTarget(2, 70.0);
+    bed.setTarget(3, 55.0);
+    ASSERT_TRUE(bed.stepUntilSettled());
+    EXPECT_NEAR(bed.temperature(0), 50.0, 0.6);
+    EXPECT_NEAR(bed.temperature(1), 60.0, 0.6);
+    EXPECT_NEAR(bed.temperature(2), 70.0, 0.6);
+    EXPECT_NEAR(bed.temperature(3), 55.0, 0.6);
+}
+
+TEST(Thermal, DramSelfHeatingRaisesEquilibrium)
+{
+    // With the heater off, DRAM activity alone warms the DIMM above
+    // ambient (and the controller must compensate when targeting).
+    ThermalTestbed::Params p;
+    ThermalTestbed bed(p);
+    bed.setDramPower(0, 8.0);
+    for (int i = 0; i < 4000; ++i)
+        bed.step();
+    EXPECT_GT(bed.temperature(0), p.ambient + 5.0);
+    EXPECT_NEAR(bed.temperature(1), p.ambient, 1.0);
+}
+
+TEST(Thermal, CoolsBackAfterTargetLowered)
+{
+    ThermalTestbed bed;
+    bed.setTargetAll(70.0);
+    ASSERT_TRUE(bed.stepUntilSettled());
+    bed.setTargetAll(50.0);
+    ASSERT_TRUE(bed.stepUntilSettled(100000));
+    EXPECT_NEAR(bed.temperature(0), 50.0, 0.6);
+}
+
+TEST(ThermalDeath, UnreachableTargetIsFatal)
+{
+    ThermalTestbed bed; // max ~ ambient + 40W/0.8W/K = 85 C
+    EXPECT_EXIT(bed.setTarget(0, 200.0), ::testing::ExitedWithCode(1),
+                "unreachable");
+}
+
+TEST(ThermalDeath, BadDimmIndexPanics)
+{
+    ThermalTestbed bed;
+    EXPECT_DEATH((void)bed.temperature(4), "out of range");
+    EXPECT_DEATH(bed.setDramPower(-1, 1.0), "out of range");
+}
+
+} // namespace
+} // namespace dfault::sys

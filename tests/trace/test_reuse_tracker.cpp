@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the reuse-distance tracker (Treuse, paper Eq. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/reuse_tracker.hh"
+
+namespace dfault::trace {
+namespace {
+
+AccessEvent
+at(Addr addr, std::uint64_t instr, bool write = false)
+{
+    AccessEvent e;
+    e.addr = addr;
+    e.instrIndex = instr;
+    e.isWrite = write;
+    return e;
+}
+
+TEST(ReuseTracker, FirstTouchIsNotAReuse)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 10));
+    EXPECT_EQ(t.reuseCount(), 0u);
+    EXPECT_EQ(t.uniqueWords(), 1u);
+}
+
+TEST(ReuseTracker, DistanceIsInstructionDelta)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(8, 100));
+    t.onAccess(at(8, 150));
+    EXPECT_EQ(t.reuseCount(), 1u);
+    EXPECT_DOUBLE_EQ(t.meanReuseDistance(), 50.0);
+    t.onAccess(at(8, 160));
+    EXPECT_DOUBLE_EQ(t.meanReuseDistance(), 30.0); // mean of 50 and 10
+}
+
+TEST(ReuseTracker, WordGranularity)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 0));
+    t.onAccess(at(7, 10)); // same 64-bit word
+    t.onAccess(at(8, 20)); // next word
+    EXPECT_EQ(t.uniqueWords(), 2u);
+    EXPECT_EQ(t.reuseCount(), 1u);
+}
+
+TEST(ReuseTracker, ZeroInstructionIndexHandled)
+{
+    // instrIndex 0 must still mark the word as referenced.
+    ReuseTracker t(1024);
+    t.onAccess(at(16, 0));
+    t.onAccess(at(16, 5));
+    EXPECT_EQ(t.reuseCount(), 1u);
+    EXPECT_DOUBLE_EQ(t.meanReuseDistance(), 5.0);
+}
+
+TEST(ReuseTracker, AverageReuseSeconds)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 0));
+    t.onAccess(at(0, 1000));
+    // 1000 instructions * CPI 2 / 1 GHz = 2 microseconds.
+    EXPECT_NEAR(t.averageReuseSeconds(2.0, 1e9), 2e-6, 1e-12);
+}
+
+TEST(ReuseTracker, NoReusesGiveZeroSeconds)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 0));
+    EXPECT_DOUBLE_EQ(t.averageReuseSeconds(1.0, 1e9), 0.0);
+}
+
+TEST(ReuseTracker, ResetForgetsHistory)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 0));
+    t.onAccess(at(0, 10));
+    t.reset();
+    EXPECT_EQ(t.reuseCount(), 0u);
+    EXPECT_EQ(t.uniqueWords(), 0u);
+    t.onAccess(at(0, 20));
+    EXPECT_EQ(t.reuseCount(), 0u); // fresh first touch
+}
+
+TEST(ReuseTracker, DistanceStatsExposed)
+{
+    ReuseTracker t(1024);
+    t.onAccess(at(0, 0));
+    t.onAccess(at(0, 10));
+    t.onAccess(at(0, 40));
+    const auto &s = t.distanceStats();
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(ReuseTrackerDeath, OutOfRangePanics)
+{
+    ReuseTracker t(64);
+    EXPECT_DEATH(t.onAccess(at(4096, 0)), "outside the tracked range");
+}
+
+} // namespace
+} // namespace dfault::trace

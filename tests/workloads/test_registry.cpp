@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the workload registry and the paper's suite layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/registry.hh"
+
+namespace dfault::workloads {
+namespace {
+
+TEST(Registry, CreatesEveryKernel)
+{
+    Workload::Params params;
+    params.footprintBytes = 1 << 20;
+    for (const std::string &kernel : workloadKernels()) {
+        const WorkloadPtr w = createWorkload(kernel, params);
+        ASSERT_NE(w, nullptr) << kernel;
+        EXPECT_FALSE(w->name().empty());
+    }
+}
+
+TEST(Registry, KernelNamesAreUnique)
+{
+    const auto kernels = workloadKernels();
+    const std::set<std::string> unique(kernels.begin(), kernels.end());
+    EXPECT_EQ(unique.size(), kernels.size());
+}
+
+TEST(Registry, StandardSuiteMatchesPaper)
+{
+    const auto suite = standardSuite();
+    // 5 compute kernels x {1, 8 threads} + 4 cloud workloads.
+    ASSERT_EQ(suite.size(), 14u);
+
+    int serial = 0, parallel = 0;
+    std::set<std::string> labels;
+    for (const auto &config : suite) {
+        labels.insert(config.label);
+        if (config.threads == 1)
+            ++serial;
+        else if (config.threads == 8)
+            ++parallel;
+    }
+    EXPECT_EQ(serial, 5);
+    EXPECT_EQ(parallel, 9);
+    EXPECT_EQ(labels.size(), 14u); // no duplicate figure labels
+    EXPECT_TRUE(labels.count("backprop"));
+    EXPECT_TRUE(labels.count("backprop(par)"));
+    EXPECT_TRUE(labels.count("memcached"));
+    EXPECT_TRUE(labels.count("bc"));
+}
+
+TEST(Registry, ParallelLabelsUseParSuffix)
+{
+    for (const auto &config : standardSuite()) {
+        if (config.threads == 1) {
+            EXPECT_EQ(config.label.find("(par)"), std::string::npos);
+        }
+    }
+}
+
+TEST(Registry, ExtendedSuiteHasLuleshAndMicro)
+{
+    const auto extended = extendedSuite();
+    ASSERT_EQ(extended.size(), 3u);
+    EXPECT_EQ(extended[0].label, "lulesh(O2)");
+    EXPECT_EQ(extended[1].label, "lulesh(F)");
+    EXPECT_EQ(extended[2].label, "random");
+}
+
+TEST(RegistryDeath, UnknownKernelIsFatal)
+{
+    Workload::Params params;
+    EXPECT_EXIT((void)createWorkload("quicksort", params),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(RegistryDeath, BadWorkloadParamsAreFatal)
+{
+    Workload::Params params;
+    params.footprintBytes = 0;
+    EXPECT_EXIT((void)createWorkload("backprop", params),
+                ::testing::ExitedWithCode(1), "footprint");
+    Workload::Params scale;
+    scale.workScale = 0.0;
+    EXPECT_EXIT((void)createWorkload("backprop", scale),
+                ::testing::ExitedWithCode(1), "workScale");
+}
+
+} // namespace
+} // namespace dfault::workloads

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Behavioural tests for every workload kernel: each must run within its
+ * footprint, generate memory traffic, and be deterministic in its seed.
+ * Parameterized over the registry so new kernels are covered
+ * automatically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/platform.hh"
+#include "workloads/registry.hh"
+
+namespace dfault::workloads {
+namespace {
+
+sys::Platform &
+sharedPlatform()
+{
+    static sys::Platform platform;
+    return platform;
+}
+
+Workload::Params
+smallParams()
+{
+    Workload::Params p;
+    p.footprintBytes = 2 << 20; // 2 MiB keeps each kernel fast
+    p.workScale = 0.5;
+    return p;
+}
+
+struct KernelCase
+{
+    std::string kernel;
+    int threads;
+};
+
+class KernelTest : public ::testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(KernelTest, RunsWithinFootprintAndTouchesMemory)
+{
+    auto &platform = sharedPlatform();
+    const auto params = smallParams();
+    auto w = createWorkload(GetParam().kernel, params);
+    sys::ExecutionContext ctx = platform.startRun(GetParam().threads);
+    w->run(ctx);
+
+    // Footprint: allocated within the requested budget (+ rounding).
+    EXPECT_GT(ctx.footprintBytes(), params.footprintBytes / 4);
+    EXPECT_LE(ctx.footprintBytes(), params.footprintBytes * 5 / 4);
+
+    // Real work happened on every configured thread granularity.
+    const auto totals = ctx.totalStats();
+    EXPECT_GT(totals.memInstructions(), 10000u);
+    EXPECT_GT(totals.instructions, totals.memInstructions());
+    EXPECT_GT(ctx.wallCycles(), 0u);
+
+    // The kernel must actually reach DRAM (the error model needs row
+    // activity).
+    EXPECT_GT(platform.hierarchy().dramCommandsTotal(), 0u);
+}
+
+TEST_P(KernelTest, DeterministicCountsForSameSeed)
+{
+    auto &platform = sharedPlatform();
+    const auto params = smallParams();
+
+    std::uint64_t instr[2];
+    for (int round = 0; round < 2; ++round) {
+        auto w = createWorkload(GetParam().kernel, params);
+        sys::ExecutionContext ctx =
+            platform.startRun(GetParam().threads);
+        w->run(ctx);
+        instr[round] = ctx.totalStats().instructions;
+    }
+    EXPECT_EQ(instr[0], instr[1]);
+}
+
+std::vector<KernelCase>
+allCases()
+{
+    std::vector<KernelCase> cases;
+    for (const std::string &kernel : workloadKernels()) {
+        cases.push_back({kernel, 1});
+        cases.push_back({kernel, 8});
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<KernelCase> &info)
+{
+    std::string name = info.param.kernel + "_t" +
+                       std::to_string(info.param.threads);
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(WorkloadBehaviour, ParallelUsesAllThreads)
+{
+    auto &platform = sharedPlatform();
+    auto w = createWorkload("srad", smallParams());
+    sys::ExecutionContext ctx = platform.startRun(8);
+    w->run(ctx);
+    for (int t = 0; t < 8; ++t)
+        EXPECT_GT(ctx.coreStats(t).instructions, 0u) << "thread " << t;
+}
+
+TEST(WorkloadBehaviour, SerialUsesOneThread)
+{
+    auto &platform = sharedPlatform();
+    auto w = createWorkload("kmeans", smallParams());
+    sys::ExecutionContext ctx = platform.startRun(1);
+    w->run(ctx);
+    EXPECT_GT(ctx.coreStats(0).instructions, 0u);
+}
+
+TEST(WorkloadBehaviour, MemcachedWritesTextLikeData)
+{
+    auto &platform = sharedPlatform();
+    auto w = createWorkload("memcached", smallParams());
+    sys::ExecutionContext ctx = platform.startRun(8);
+    w->run(ctx);
+    // Peek a few slab words: lowercase ASCII payloads.
+    bool found_ascii = false;
+    for (Addr a = 64 * 1024; a < 128 * 1024 && !found_ascii; a += 8) {
+        const std::uint64_t v = ctx.peek(a);
+        const unsigned char byte = v & 0xff;
+        found_ascii = byte >= 'a' && byte <= 'z';
+    }
+    EXPECT_TRUE(found_ascii);
+}
+
+TEST(WorkloadBehaviour, LuleshVariantsDifferInMemoryRate)
+{
+    // The aggressive build must execute fewer instructions per memory
+    // access (paper Fig 13's compiler-flag effect).
+    auto &platform = sharedPlatform();
+    double rate[2];
+    int i = 0;
+    for (const char *kernel : {"lulesh_o2", "lulesh_f"}) {
+        auto w = createWorkload(kernel, smallParams());
+        sys::ExecutionContext ctx = platform.startRun(8);
+        w->run(ctx);
+        const auto totals = ctx.totalStats();
+        rate[i++] = static_cast<double>(totals.memInstructions()) /
+                    static_cast<double>(totals.instructions);
+    }
+    EXPECT_GT(rate[1], rate[0]);
+}
+
+TEST(WorkloadBehaviour, RandomMicroHasLowAccessRate)
+{
+    // The data-pattern micro-benchmark idles between scans; its memory
+    // access rate per cycle must be far below a streaming kernel's.
+    auto &platform = sharedPlatform();
+    double rates[2];
+    int i = 0;
+    for (const char *kernel : {"random", "srad"}) {
+        auto w = createWorkload(kernel, smallParams());
+        sys::ExecutionContext ctx = platform.startRun(8);
+        w->run(ctx);
+        rates[i++] =
+            static_cast<double>(ctx.totalStats().memInstructions()) /
+            static_cast<double>(ctx.wallCycles());
+    }
+    EXPECT_LT(rates[0], rates[1]);
+}
+
+} // namespace
+} // namespace dfault::workloads

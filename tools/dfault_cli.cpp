@@ -1,0 +1,300 @@
+/**
+ * @file
+ * `dfault` — the command-line front end of the library, mirroring the
+ * publicly released model of the paper.
+ *
+ * Subcommands:
+ *   profile <kernel>        print the program features of a workload
+ *   characterize <kernel>   run one characterization experiment
+ *   sweep <out.csv>         run the full campaign, export the dataset
+ *   evaluate                LOBO accuracy of SVM/KNN/RDF on a sweep
+ *   predict <kernel>        train on the standard suite, predict the
+ *                           given workload's WER per device
+ *
+ * Every subcommand accepts key=value overrides:
+ *   footprint_mib=16 work_scale=1.0 epochs=120 trefp_s=2.283
+ *   temp_c=50 vdd_v=1.428 threads=8 input_set=1 model=knn
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "core/dataset_builder.hh"
+#include "core/report.hh"
+#include "core/error_model.hh"
+#include "core/trainer.hh"
+#include "features/extractor.hh"
+#include "ml/io.hh"
+#include "sys/platform.hh"
+
+using namespace dfault;
+
+namespace {
+
+struct Cli
+{
+    Config config;
+    std::vector<std::string> positional;
+    std::unique_ptr<sys::Platform> platform;
+    std::unique_ptr<core::CharacterizationCampaign> campaign;
+
+    Cli(int argc, char **argv)
+    {
+        positional = config.parseArgs(argc, argv);
+
+        sys::Platform::Params pp;
+        const std::uint64_t footprint =
+            static_cast<std::uint64_t>(
+                config.getInt("footprint_mib", 16))
+            << 20;
+        pp.exec.timeDilation = sys::dilationForFootprint(footprint);
+        platform = std::make_unique<sys::Platform>(pp);
+
+        core::CharacterizationCampaign::Params cp;
+        cp.workload.footprintBytes = footprint;
+        cp.workload.workScale = config.getDouble("work_scale", 1.0);
+        cp.integrator.epochs =
+            static_cast<int>(config.getInt("epochs", 120));
+        cp.useThermalLoop = config.getBool("thermal_loop", true);
+        campaign = std::make_unique<core::CharacterizationCampaign>(
+            *platform, cp);
+    }
+
+    dram::OperatingPoint
+    operatingPoint() const
+    {
+        dram::OperatingPoint op{config.getDouble("trefp_s", 2.283),
+                                config.getDouble("vdd_v",
+                                                 dram::kMinVdd),
+                                config.getDouble("temp_c", 50.0)};
+        op.validate();
+        return op;
+    }
+
+    workloads::WorkloadConfig
+    workloadConfig(const std::string &kernel) const
+    {
+        const int threads =
+            static_cast<int>(config.getInt("threads", 8));
+        return {kernel, threads,
+                threads == 1 ? kernel : kernel + "(par)"};
+    }
+
+    core::InputSet
+    inputSet() const
+    {
+        switch (config.getInt("input_set", 1)) {
+          case 1:
+            return core::InputSet::Set1;
+          case 2:
+            return core::InputSet::Set2;
+          case 3:
+            return core::InputSet::Set3;
+          default:
+            DFAULT_FATAL("input_set must be 1, 2 or 3");
+        }
+    }
+
+    core::ModelKind
+    modelKind() const
+    {
+        const std::string name = config.getString("model", "knn");
+        if (name == "knn")
+            return core::ModelKind::Knn;
+        if (name == "svm")
+            return core::ModelKind::Svm;
+        if (name == "rdf")
+            return core::ModelKind::Rdf;
+        DFAULT_FATAL("model must be knn, svm or rdf");
+    }
+};
+
+int
+cmdProfile(Cli &cli, const std::string &kernel)
+{
+    const auto config = cli.workloadConfig(kernel);
+    const auto &profile = features::ProfileCache::instance().get(
+        *cli.platform, config, cli.campaign->params().workload);
+
+    std::printf("profile of %s (%d threads):\n", config.label.c_str(),
+                config.threads);
+    std::printf("  footprint        %.1f MiB\n",
+                static_cast<double>(profile.footprintWords) * 8.0 /
+                    (1 << 20));
+    std::printf("  Treuse           %.3f s\n", profile.treuse);
+    std::printf("  HDP entropy      %.2f bits\n", profile.entropy);
+    std::printf("  profile window   %.2f s (dilated)\n",
+                profile.wallSeconds);
+    std::printf("\nall %zu features:\n",
+                features::FeatureCatalog::instance().size());
+    for (std::size_t i = 0;
+         i < features::FeatureCatalog::instance().size(); ++i) {
+        std::printf("  %-34s %g\n",
+                    features::FeatureCatalog::instance().name(i).c_str(),
+                    profile.features[i]);
+    }
+    return 0;
+}
+
+int
+cmdCharacterize(Cli &cli, const std::string &kernel)
+{
+    const auto op = cli.operatingPoint();
+    const auto m =
+        cli.campaign->measure(cli.workloadConfig(kernel), op);
+    std::printf("%s at %s:\n", m.label.c_str(), op.label().c_str());
+    std::printf("  achieved temperature %.1f C\n",
+                m.achieved.temperature);
+    if (m.run.crashed) {
+        std::printf("  UNCORRECTABLE ERROR after %d minutes on %s\n",
+                    m.run.crashEpoch,
+                    cli.platform->geometry()
+                        .deviceAt(m.run.crashDevice)
+                        .label()
+                        .c_str());
+    }
+    std::printf("  aggregate WER %.3e\n", m.run.wer());
+    for (int d = 0; d < cli.platform->geometry().deviceCount(); ++d)
+        std::printf("  %-12s WER %.3e\n",
+                    cli.platform->geometry().deviceAt(d).label().c_str(),
+                    m.run.werForDevice(d));
+    return 0;
+}
+
+int
+cmdSweep(Cli &cli, const std::string &out_path)
+{
+    const auto measurements = cli.campaign->sweep(
+        workloads::standardSuite(), core::werOperatingPoints());
+    // Export the aggregate-WER dataset with the full feature schema.
+    ml::Dataset data(features::FeatureCatalog::instance().names());
+    for (const auto &m : measurements) {
+        if (m.run.crashed)
+            continue;
+        data.addSample(m.profile->features.values(), m.run.wer(),
+                       m.label);
+    }
+    ml::writeCsvFile(data, out_path);
+    std::printf("wrote %zu samples x %zu features to %s\n",
+                data.size(), data.featureCount(), out_path.c_str());
+    return 0;
+}
+
+int
+cmdReport(Cli &cli, const std::string &out_path)
+{
+    const auto measurements = cli.campaign->sweep(
+        workloads::standardSuite(), core::werOperatingPoints());
+    core::printWerTable(measurements, std::cout);
+    core::writeMeasurementsCsvFile(measurements,
+                                   cli.platform->geometry(), out_path);
+    std::printf("\nper-device measurement CSV written to %s\n",
+                out_path.c_str());
+    return 0;
+}
+
+int
+cmdEvaluate(Cli &cli)
+{
+    const auto measurements = cli.campaign->sweep(
+        workloads::standardSuite(), core::werOperatingPoints());
+    const int devices = cli.platform->geometry().deviceCount();
+    std::printf("LOBO MPE of WER estimates (avg over %d devices), %%:\n",
+                devices);
+    std::printf("%-6s %12s %12s %12s\n", "model", "input set 1",
+                "input set 2", "input set 3");
+    for (const core::ModelKind kind : core::kAllModelKinds) {
+        std::printf("%-6s", core::modelKindName(kind).c_str());
+        for (const core::InputSet set : core::kAllInputSets) {
+            double avg = 0.0;
+            for (int d = 0; d < devices; ++d) {
+                const auto data =
+                    core::makeWerDataset(measurements, d, set);
+                avg += core::evaluateModel(data, kind, true).mpe /
+                       devices;
+            }
+            std::printf(" %12.1f", avg);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdPredict(Cli &cli, const std::string &kernel)
+{
+    std::printf("training %s on the standard suite...\n",
+                core::modelKindName(cli.modelKind()).c_str());
+    const auto measurements = cli.campaign->sweep(
+        workloads::standardSuite(), core::werOperatingPoints());
+    core::DramErrorModel::Options options;
+    options.kind = cli.modelKind();
+    options.inputSet = cli.inputSet();
+    const auto model = core::DramErrorModel::trainWer(
+        measurements, cli.platform->geometry().deviceCount(), options);
+
+    const auto config = cli.workloadConfig(kernel);
+    const auto &profile = features::ProfileCache::instance().get(
+        *cli.platform, config, cli.campaign->params().workload);
+    const auto op = cli.operatingPoint();
+
+    std::printf("\npredicted WER of %s at %s:\n", config.label.c_str(),
+                op.label().c_str());
+    for (int d = 0; d < cli.platform->geometry().deviceCount(); ++d)
+        std::printf("  %-12s %.3e\n",
+                    cli.platform->geometry().deviceAt(d).label().c_str(),
+                    model.predictWer(profile, op, d));
+    std::printf("  %-12s %.3e\n", "aggregate",
+                model.predictWerAggregate(profile, op));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: dfault <command> [args] [key=value ...]\n"
+        "  profile <kernel>       program features of a workload\n"
+        "  characterize <kernel>  one characterization experiment\n"
+        "  sweep <out.csv>        full campaign -> CSV dataset\n"
+        "  report <out.csv>       WER table + per-device CSV\n"
+        "  evaluate               LOBO accuracy of all models\n"
+        "  predict <kernel>       train + predict per-device WER\n"
+        "kernels: backprop kmeans nw srad fmm memcached pagerank bfs\n"
+        "         bc lulesh_o2 lulesh_f random\n"
+        "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
+        "           vdd_v threads input_set model thermal_loop\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    if (cli.positional.empty()) {
+        usage();
+        return 1;
+    }
+    const std::string &command = cli.positional[0];
+    const bool has_arg = cli.positional.size() > 1;
+
+    if (command == "profile" && has_arg)
+        return cmdProfile(cli, cli.positional[1]);
+    if (command == "characterize" && has_arg)
+        return cmdCharacterize(cli, cli.positional[1]);
+    if (command == "sweep" && has_arg)
+        return cmdSweep(cli, cli.positional[1]);
+    if (command == "report" && has_arg)
+        return cmdReport(cli, cli.positional[1]);
+    if (command == "evaluate")
+        return cmdEvaluate(cli);
+    if (command == "predict" && has_arg)
+        return cmdPredict(cli, cli.positional[1]);
+
+    usage();
+    return 1;
+}
