@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_wer_convergence.dir/fig04_wer_convergence.cpp.o"
+  "CMakeFiles/fig04_wer_convergence.dir/fig04_wer_convergence.cpp.o.d"
+  "fig04_wer_convergence"
+  "fig04_wer_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_wer_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

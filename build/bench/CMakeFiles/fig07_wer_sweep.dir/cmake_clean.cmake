@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_wer_sweep.dir/fig07_wer_sweep.cpp.o"
+  "CMakeFiles/fig07_wer_sweep.dir/fig07_wer_sweep.cpp.o.d"
+  "fig07_wer_sweep"
+  "fig07_wer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_wer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

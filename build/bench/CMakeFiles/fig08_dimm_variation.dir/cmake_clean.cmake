@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dimm_variation.dir/fig08_dimm_variation.cpp.o"
+  "CMakeFiles/fig08_dimm_variation.dir/fig08_dimm_variation.cpp.o.d"
+  "fig08_dimm_variation"
+  "fig08_dimm_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dimm_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

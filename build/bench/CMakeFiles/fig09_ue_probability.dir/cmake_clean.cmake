@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ue_probability.dir/fig09_ue_probability.cpp.o"
+  "CMakeFiles/fig09_ue_probability.dir/fig09_ue_probability.cpp.o.d"
+  "fig09_ue_probability"
+  "fig09_ue_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ue_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

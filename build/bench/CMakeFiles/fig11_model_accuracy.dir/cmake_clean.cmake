@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_model_accuracy.dir/fig11_model_accuracy.cpp.o"
+  "CMakeFiles/fig11_model_accuracy.dir/fig11_model_accuracy.cpp.o.d"
+  "fig11_model_accuracy"
+  "fig11_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lulesh_prediction.dir/fig13_lulesh_prediction.cpp.o"
+  "CMakeFiles/fig13_lulesh_prediction.dir/fig13_lulesh_prediction.cpp.o.d"
+  "fig13_lulesh_prediction"
+  "fig13_lulesh_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lulesh_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

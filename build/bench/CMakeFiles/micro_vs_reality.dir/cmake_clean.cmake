@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_vs_reality.dir/micro_vs_reality.cpp.o"
+  "CMakeFiles/micro_vs_reality.dir/micro_vs_reality.cpp.o.d"
+  "micro_vs_reality"
+  "micro_vs_reality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_vs_reality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

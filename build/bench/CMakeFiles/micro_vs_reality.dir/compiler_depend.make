@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_vs_reality.
+# This may be replaced when dependencies are built.

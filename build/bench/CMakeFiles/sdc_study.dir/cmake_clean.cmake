@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_study.dir/sdc_study.cpp.o"
+  "CMakeFiles/sdc_study.dir/sdc_study.cpp.o.d"
+  "sdc_study"
+  "sdc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

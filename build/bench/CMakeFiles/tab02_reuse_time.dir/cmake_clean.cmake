@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_reuse_time.dir/tab02_reuse_time.cpp.o"
+  "CMakeFiles/tab02_reuse_time.dir/tab02_reuse_time.cpp.o.d"
+  "tab02_reuse_time"
+  "tab02_reuse_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_reuse_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

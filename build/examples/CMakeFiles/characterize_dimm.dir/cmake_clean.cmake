@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_dimm.dir/characterize_dimm.cpp.o"
+  "CMakeFiles/characterize_dimm.dir/characterize_dimm.cpp.o.d"
+  "characterize_dimm"
+  "characterize_dimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_dimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_flags_study.dir/compiler_flags_study.cpp.o"
+  "CMakeFiles/compiler_flags_study.dir/compiler_flags_study.cpp.o.d"
+  "compiler_flags_study"
+  "compiler_flags_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_flags_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

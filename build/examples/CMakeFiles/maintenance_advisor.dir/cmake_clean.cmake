@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_advisor.dir/maintenance_advisor.cpp.o"
+  "CMakeFiles/maintenance_advisor.dir/maintenance_advisor.cpp.o.d"
+  "maintenance_advisor"
+  "maintenance_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

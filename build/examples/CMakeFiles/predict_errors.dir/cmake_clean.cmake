@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_errors.dir/predict_errors.cpp.o"
+  "CMakeFiles/predict_errors.dir/predict_errors.cpp.o.d"
+  "predict_errors"
+  "predict_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

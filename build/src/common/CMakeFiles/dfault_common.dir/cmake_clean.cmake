@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_common.dir/config.cc.o"
+  "CMakeFiles/dfault_common.dir/config.cc.o.d"
+  "CMakeFiles/dfault_common.dir/logging.cc.o"
+  "CMakeFiles/dfault_common.dir/logging.cc.o.d"
+  "CMakeFiles/dfault_common.dir/rng.cc.o"
+  "CMakeFiles/dfault_common.dir/rng.cc.o.d"
+  "libdfault_common.a"
+  "libdfault_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfault_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/dfault_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/dataset_builder.cc" "src/core/CMakeFiles/dfault_core.dir/dataset_builder.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/dataset_builder.cc.o.d"
+  "/root/repo/src/core/error_integrator.cc" "src/core/CMakeFiles/dfault_core.dir/error_integrator.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/error_integrator.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/dfault_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/input_sets.cc" "src/core/CMakeFiles/dfault_core.dir/input_sets.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/input_sets.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/dfault_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/report.cc.o.d"
+  "/root/repo/src/core/retention_profiler.cc" "src/core/CMakeFiles/dfault_core.dir/retention_profiler.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/retention_profiler.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/dfault_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/dfault_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dfault_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dfault_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfault_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dfault_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dfault_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dfault_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dfault_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

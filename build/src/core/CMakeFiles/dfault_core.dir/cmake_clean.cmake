@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_core.dir/characterization.cc.o"
+  "CMakeFiles/dfault_core.dir/characterization.cc.o.d"
+  "CMakeFiles/dfault_core.dir/dataset_builder.cc.o"
+  "CMakeFiles/dfault_core.dir/dataset_builder.cc.o.d"
+  "CMakeFiles/dfault_core.dir/error_integrator.cc.o"
+  "CMakeFiles/dfault_core.dir/error_integrator.cc.o.d"
+  "CMakeFiles/dfault_core.dir/error_model.cc.o"
+  "CMakeFiles/dfault_core.dir/error_model.cc.o.d"
+  "CMakeFiles/dfault_core.dir/input_sets.cc.o"
+  "CMakeFiles/dfault_core.dir/input_sets.cc.o.d"
+  "CMakeFiles/dfault_core.dir/report.cc.o"
+  "CMakeFiles/dfault_core.dir/report.cc.o.d"
+  "CMakeFiles/dfault_core.dir/retention_profiler.cc.o"
+  "CMakeFiles/dfault_core.dir/retention_profiler.cc.o.d"
+  "CMakeFiles/dfault_core.dir/trainer.cc.o"
+  "CMakeFiles/dfault_core.dir/trainer.cc.o.d"
+  "libdfault_core.a"
+  "libdfault_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/controller.cc" "src/dram/CMakeFiles/dfault_dram.dir/controller.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/controller.cc.o.d"
+  "/root/repo/src/dram/device.cc" "src/dram/CMakeFiles/dfault_dram.dir/device.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/device.cc.o.d"
+  "/root/repo/src/dram/ecc.cc" "src/dram/CMakeFiles/dfault_dram.dir/ecc.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/ecc.cc.o.d"
+  "/root/repo/src/dram/error_log.cc" "src/dram/CMakeFiles/dfault_dram.dir/error_log.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/error_log.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/dfault_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/interference.cc" "src/dram/CMakeFiles/dfault_dram.dir/interference.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/interference.cc.o.d"
+  "/root/repo/src/dram/operating_point.cc" "src/dram/CMakeFiles/dfault_dram.dir/operating_point.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/operating_point.cc.o.d"
+  "/root/repo/src/dram/power.cc" "src/dram/CMakeFiles/dfault_dram.dir/power.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/power.cc.o.d"
+  "/root/repo/src/dram/refresh.cc" "src/dram/CMakeFiles/dfault_dram.dir/refresh.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/refresh.cc.o.d"
+  "/root/repo/src/dram/retention.cc" "src/dram/CMakeFiles/dfault_dram.dir/retention.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/retention.cc.o.d"
+  "/root/repo/src/dram/vrt.cc" "src/dram/CMakeFiles/dfault_dram.dir/vrt.cc.o" "gcc" "src/dram/CMakeFiles/dfault_dram.dir/vrt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_dram.dir/controller.cc.o"
+  "CMakeFiles/dfault_dram.dir/controller.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/device.cc.o"
+  "CMakeFiles/dfault_dram.dir/device.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/ecc.cc.o"
+  "CMakeFiles/dfault_dram.dir/ecc.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/error_log.cc.o"
+  "CMakeFiles/dfault_dram.dir/error_log.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/geometry.cc.o"
+  "CMakeFiles/dfault_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/interference.cc.o"
+  "CMakeFiles/dfault_dram.dir/interference.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/operating_point.cc.o"
+  "CMakeFiles/dfault_dram.dir/operating_point.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/power.cc.o"
+  "CMakeFiles/dfault_dram.dir/power.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/refresh.cc.o"
+  "CMakeFiles/dfault_dram.dir/refresh.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/retention.cc.o"
+  "CMakeFiles/dfault_dram.dir/retention.cc.o.d"
+  "CMakeFiles/dfault_dram.dir/vrt.cc.o"
+  "CMakeFiles/dfault_dram.dir/vrt.cc.o.d"
+  "libdfault_dram.a"
+  "libdfault_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfault_dram.a"
+)

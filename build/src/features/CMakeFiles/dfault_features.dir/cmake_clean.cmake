@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_features.dir/catalog.cc.o"
+  "CMakeFiles/dfault_features.dir/catalog.cc.o.d"
+  "CMakeFiles/dfault_features.dir/extractor.cc.o"
+  "CMakeFiles/dfault_features.dir/extractor.cc.o.d"
+  "libdfault_features.a"
+  "libdfault_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

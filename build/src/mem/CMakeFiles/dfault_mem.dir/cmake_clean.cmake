@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_mem.dir/cache.cc.o"
+  "CMakeFiles/dfault_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dfault_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/dfault_mem.dir/hierarchy.cc.o.d"
+  "libdfault_mem.a"
+  "libdfault_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/dfault_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/dfault_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/dfault_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/ml/CMakeFiles/dfault_ml.dir/grid_search.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/grid_search.cc.o.d"
+  "/root/repo/src/ml/importance.cc" "src/ml/CMakeFiles/dfault_ml.dir/importance.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/importance.cc.o.d"
+  "/root/repo/src/ml/io.cc" "src/ml/CMakeFiles/dfault_ml.dir/io.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/io.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/dfault_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/dfault_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/dfault_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/selection.cc" "src/ml/CMakeFiles/dfault_ml.dir/selection.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/selection.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/dfault_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/dfault_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/dfault_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/dataset.cc.o"
+  "CMakeFiles/dfault_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/forest.cc.o"
+  "CMakeFiles/dfault_ml.dir/forest.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/grid_search.cc.o"
+  "CMakeFiles/dfault_ml.dir/grid_search.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/importance.cc.o"
+  "CMakeFiles/dfault_ml.dir/importance.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/io.cc.o"
+  "CMakeFiles/dfault_ml.dir/io.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/knn.cc.o"
+  "CMakeFiles/dfault_ml.dir/knn.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/metrics.cc.o"
+  "CMakeFiles/dfault_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/scaler.cc.o"
+  "CMakeFiles/dfault_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/selection.cc.o"
+  "CMakeFiles/dfault_ml.dir/selection.cc.o.d"
+  "CMakeFiles/dfault_ml.dir/svr.cc.o"
+  "CMakeFiles/dfault_ml.dir/svr.cc.o.d"
+  "libdfault_ml.a"
+  "libdfault_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/dfault_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/dfault_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/dfault_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/entropy.cc" "src/stats/CMakeFiles/dfault_stats.dir/entropy.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/entropy.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/dfault_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/dfault_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/dfault_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

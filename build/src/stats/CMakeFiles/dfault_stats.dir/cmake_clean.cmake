@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/dfault_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/dfault_stats.dir/correlation.cc.o"
+  "CMakeFiles/dfault_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/dfault_stats.dir/distributions.cc.o"
+  "CMakeFiles/dfault_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/dfault_stats.dir/entropy.cc.o"
+  "CMakeFiles/dfault_stats.dir/entropy.cc.o.d"
+  "CMakeFiles/dfault_stats.dir/histogram.cc.o"
+  "CMakeFiles/dfault_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dfault_stats.dir/summary.cc.o"
+  "CMakeFiles/dfault_stats.dir/summary.cc.o.d"
+  "libdfault_stats.a"
+  "libdfault_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/execution.cc" "src/sys/CMakeFiles/dfault_sys.dir/execution.cc.o" "gcc" "src/sys/CMakeFiles/dfault_sys.dir/execution.cc.o.d"
+  "/root/repo/src/sys/platform.cc" "src/sys/CMakeFiles/dfault_sys.dir/platform.cc.o" "gcc" "src/sys/CMakeFiles/dfault_sys.dir/platform.cc.o.d"
+  "/root/repo/src/sys/thermal.cc" "src/sys/CMakeFiles/dfault_sys.dir/thermal.cc.o" "gcc" "src/sys/CMakeFiles/dfault_sys.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dfault_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dfault_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dfault_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

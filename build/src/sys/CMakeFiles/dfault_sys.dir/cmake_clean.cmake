@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_sys.dir/execution.cc.o"
+  "CMakeFiles/dfault_sys.dir/execution.cc.o.d"
+  "CMakeFiles/dfault_sys.dir/platform.cc.o"
+  "CMakeFiles/dfault_sys.dir/platform.cc.o.d"
+  "CMakeFiles/dfault_sys.dir/thermal.cc.o"
+  "CMakeFiles/dfault_sys.dir/thermal.cc.o.d"
+  "libdfault_sys.a"
+  "libdfault_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

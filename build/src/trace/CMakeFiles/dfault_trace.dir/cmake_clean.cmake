@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_trace.dir/access.cc.o"
+  "CMakeFiles/dfault_trace.dir/access.cc.o.d"
+  "CMakeFiles/dfault_trace.dir/entropy_sampler.cc.o"
+  "CMakeFiles/dfault_trace.dir/entropy_sampler.cc.o.d"
+  "CMakeFiles/dfault_trace.dir/reuse_tracker.cc.o"
+  "CMakeFiles/dfault_trace.dir/reuse_tracker.cc.o.d"
+  "libdfault_trace.a"
+  "libdfault_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

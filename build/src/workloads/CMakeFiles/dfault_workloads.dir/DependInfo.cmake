@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/detail.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/detail.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/detail.cc.o.d"
+  "/root/repo/src/workloads/fmm.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/fmm.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/fmm.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/lulesh.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/lulesh.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/lulesh.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/random_pattern.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/random_pattern.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/random_pattern.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/srad.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/dfault_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/dfault_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dfault_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dfault_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dfault_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dfault_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

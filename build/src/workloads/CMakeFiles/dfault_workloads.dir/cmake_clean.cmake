@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault_workloads.dir/backprop.cc.o"
+  "CMakeFiles/dfault_workloads.dir/backprop.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/detail.cc.o"
+  "CMakeFiles/dfault_workloads.dir/detail.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/fmm.cc.o"
+  "CMakeFiles/dfault_workloads.dir/fmm.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/graph.cc.o"
+  "CMakeFiles/dfault_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/dfault_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/lulesh.cc.o"
+  "CMakeFiles/dfault_workloads.dir/lulesh.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/memcached.cc.o"
+  "CMakeFiles/dfault_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/nw.cc.o"
+  "CMakeFiles/dfault_workloads.dir/nw.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/random_pattern.cc.o"
+  "CMakeFiles/dfault_workloads.dir/random_pattern.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/registry.cc.o"
+  "CMakeFiles/dfault_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/srad.cc.o"
+  "CMakeFiles/dfault_workloads.dir/srad.cc.o.d"
+  "CMakeFiles/dfault_workloads.dir/workload.cc.o"
+  "CMakeFiles/dfault_workloads.dir/workload.cc.o.d"
+  "libdfault_workloads.a"
+  "libdfault_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_oracle.dir/mem/test_cache_oracle.cpp.o"
+  "CMakeFiles/test_cache_oracle.dir/mem/test_cache_oracle.cpp.o.d"
+  "test_cache_oracle"
+  "test_cache_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterization.dir/core/test_characterization.cpp.o"
+  "CMakeFiles/test_characterization.dir/core/test_characterization.cpp.o.d"
+  "test_characterization"
+  "test_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

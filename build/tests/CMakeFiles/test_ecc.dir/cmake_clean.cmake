@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/dram/test_ecc.cpp.o"
+  "CMakeFiles/test_ecc.dir/dram/test_ecc.cpp.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entropy_sampler.dir/trace/test_entropy_sampler.cpp.o"
+  "CMakeFiles/test_entropy_sampler.dir/trace/test_entropy_sampler.cpp.o.d"
+  "test_entropy_sampler"
+  "test_entropy_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entropy_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

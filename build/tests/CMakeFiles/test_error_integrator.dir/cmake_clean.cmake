@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_integrator.dir/core/test_error_integrator.cpp.o"
+  "CMakeFiles/test_error_integrator.dir/core/test_error_integrator.cpp.o.d"
+  "test_error_integrator"
+  "test_error_integrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_integrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_log.dir/dram/test_error_log.cpp.o"
+  "CMakeFiles/test_error_log.dir/dram/test_error_log.cpp.o.d"
+  "test_error_log"
+  "test_error_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_model.dir/core/test_error_model.cpp.o"
+  "CMakeFiles/test_error_model.dir/core/test_error_model.cpp.o.d"
+  "test_error_model"
+  "test_error_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

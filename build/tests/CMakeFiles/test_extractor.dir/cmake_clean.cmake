@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extractor.dir/features/test_extractor.cpp.o"
+  "CMakeFiles/test_extractor.dir/features/test_extractor.cpp.o.d"
+  "test_extractor"
+  "test_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

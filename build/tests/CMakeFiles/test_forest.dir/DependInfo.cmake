@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_forest.cpp" "tests/CMakeFiles/test_forest.dir/ml/test_forest.cpp.o" "gcc" "tests/CMakeFiles/test_forest.dir/ml/test_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfault_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dfault_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dfault_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dfault_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dfault_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dfault_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dfault_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dfault_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dfault_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfault_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest.dir/ml/test_forest.cpp.o"
+  "CMakeFiles/test_forest.dir/ml/test_forest.cpp.o.d"
+  "test_forest"
+  "test_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

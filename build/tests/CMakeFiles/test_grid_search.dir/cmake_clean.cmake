@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_search.dir/ml/test_grid_search.cpp.o"
+  "CMakeFiles/test_grid_search.dir/ml/test_grid_search.cpp.o.d"
+  "test_grid_search"
+  "test_grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

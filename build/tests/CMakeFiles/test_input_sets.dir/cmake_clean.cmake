@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_sets.dir/core/test_input_sets.cpp.o"
+  "CMakeFiles/test_input_sets.dir/core/test_input_sets.cpp.o.d"
+  "test_input_sets"
+  "test_input_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_accuracy.dir/integration/test_model_accuracy.cpp.o"
+  "CMakeFiles/test_model_accuracy.dir/integration/test_model_accuracy.cpp.o.d"
+  "test_model_accuracy"
+  "test_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operating_point.dir/dram/test_operating_point.cpp.o"
+  "CMakeFiles/test_operating_point.dir/dram/test_operating_point.cpp.o.d"
+  "test_operating_point"
+  "test_operating_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operating_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

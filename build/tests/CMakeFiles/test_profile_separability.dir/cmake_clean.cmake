@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_separability.dir/integration/test_profile_separability.cpp.o"
+  "CMakeFiles/test_profile_separability.dir/integration/test_profile_separability.cpp.o.d"
+  "test_profile_separability"
+  "test_profile_separability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_separability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

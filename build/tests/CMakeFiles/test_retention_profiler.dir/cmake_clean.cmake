@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_profiler.dir/core/test_retention_profiler.cpp.o"
+  "CMakeFiles/test_retention_profiler.dir/core/test_retention_profiler.cpp.o.d"
+  "test_retention_profiler"
+  "test_retention_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_tracker.dir/trace/test_reuse_tracker.cpp.o"
+  "CMakeFiles/test_reuse_tracker.dir/trace/test_reuse_tracker.cpp.o.d"
+  "test_reuse_tracker"
+  "test_reuse_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

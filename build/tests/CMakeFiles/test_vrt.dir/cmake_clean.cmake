@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vrt.dir/dram/test_vrt.cpp.o"
+  "CMakeFiles/test_vrt.dir/dram/test_vrt.cpp.o.d"
+  "test_vrt"
+  "test_vrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfault.dir/dfault_cli.cpp.o"
+  "CMakeFiles/dfault.dir/dfault_cli.cpp.o.d"
+  "dfault"
+  "dfault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
