@@ -6,11 +6,19 @@
  * the full-scale simulated platform (16 MiB footprint, default caches).
  * Command-line "key=value" overrides allow reduced runs:
  *   footprint_mib=8 work_scale=0.5 epochs=60 repeats=5
+ *
+ * Telemetry overrides (see docs/observability.md):
+ *   stats_out=<path>   dump the stats registry when the bench exits
+ *   trace_out=<path>   stream JSONL events ("-" for stderr)
+ *   progress=true      one-line progress updates on stderr
+ * A per-phase timing table and the total wall clock are printed at
+ * exit regardless.
  */
 
 #ifndef DFAULT_BENCH_HARNESS_HH
 #define DFAULT_BENCH_HARNESS_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,6 +29,9 @@
 #include "core/dataset_builder.hh"
 #include "core/error_model.hh"
 #include "core/trainer.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
 #include "sys/platform.hh"
 #include "workloads/registry.hh"
 
@@ -31,6 +42,7 @@ class Harness
 {
   public:
     Harness(int argc, char **argv)
+        : start_(std::chrono::steady_clock::now())
     {
         config_.parseArgs(argc, argv);
         const std::uint64_t footprint =
@@ -50,7 +62,40 @@ class Harness
         cp.useThermalLoop = config_.getBool("thermal_loop", true);
         campaign_ = std::make_unique<core::CharacterizationCampaign>(
             *platform_, cp);
+
+        statsOut_ = config_.getString("stats_out", "");
+        const std::string trace = config_.getString("trace_out", "");
+        if (!trace.empty())
+            obs::EventSink::instance().open(trace);
+        obs::setProgress(config_.getBool("progress", false));
     }
+
+    /** Timing report + stats dump when the bench binary exits. */
+    ~Harness()
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const auto phases = obs::phaseTimes();
+        if (!phases.empty()) {
+            std::printf("\n%-36s %12s %8s\n", "phase", "seconds",
+                        "calls");
+            for (const auto &p : phases)
+                std::printf("%-36s %12.3f %8llu\n", p.path.c_str(),
+                            p.seconds,
+                            static_cast<unsigned long long>(p.calls));
+        }
+        std::printf("\ntotal wall clock %.3f s\n", wall);
+        if (!statsOut_.empty()) {
+            obs::Registry::instance().writeFile(statsOut_);
+            DFAULT_INFORM("stats written to ", statsOut_);
+        }
+        obs::EventSink::instance().close();
+    }
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
 
     sys::Platform &platform() { return *platform_; }
     core::CharacterizationCampaign &campaign() { return *campaign_; }
@@ -64,6 +109,8 @@ class Harness
 
   private:
     Config config_;
+    std::string statsOut_;
+    std::chrono::steady_clock::time_point start_;
     std::unique_ptr<sys::Platform> platform_;
     std::unique_ptr<core::CharacterizationCampaign> campaign_;
 };

@@ -36,18 +36,39 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::exit(1);
 }
 
+namespace {
+
+/**
+ * Preformat the whole line and hand it to the OS in one write: stderr
+ * is unbuffered, so concurrent warn()/inform() calls from parallel
+ * sweeps emit whole lines instead of interleaved fragments.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    if (quiet())
+        return;
+    std::string line;
+    line.reserve(std::char_traits<char>::length(prefix) + msg.size() + 3);
+    line += prefix;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::fputs(line.c_str(), stderr);
+}
+
+} // namespace
+
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet())
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet())
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info", msg);
 }
 
 } // namespace detail

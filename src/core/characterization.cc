@@ -1,9 +1,13 @@
 #include "core/characterization.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "dram/power.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
 
 namespace dfault::core {
 
@@ -38,6 +42,7 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
     m.profile = &profile;
 
     if (params_.useThermalLoop) {
+        const obs::ScopedTimer settle_timer("thermal_settle");
         auto &thermal = platform_.thermal();
         // DRAM self-heating: each DIMM dissipates according to its
         // share of the workload's command activity; the PID loop has
@@ -70,8 +75,55 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
         m.achieved.temperature = achieved / thermal.dimms();
     }
 
-    m.run = integrator_.run(profile, m.achieved, platform_.geometry(),
-                            platform_.devices(), run_seed, log);
+    double integrate_seconds = 0.0;
+    {
+        const obs::ScopedTimer integrate_timer("integrate");
+        m.run = integrator_.run(profile, m.achieved,
+                                platform_.geometry(),
+                                platform_.devices(), run_seed, log);
+        integrate_seconds = integrate_timer.elapsed();
+    }
+
+    auto &reg = obs::Registry::instance();
+    reg.counter("campaign.measurements",
+                "characterization experiments completed")
+        .inc();
+    if (m.run.crashed)
+        reg.counter("campaign.crashes", "experiments ended by a UE")
+            .inc();
+    const double wer = m.run.wer();
+    if (wer > 0.0)
+        reg.distribution("campaign.wer_log10", -14.0, 0.0, 28,
+                         "log10 of measured aggregate WER")
+            .record(std::log10(wer));
+
+    auto &sink = obs::EventSink::instance();
+    if (sink.enabled()) {
+        obs::JsonWriter w;
+        w.field("label", m.label);
+        w.field("threads", m.threads);
+        w.field("trefp_s", op.trefp);
+        w.field("vdd_v", op.vdd);
+        w.field("target_c", op.temperature);
+        w.field("temp_c", m.achieved.temperature);
+        w.field("run_seed", run_seed);
+        w.field("wer", wer);
+        w.field("epochs",
+                static_cast<std::uint64_t>(m.run.werSeries.size()));
+        w.field("crashed", m.run.crashed);
+        if (m.run.crashed) {
+            w.field("crash_epoch", m.run.crashEpoch);
+            w.field("crash_device", m.run.crashDevice);
+        }
+        w.field("host_seconds", integrate_seconds);
+        sink.emit("measurement", w);
+    }
+    obs::progress(
+        m.label + " at " + op.label() + ": wer=" +
+        detail::concat(wer) +
+        (m.run.crashed
+             ? " UE@min" + std::to_string(m.run.crashEpoch)
+             : ""));
     return m;
 }
 
@@ -80,11 +132,19 @@ CharacterizationCampaign::sweep(
     const std::vector<workloads::WorkloadConfig> &suite,
     const std::vector<dram::OperatingPoint> &points)
 {
+    const obs::ScopedTimer sweep_timer("sweep");
     std::vector<Measurement> out;
-    out.reserve(suite.size() * points.size());
-    for (const auto &config : suite)
-        for (const auto &op : points)
+    const std::size_t total = suite.size() * points.size();
+    out.reserve(total);
+    for (const auto &config : suite) {
+        for (const auto &op : points) {
+            obs::progress("experiment " +
+                          std::to_string(out.size() + 1) + "/" +
+                          std::to_string(total) + ": " + config.label +
+                          " at " + op.label());
             out.push_back(measure(config, op));
+        }
+    }
     return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/stats.hh"
 
 namespace dfault::core {
 
@@ -392,6 +393,23 @@ ErrorIntegrator::run(const features::WorkloadProfile &profile,
         if (result.crashed)
             break;
     }
+
+    auto &reg = obs::Registry::instance();
+    reg.counter("integrator.runs", "characterization runs integrated")
+        .inc();
+    reg.counter("integrator.epochs", "one-minute epochs simulated")
+        .inc(result.werSeries.size());
+    double total_ce = 0.0;
+    for (const double ce : result.cePerDevice)
+        total_ce += ce;
+    reg.counter("dram.ce_unique_words",
+                "unique CE word locations (exposure-scaled)")
+        .inc(static_cast<std::uint64_t>(std::llround(total_ce)));
+    if (result.crashed)
+        reg.counter("dram.ue_crashes", "runs ended by a UE").inc();
+    reg.gauge("dram.sdc_expected",
+              "cumulative expected SDC events")
+        .add(result.expectedSdc);
 
     return result;
 }

@@ -5,6 +5,9 @@
 
 #include "common/logging.hh"
 #include "ml/cross_validation.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
 #include "ml/forest.hh"
 #include "ml/knn.hh"
 #include "ml/metrics.hh"
@@ -68,8 +71,10 @@ evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
     EvaluationResult result;
     double mpe_sum = 0.0;
     int contributing_groups = 0;
+    const obs::ScopedTimer cv_timer("cross_validate");
 
     for (const ml::Fold &fold : ml::leaveOneGroupOut(data)) {
+        const obs::ScopedTimer fold_timer("fold");
         const ml::Dataset train = data.subset(fold.trainRows);
         const ml::Dataset test = data.subset(fold.testRows);
 
@@ -83,7 +88,10 @@ evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
                 y = toLog(y);
 
         auto model = makeModel(kind);
-        model->fit(train_x, train_y);
+        {
+            const obs::ScopedTimer fit_timer("train");
+            model->fit(train_x, train_y);
+        }
 
         // Clamp predictions to the envelope of the training targets
         // (plus one decade in log space): a prediction outside the
@@ -112,12 +120,29 @@ evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
             err_sum += ml::percentageError(measured, predicted);
             ++err_count;
         }
+        obs::Registry::instance()
+            .counter("ml.folds", "LOBO cross-validation folds run")
+            .inc();
         if (err_count == 0)
             continue; // benchmark never manifested the target metric
         const double group_mpe = err_sum / err_count;
         result.mpePerGroup[fold.heldOutGroup] = group_mpe;
         mpe_sum += group_mpe;
         ++contributing_groups;
+
+        auto &sink = obs::EventSink::instance();
+        if (sink.enabled()) {
+            obs::JsonWriter w;
+            w.field("model", modelKindName(kind));
+            w.field("held_out", fold.heldOutGroup);
+            w.field("group_mpe", group_mpe);
+            w.field("train_rows",
+                    static_cast<std::uint64_t>(fold.trainRows.size()));
+            w.field("test_rows",
+                    static_cast<std::uint64_t>(fold.testRows.size()));
+            w.field("host_seconds", fold_timer.elapsed());
+            sink.emit("fold", w);
+        }
     }
 
     result.mpe = contributing_groups > 0

@@ -3,8 +3,28 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
 
 namespace dfault::dram {
+
+namespace {
+
+const char *
+errorTypeName(ErrorType type)
+{
+    switch (type) {
+      case ErrorType::CE:
+        return "CE";
+      case ErrorType::UE:
+        return "UE";
+      case ErrorType::SDC:
+        return "SDC";
+    }
+    DFAULT_PANIC("unreachable error type");
+}
+
+} // namespace
 
 ErrorLog::ErrorLog(const Geometry &geometry)
     : geometry_(geometry),
@@ -17,6 +37,7 @@ bool
 ErrorLog::report(const ErrorRecord &record)
 {
     const int dev = geometry_.deviceIndex(record.device);
+    bool fresh = true;
 
     switch (record.type) {
       case ErrorType::CE: {
@@ -27,8 +48,7 @@ ErrorLog::report(const ErrorRecord &record)
         coord.row = record.row;
         coord.column = record.column;
         const std::uint64_t word = geometry_.wordIndexInDevice(coord);
-        if (!ceWordsPerDevice_[dev].insert(word).second)
-            return false; // already-known failing word
+        fresh = ceWordsPerDevice_[dev].insert(word).second;
         break;
       }
       case ErrorType::UE:
@@ -38,6 +58,40 @@ ErrorLog::report(const ErrorRecord &record)
         ++sdcTotal_;
         break;
     }
+
+    // SLIMpro-style telemetry: every report leaves a trace even when
+    // the word location is already known (the common case over a
+    // 2-hour run); only fresh records enter the retained log.
+    auto &reg = obs::Registry::instance();
+    switch (record.type) {
+      case ErrorType::CE:
+        reg.counter("dram.errorlog.ce", "CE reports (incl. repeats)")
+            .inc();
+        break;
+      case ErrorType::UE:
+        reg.counter("dram.errorlog.ue", "UE reports").inc();
+        break;
+      case ErrorType::SDC:
+        reg.counter("dram.errorlog.sdc", "SDC reports").inc();
+        break;
+    }
+    auto &sink = obs::EventSink::instance();
+    if (sink.enabled()) {
+        obs::JsonWriter w;
+        w.field("error", errorTypeName(record.type));
+        w.field("dimm", record.device.dimm);
+        w.field("rank", record.device.rank);
+        w.field("bank", record.bank);
+        w.field("row", static_cast<std::uint64_t>(record.row));
+        w.field("column", static_cast<std::uint64_t>(record.column));
+        w.field("epoch", record.epoch);
+        w.field("bits_flipped", record.bitsFlipped);
+        w.field("new_location", fresh);
+        sink.emit("dram_error", w);
+    }
+
+    if (!fresh)
+        return false; // already-known failing word
     records_.push_back(record);
     return true;
 }

@@ -4,6 +4,9 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
 #include "stats/summary.hh"
 #include "trace/entropy_sampler.hh"
 #include "trace/reuse_tracker.hh"
@@ -25,6 +28,7 @@ extractProfile(sys::Platform &platform,
                const workloads::WorkloadConfig &config,
                const workloads::Workload::Params &wparams)
 {
+    const obs::ScopedTimer timer("profile");
     const auto &geometry = platform.geometry();
 
     // Instrumentation (the DynamoRIO stand-ins). The tracker range gets
@@ -339,6 +343,27 @@ extractProfile(sys::Platform &platform,
                 instr));
     f.set("threads_active", config.threads);
     f.set("global_instr_gops", instr / 1e9);
+
+    // ---- Telemetry --------------------------------------------------
+    ctx.publishStats();
+    obs::Registry::instance()
+        .counter("profile.runs", "workload profiling runs")
+        .inc();
+    auto &sink = obs::EventSink::instance();
+    if (sink.enabled()) {
+        obs::JsonWriter w;
+        w.field("label", profile.label);
+        w.field("threads", profile.threads);
+        w.field("instructions", totals.instructions);
+        w.field("wall_seconds", profile.wallSeconds);
+        w.field("treuse_s", profile.treuse);
+        w.field("entropy_bits", profile.entropy);
+        w.field("footprint_words", profile.footprintWords);
+        w.field("host_seconds", timer.elapsed());
+        sink.emit("profile", w);
+    }
+    obs::progress("profiled " + profile.label + " (" +
+                  std::to_string(profile.threads) + " threads)");
 
     return profile;
 }

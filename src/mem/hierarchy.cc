@@ -1,6 +1,9 @@
 #include "mem/hierarchy.hh"
 
+#include <string>
+
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace dfault::mem {
 
@@ -108,6 +111,66 @@ MemoryHierarchy::dramCommandsTotal() const
     for (const auto &mcu : mcus_)
         total += mcu->counters().totalCmds();
     return total;
+}
+
+namespace {
+
+/** Publish one cache level's counters and its derived miss rate. */
+void
+publishCacheLevel(obs::Registry &reg, const std::string &prefix,
+                  const CacheCounters &c)
+{
+    obs::Counter &hits =
+        reg.counter(prefix + ".hits", "cache hits");
+    obs::Counter &misses =
+        reg.counter(prefix + ".misses", "cache misses");
+    hits.inc(c.accesses() - c.misses());
+    misses.inc(c.misses());
+    reg.counter(prefix + ".read_accesses", "read lookups")
+        .inc(c.readAccesses);
+    reg.counter(prefix + ".write_accesses", "write lookups")
+        .inc(c.writeAccesses);
+    reg.counter(prefix + ".writebacks", "dirty lines evicted")
+        .inc(c.writebacks);
+    reg.formula(
+        prefix + ".miss_rate",
+        [&hits, &misses] {
+            const double accesses = static_cast<double>(hits.value()) +
+                                    static_cast<double>(misses.value());
+            return accesses > 0.0
+                       ? static_cast<double>(misses.value()) / accesses
+                       : 0.0;
+        },
+        "misses / accesses, cumulative");
+}
+
+} // namespace
+
+void
+MemoryHierarchy::publishStats() const
+{
+    auto &reg = obs::Registry::instance();
+    publishCacheLevel(reg, "platform.mem.l1", l1CountersTotal());
+    publishCacheLevel(reg, "platform.mem.l2", l2_->counters());
+    for (const auto &mcu : mcus_) {
+        const auto &c = mcu->counters();
+        const std::string p =
+            "platform.mem.mcu." + std::to_string(mcu->channel()) + ".";
+        reg.counter(p + "read_cmds", "DRAM read commands")
+            .inc(c.readCmds);
+        reg.counter(p + "write_cmds", "DRAM write commands")
+            .inc(c.writeCmds);
+        reg.counter(p + "activations", "row activations (ACT)")
+            .inc(c.activations);
+        reg.counter(p + "precharges", "row precharges (PRE)")
+            .inc(c.precharges);
+        reg.counter(p + "row_hits", "open-row hits").inc(c.rowHits);
+        reg.counter(p + "row_misses", "row-buffer misses")
+            .inc(c.rowMisses);
+    }
+    reg.counter("platform.mem.dram_cmds",
+                "DRAM read+write commands, all channels")
+        .inc(dramCommandsTotal());
 }
 
 void

@@ -70,6 +70,14 @@ class MemoryHierarchy
     /** Invalidate caches and reset all counters and row statistics. */
     void reset();
 
+    /**
+     * Publish the counters accumulated since the last reset() into the
+     * observability registry under "platform.mem.*" (L1/L2 hit, miss
+     * and writeback counters, per-MCU command counters, and derived
+     * miss-rate formulas). Counters accumulate across runs.
+     */
+    void publishStats() const;
+
   private:
     const dram::Geometry &geometry_;
     Params params_;

@@ -1,0 +1,114 @@
+#include "obs/events.hh"
+
+#include "common/logging.hh"
+
+namespace dfault::obs {
+
+EventSink &
+EventSink::instance()
+{
+    static EventSink sink;
+    return sink;
+}
+
+EventSink::~EventSink()
+{
+    close();
+}
+
+void
+EventSink::open(const std::string &path)
+{
+    // fatal() runs exit handlers, and the static sink's destructor
+    // takes mutex_ — so the failure path must not hold the lock.
+    std::FILE *file = nullptr;
+    if (path != "-") {
+        file = std::fopen(path.c_str(), "w");
+        if (file == nullptr)
+            DFAULT_FATAL("cannot open trace output '", path, "'");
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owned_ && out_ != nullptr)
+        std::fclose(out_);
+    if (file == nullptr) {
+        out_ = stderr;
+        owned_ = false;
+    } else {
+        out_ = file;
+        owned_ = true;
+    }
+    opened_ = std::chrono::steady_clock::now();
+    emitted_.store(0, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+EventSink::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_.store(false, std::memory_order_relaxed);
+    if (out_ != nullptr) {
+        std::fflush(out_);
+        if (owned_)
+            std::fclose(out_);
+    }
+    out_ = nullptr;
+    owned_ = false;
+}
+
+void
+EventSink::emit(std::string_view type, const JsonWriter &fields)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_ == nullptr)
+        return;
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - opened_)
+                         .count();
+    const std::uint64_t seq =
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+    JsonWriter line;
+    line.field("type", type);
+    line.field("seq", seq);
+    line.field("t", t);
+    std::string record = line.str();
+    if (!fields.empty()) {
+        // Splice the producer's fields into the envelope object.
+        record.pop_back();
+        record += ',';
+        const std::string body = fields.str();
+        record.append(body, 1, body.size() - 1);
+    }
+    record += '\n';
+    std::fwrite(record.data(), 1, record.size(), out_);
+}
+
+namespace {
+std::atomic<bool> g_progress{false};
+} // namespace
+
+void
+setProgress(bool enabled)
+{
+    g_progress.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+progressEnabled()
+{
+    return g_progress.load(std::memory_order_relaxed) && !detail::quiet();
+}
+
+void
+progress(const std::string &msg)
+{
+    if (!progressEnabled())
+        return;
+    const std::string line = "progress: " + msg + "\n";
+    std::fputs(line.c_str(), stderr);
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured run telemetry: a JSONL event sink plus progress lines.
+ *
+ * The sink streams one JSON object per line to a file or stderr — the
+ * software analogue of the X-Gene2 testbed's SLIMpro error log and the
+ * offline telemetry the paper's methodology is built on. Producers are
+ * spread across the pipeline (campaign measurements, DRAM error
+ * records, thermal settles, ML folds); each guards its emission with
+ * enabled(), so a disabled sink costs one relaxed atomic load per
+ * would-be event and allocates nothing.
+ *
+ * Every line carries "type", a monotonically increasing "seq" and "t"
+ * (seconds since the sink was opened), followed by the producer's
+ * fields:
+ *
+ *   {"type":"measurement","seq":12,"t":3.4,"label":"srad(par)",...}
+ *
+ * Progress lines are human-oriented one-liners on stderr, enabled by
+ * --progress / progress=true and additionally gated by the global quiet
+ * flag (detail::setQuiet silences them along with warn()/inform()).
+ */
+
+#ifndef DFAULT_OBS_EVENTS_HH
+#define DFAULT_OBS_EVENTS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hh"
+
+namespace dfault::obs {
+
+/** See file comment. */
+class EventSink
+{
+  public:
+    /** The process-wide sink shared by all instrumented components. */
+    static EventSink &instance();
+
+    EventSink() = default;
+    ~EventSink();
+    EventSink(const EventSink &) = delete;
+    EventSink &operator=(const EventSink &) = delete;
+
+    /**
+     * Start streaming to @p path ("-" selects stderr). Replaces any
+     * previously attached destination. fatal() if the file cannot be
+     * created (a user-supplied path).
+     */
+    void open(const std::string &path);
+
+    /** Detach and flush; emit() becomes a no-op again. */
+    void close();
+
+    /** Cheap producer-side guard; see file comment. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one record. The line is fully formatted first and written
+     * with a single fwrite under the sink lock, so concurrent emitters
+     * never interleave.
+     */
+    void emit(std::string_view type, const JsonWriter &fields);
+
+    /** Records written since the sink was last opened. */
+    std::uint64_t emitted() const
+    {
+        return emitted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> emitted_{0};
+    mutable std::mutex mutex_;
+    std::FILE *out_ = nullptr;
+    bool owned_ = false;
+    std::chrono::steady_clock::time_point opened_;
+};
+
+/** Enable or disable progress lines (default: disabled). */
+void setProgress(bool enabled);
+
+/** True if progress lines are enabled and not silenced by setQuiet(). */
+bool progressEnabled();
+
+/**
+ * Print one progress line ("progress: <msg>") to stderr as a single
+ * write. No-op unless progressEnabled().
+ */
+void progress(const std::string &msg);
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_EVENTS_HH

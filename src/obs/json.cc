@@ -1,0 +1,142 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dfault::obs {
+
+std::string
+jsonEscape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, value);
+        double parsed = 0.0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == value)
+            return shorter;
+    }
+    return buf;
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += jsonEscape(k);
+    body_ += "\":";
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, std::string_view value)
+{
+    key(k);
+    body_ += '"';
+    body_ += jsonEscape(value);
+    body_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, const char *value)
+{
+    return field(k, std::string_view(value));
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, const std::string &value)
+{
+    return field(k, std::string_view(value));
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, double value)
+{
+    key(k);
+    body_ += jsonNumber(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, std::int64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, std::uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, int value)
+{
+    return field(k, static_cast<std::int64_t>(value));
+}
+
+JsonWriter &
+JsonWriter::field(std::string_view k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fieldRaw(std::string_view k, std::string_view json)
+{
+    key(k);
+    body_ += json;
+    return *this;
+}
+
+} // namespace dfault::obs

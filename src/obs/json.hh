@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal one-line JSON object builder for telemetry records.
+ *
+ * The observability layer emits flat JSON objects (JSONL stream lines,
+ * stats dumps); this builder covers exactly that: string/number/bool
+ * fields with correct escaping, no nesting beyond what the caller
+ * composes by embedding a raw sub-object. Not a general JSON library.
+ */
+
+#ifndef DFAULT_OBS_JSON_HH
+#define DFAULT_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dfault::obs {
+
+/** Escape @p raw for use inside a JSON string literal (no quotes added). */
+std::string jsonEscape(std::string_view raw);
+
+/** Format a double as JSON (finite shortest round-trip; NaN/inf -> null). */
+std::string jsonNumber(double value);
+
+/** Builds one flat JSON object, field by field, in insertion order. */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(std::string_view key, std::string_view value);
+    JsonWriter &field(std::string_view key, const char *value);
+    JsonWriter &field(std::string_view key, const std::string &value);
+    JsonWriter &field(std::string_view key, double value);
+    JsonWriter &field(std::string_view key, std::int64_t value);
+    JsonWriter &field(std::string_view key, std::uint64_t value);
+    JsonWriter &field(std::string_view key, int value);
+    JsonWriter &field(std::string_view key, bool value);
+
+    /** Insert an already-serialized JSON value (object, array, ...). */
+    JsonWriter &fieldRaw(std::string_view key, std::string_view json);
+
+    /** The complete object, e.g. {"a":1,"b":"x"}. */
+    std::string str() const { return "{" + body_ + "}"; }
+
+    bool empty() const { return body_.empty(); }
+
+  private:
+    void key(std::string_view k);
+
+    std::string body_;
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_JSON_HH

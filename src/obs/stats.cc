@@ -1,0 +1,432 @@
+#include "obs/stats.hh"
+
+#include <cctype>
+#include <limits>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace dfault::obs {
+
+namespace {
+
+bool
+validStatName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (const char c : name) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter:
+        return "counter";
+      case StatKind::Gauge:
+        return "gauge";
+      case StatKind::Distribution:
+        return "distribution";
+      case StatKind::Formula:
+        return "formula";
+    }
+    DFAULT_PANIC("unreachable stat kind");
+}
+
+Distribution::Distribution(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    DFAULT_ASSERT(hi > lo, "distribution range must be non-empty");
+    DFAULT_ASSERT(buckets > 0, "distribution needs at least one bucket");
+    buckets_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void
+Distribution::record(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        const auto idx = static_cast<std::size_t>(
+            (x - lo_) / (hi_ - lo_) *
+            static_cast<double>(buckets_.size()));
+        ++buckets_[std::min(idx, buckets_.size() - 1)];
+    }
+}
+
+std::uint64_t
+Distribution::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+Distribution::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+Distribution::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::minSeen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+Distribution::maxSeen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+std::uint64_t
+Distribution::bucket(int i) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DFAULT_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()),
+                  "distribution bucket index out of range");
+    return buckets_[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t
+Distribution::underflow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return underflow_;
+}
+
+std::uint64_t
+Distribution::overflow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return overflow_;
+}
+
+void
+Distribution::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_.assign(buckets_.size(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Entry &
+Registry::findOrCreate(const std::string &name, StatKind kind,
+                       const std::string &description)
+{
+    if (!validStatName(name))
+        DFAULT_PANIC("invalid stat name '", name,
+                     "': want dotted [A-Za-z0-9_] segments");
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind)
+            DFAULT_PANIC("stat '", name, "' already registered as a ",
+                         statKindName(it->second.kind),
+                         ", requested as a ", statKindName(kind));
+        return it->second;
+    }
+    Entry entry;
+    entry.kind = kind;
+    entry.description = description;
+    return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &description)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = findOrCreate(name, StatKind::Counter, description);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &description)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = findOrCreate(name, StatKind::Gauge, description);
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Distribution &
+Registry::distribution(const std::string &name, double lo, double hi,
+                       int buckets, const std::string &description)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = findOrCreate(name, StatKind::Distribution, description);
+    if (!e.distribution)
+        e.distribution = std::make_unique<Distribution>(lo, hi, buckets);
+    return *e.distribution;
+}
+
+Formula &
+Registry::formula(const std::string &name, std::function<double()> fn,
+                  const std::string &description)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = findOrCreate(name, StatKind::Formula, description);
+    if (!e.formula)
+        e.formula = std::make_unique<Formula>(std::move(fn));
+    return *e.formula;
+}
+
+bool
+Registry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(name) > 0;
+}
+
+StatKind
+Registry::kindOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        DFAULT_PANIC("unknown stat '", name, "'");
+    return it->second.kind;
+}
+
+std::size_t
+Registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first);
+    return out;
+}
+
+double
+Registry::value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        DFAULT_PANIC("unknown stat '", name, "'");
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case StatKind::Counter:
+        return static_cast<double>(e.counter->value());
+      case StatKind::Gauge:
+        return e.gauge->value();
+      case StatKind::Distribution:
+        return e.distribution->mean();
+      case StatKind::Formula:
+        return e.formula->value();
+    }
+    DFAULT_PANIC("unreachable stat kind");
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : entries_) {
+        Entry &e = kv.second;
+        switch (e.kind) {
+          case StatKind::Counter:
+            e.counter->reset();
+            break;
+          case StatKind::Gauge:
+            e.gauge->reset();
+            break;
+          case StatKind::Distribution:
+            e.distribution->reset();
+            break;
+          case StatKind::Formula:
+            break; // derived; re-evaluates from its inputs
+        }
+    }
+}
+
+void
+Registry::dumpText(std::FILE *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &kv : entries_) {
+        const std::string &name = kv.first;
+        const Entry &e = kv.second;
+        const char *desc = e.description.c_str();
+        switch (e.kind) {
+          case StatKind::Counter:
+            std::fprintf(out, "%-44s %20llu  # %s\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             e.counter->value()),
+                         desc);
+            break;
+          case StatKind::Gauge:
+            std::fprintf(out, "%-44s %20.6g  # %s\n", name.c_str(),
+                         e.gauge->value(), desc);
+            break;
+          case StatKind::Formula:
+            std::fprintf(out, "%-44s %20.6g  # %s\n", name.c_str(),
+                         e.formula->value(), desc);
+            break;
+          case StatKind::Distribution: {
+            const Distribution &d = *e.distribution;
+            std::fprintf(out, "%-44s %20llu  # %s (count)\n",
+                         (name + ".count").c_str(),
+                         static_cast<unsigned long long>(d.count()),
+                         desc);
+            if (d.count() == 0)
+                break;
+            std::fprintf(out, "%-44s %20.6g  # mean\n",
+                         (name + ".mean").c_str(), d.mean());
+            std::fprintf(out, "%-44s %20.6g  # min\n",
+                         (name + ".min").c_str(), d.minSeen());
+            std::fprintf(out, "%-44s %20.6g  # max\n",
+                         (name + ".max").c_str(), d.maxSeen());
+            const double width =
+                (d.hi() - d.lo()) / d.bucketCount();
+            for (int i = 0; i < d.bucketCount(); ++i) {
+                if (d.bucket(i) == 0)
+                    continue;
+                std::fprintf(out,
+                             "%-44s %20llu  # [%g, %g)\n",
+                             (name + ".bucket." + std::to_string(i))
+                                 .c_str(),
+                             static_cast<unsigned long long>(
+                                 d.bucket(i)),
+                             d.lo() + i * width,
+                             d.lo() + (i + 1) * width);
+            }
+            if (d.underflow() > 0)
+                std::fprintf(out, "%-44s %20llu  # < %g\n",
+                             (name + ".underflow").c_str(),
+                             static_cast<unsigned long long>(
+                                 d.underflow()),
+                             d.lo());
+            if (d.overflow() > 0)
+                std::fprintf(out, "%-44s %20llu  # >= %g\n",
+                             (name + ".overflow").c_str(),
+                             static_cast<unsigned long long>(
+                                 d.overflow()),
+                             d.hi());
+            break;
+          }
+        }
+    }
+}
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter root;
+    for (const auto &kv : entries_) {
+        const Entry &e = kv.second;
+        switch (e.kind) {
+          case StatKind::Counter:
+            root.field(kv.first, e.counter->value());
+            break;
+          case StatKind::Gauge:
+            root.field(kv.first, e.gauge->value());
+            break;
+          case StatKind::Formula:
+            root.field(kv.first, e.formula->value());
+            break;
+          case StatKind::Distribution: {
+            const Distribution &d = *e.distribution;
+            JsonWriter sub;
+            sub.field("count", d.count());
+            if (d.count() > 0) {
+                sub.field("mean", d.mean());
+                sub.field("min", d.minSeen());
+                sub.field("max", d.maxSeen());
+            }
+            sub.field("lo", d.lo());
+            sub.field("hi", d.hi());
+            std::string buckets = "[";
+            for (int i = 0; i < d.bucketCount(); ++i) {
+                if (i > 0)
+                    buckets += ',';
+                buckets += std::to_string(d.bucket(i));
+            }
+            buckets += ']';
+            sub.fieldRaw("buckets", buckets);
+            sub.field("underflow", d.underflow());
+            sub.field("overflow", d.overflow());
+            root.fieldRaw(kv.first, sub.str());
+            break;
+          }
+        }
+    }
+    return root.str();
+}
+
+bool
+Registry::writeFile(const std::string &path) const
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        return false;
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json) {
+        const std::string body = toJson();
+        std::fwrite(body.data(), 1, body.size(), out);
+        std::fputc('\n', out);
+    } else {
+        dumpText(out);
+    }
+    std::fclose(out);
+    return true;
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Hierarchical statistics registry (gem5-style).
+ *
+ * Stats live under dotted paths ("platform.mem.l2.miss_rate") in a
+ * process-wide (or test-local) Registry. Four kinds are supported:
+ *
+ *  - Counter       monotonically increasing integer (events, commands);
+ *  - Gauge         last-written / accumulated floating-point value;
+ *  - Distribution  fixed-width linear histogram with under/overflow
+ *                  bins plus count/sum/min/max moments;
+ *  - Formula       value derived from other stats at dump time
+ *                  (ratios, rates), evaluated lazily.
+ *
+ * Instrumented components resolve their stats once (construction or
+ * first publish) and then touch plain atomics, so the steady-state cost
+ * of an update is one relaxed atomic op; components that keep their own
+ * internal counters (caches, MCUs, cores) instead publish snapshots
+ * after each run, leaving their hot paths untouched.
+ *
+ * Registration is idempotent: requesting an existing name with the same
+ * kind returns the existing stat; a kind mismatch is a library bug and
+ * panics. Names must be non-empty dotted paths of [A-Za-z0-9_] segments.
+ */
+
+#ifndef DFAULT_OBS_STATS_HH
+#define DFAULT_OBS_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dfault::obs {
+
+/** Discriminates the stat kinds a Registry can hold. */
+enum class StatKind
+{
+    Counter,
+    Gauge,
+    Distribution,
+    Formula,
+};
+
+/** "counter" / "gauge" / "distribution" / "formula". */
+std::string statKindName(StatKind kind);
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    Counter &operator++()
+    {
+        inc();
+        return *this;
+    }
+    Counter &operator+=(std::uint64_t n)
+    {
+        inc(n);
+        return *this;
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written (or accumulated) floating-point value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    /** Atomic accumulate (used by timers). */
+    void add(double delta)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Linear fixed-width histogram over [lo, hi) with @p buckets bins plus
+ * dedicated underflow/overflow bins, and running count/sum/min/max.
+ */
+class Distribution
+{
+  public:
+    Distribution(double lo, double hi, int buckets);
+
+    void record(double x);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    int bucketCount() const { return static_cast<int>(buckets_.size()); }
+
+    std::uint64_t count() const;
+    double sum() const;
+    double mean() const;
+    double minSeen() const; ///< +inf until the first record()
+    double maxSeen() const; ///< -inf until the first record()
+    std::uint64_t bucket(int i) const;
+    std::uint64_t underflow() const;
+    std::uint64_t overflow() const;
+
+    void reset();
+
+  private:
+    const double lo_;
+    const double hi_;
+    mutable std::mutex mutex_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/** Value derived from other stats; evaluated on read. */
+class Formula
+{
+  public:
+    explicit Formula(std::function<double()> fn) : fn_(std::move(fn)) {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+  private:
+    std::function<double()> fn_;
+};
+
+/** See file comment. */
+class Registry
+{
+  public:
+    /** The process-wide registry used by instrumented components. */
+    static Registry &instance();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Look up or create a stat. Panics if @p name is already registered
+     * with a different kind, or if the name is not a valid dotted path.
+     * Returned references stay valid for the registry's lifetime.
+     */
+    Counter &counter(const std::string &name,
+                     const std::string &description = "");
+    Gauge &gauge(const std::string &name,
+                 const std::string &description = "");
+    Distribution &distribution(const std::string &name, double lo,
+                               double hi, int buckets,
+                               const std::string &description = "");
+    Formula &formula(const std::string &name, std::function<double()> fn,
+                     const std::string &description = "");
+
+    bool has(const std::string &name) const;
+    StatKind kindOf(const std::string &name) const; ///< panics if absent
+    std::size_t size() const;
+
+    /** All registered names in sorted (hierarchical) order. */
+    std::vector<std::string> names() const;
+
+    /** Scalar value of a stat (a Distribution reports its mean). */
+    double value(const std::string &name) const;
+
+    /** Zero every counter/gauge/distribution; formulas re-derive. */
+    void resetAll();
+
+    /**
+     * gem5-style text dump: one "name  value  # description" line per
+     * stat in hierarchical order; distributions expand into .count/
+     * .mean/.min/.max lines plus one line per non-empty bucket.
+     */
+    void dumpText(std::FILE *out) const;
+
+    /** The whole registry as one JSON object keyed by stat name. */
+    std::string toJson() const;
+
+    /**
+     * Write the registry to @p path: JSON when the path ends in
+     * ".json", text dump otherwise. Returns false if the file cannot
+     * be opened.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Entry
+    {
+        StatKind kind;
+        std::string description;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Distribution> distribution;
+        std::unique_ptr<Formula> formula;
+    };
+
+    Entry &findOrCreate(const std::string &name, StatKind kind,
+                        const std::string &description);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_STATS_HH

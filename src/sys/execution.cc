@@ -1,8 +1,10 @@
 #include "sys/execution.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace dfault::sys {
 
@@ -182,6 +184,43 @@ ExecutionContext::cpi() const
         return 0.0;
     return static_cast<double>(total.cycles) /
            static_cast<double>(total.instructions);
+}
+
+void
+ExecutionContext::publishStats() const
+{
+    auto &reg = obs::Registry::instance();
+    for (int t = 0; t < params_.threads; ++t) {
+        const CoreStats &c = cores_[static_cast<std::size_t>(t)];
+        const std::string p = "platform.core." + std::to_string(t) + ".";
+        reg.counter(p + "instructions", "dynamic instructions executed")
+            .inc(c.instructions);
+        reg.counter(p + "cycles", "core cycles consumed")
+            .inc(c.cycles);
+        reg.counter(p + "loads", "load instructions").inc(c.loads);
+        reg.counter(p + "stores", "store instructions").inc(c.stores);
+        reg.counter(p + "branches", "branch instructions")
+            .inc(c.branches);
+        reg.counter(p + "branch_misses", "mispredicted branches")
+            .inc(c.branchMisses);
+        reg.counter(p + "wait_cycles", "cycles stalled on memory")
+            .inc(c.waitCycles);
+    }
+    const CoreStats total = totalStats();
+    reg.counter("platform.exec.instructions",
+                "dynamic instructions, all threads")
+        .inc(total.instructions);
+    reg.counter("platform.exec.cycles", "core cycles, all threads")
+        .inc(total.cycles);
+    reg.counter("platform.exec.wall_cycles",
+                "wall-clock cycles (max over threads)")
+        .inc(wallCycles());
+    reg.gauge("platform.exec.last_cpi", "CPI of the last published run")
+        .set(cpi());
+    reg.gauge("platform.exec.last_wall_seconds",
+              "dilated wall seconds of the last published run")
+        .set(wallSeconds());
+    hierarchy_.publishStats();
 }
 
 double

@@ -130,6 +130,14 @@ class ExecutionContext
     /** Global dynamic instruction counter (across threads). */
     std::uint64_t globalInstructions() const { return globalInstr_; }
 
+    /**
+     * Publish this run's counters into the observability registry
+     * (obs::Registry::instance()): per-thread counters accumulate under
+     * "platform.core.<t>.*", aggregates under "platform.exec.*". Called
+     * once per profiled run; the hot paths stay uninstrumented.
+     */
+    void publishStats() const;
+
     const Params &params() const { return params_; }
     mem::MemoryHierarchy &hierarchy() { return hierarchy_; }
 

@@ -1,6 +1,7 @@
 #include "sys/platform.hh"
 
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace dfault::sys {
 
@@ -36,6 +37,9 @@ ExecutionContext
 Platform::startRun(int threads)
 {
     DFAULT_ASSERT(threads > 0, "run needs at least one thread");
+    obs::Registry::instance()
+        .counter("platform.runs", "workload runs started")
+        .inc();
     hierarchy_->reset();
     ExecutionContext::Params exec = params_.exec;
     exec.threads = threads;

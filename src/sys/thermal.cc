@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
 
 namespace dfault::sys {
 
@@ -123,15 +125,44 @@ ThermalTestbed::stepUntilSettled(int max_steps)
 {
     const int needed =
         std::max(1, static_cast<int>(std::ceil(1.0 / params_.dt)));
-    for (int i = 0; i < max_steps; ++i) {
+    bool settled = false;
+    int steps = max_steps;
+    for (int i = 0; i < max_steps && !settled; ++i) {
         step();
         bool all = true;
         for (int d = 0; d < params_.dimms; ++d)
             all = all && settledSteps_[d] >= needed;
-        if (all)
-            return true;
+        if (all) {
+            settled = true;
+            steps = i + 1;
+        }
     }
-    return false;
+
+    auto &reg = obs::Registry::instance();
+    reg.counter("thermal.settles", "PID settle attempts").inc();
+    reg.distribution("thermal.settle_steps", 0.0, 20000.0, 40,
+                     "control steps until the PID loop converged")
+        .record(static_cast<double>(steps));
+    if (!settled)
+        reg.counter("thermal.settle_failures",
+                    "settle attempts that hit the step limit")
+            .inc();
+    auto &sink = obs::EventSink::instance();
+    if (sink.enabled()) {
+        double mean_temp = 0.0, mean_target = 0.0;
+        for (int d = 0; d < params_.dimms; ++d) {
+            mean_temp += temperature_[d];
+            mean_target += target_[d];
+        }
+        obs::JsonWriter w;
+        w.field("settled", settled);
+        w.field("steps", static_cast<std::int64_t>(steps));
+        w.field("sim_seconds", steps * params_.dt);
+        w.field("target_c", mean_target / params_.dimms);
+        w.field("temp_c", mean_temp / params_.dimms);
+        sink.emit("thermal_settle", w);
+    }
+    return settled;
 }
 
 Celsius

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Event-sink tests: JSONL round-trip through a file, enable/disable
+ * semantics, JSON escaping, and progress-line gating by the global
+ * quiet flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
+
+namespace dfault::obs {
+namespace {
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(JsonWriter, EscapesAndFormatsFields)
+{
+    JsonWriter w;
+    EXPECT_TRUE(w.empty());
+    w.field("s", "quote \" backslash \\ newline \n tab \t");
+    w.field("d", 0.5);
+    w.field("i", -3);
+    w.field("u", std::uint64_t{18446744073709551615ull});
+    w.field("b", true);
+    w.fieldRaw("raw", "[1,2]");
+    EXPECT_FALSE(w.empty());
+    EXPECT_EQ(w.str(),
+              "{\"s\":\"quote \\\" backslash \\\\ newline \\n tab \\t\","
+              "\"d\":0.5,\"i\":-3,\"u\":18446744073709551615,"
+              "\"b\":true,\"raw\":[1,2]}");
+}
+
+TEST(JsonWriter, NumbersRoundTrip)
+{
+    // Shortest-round-trip doubles: parsing the emitted text recovers
+    // the exact bit pattern.
+    for (const double v : {0.0, 1.0, 0.1, 2.9243528842926025e-07,
+                           -1.7976931348623157e308, 3.14}) {
+        EXPECT_EQ(std::stod(jsonNumber(v)), v) << jsonNumber(v);
+    }
+}
+
+TEST(EventSink, DisabledSinkDropsEvents)
+{
+    EventSink sink;
+    EXPECT_FALSE(sink.enabled());
+    JsonWriter w;
+    w.field("k", 1);
+    sink.emit("noop", w); // must not crash, must not count
+    EXPECT_EQ(sink.emitted(), 0u);
+}
+
+TEST(EventSink, JsonlRoundTripsThroughFile)
+{
+    const std::string path =
+        ::testing::TempDir() + "dfault_events_test.jsonl";
+    {
+        EventSink sink;
+        sink.open(path);
+        EXPECT_TRUE(sink.enabled());
+
+        JsonWriter a;
+        a.field("label", "srad(par)");
+        a.field("wer", 2.9243528842926025e-07);
+        sink.emit("measurement", a);
+
+        JsonWriter b; // events with no extra fields are fine
+        sink.emit("heartbeat", b);
+        EXPECT_EQ(sink.emitted(), 2u);
+        sink.close();
+        EXPECT_FALSE(sink.enabled());
+    }
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+
+    // Envelope: type first, then a monotonically increasing seq and a
+    // non-negative timestamp, then the producer's fields verbatim.
+    EXPECT_TRUE(lines[0].starts_with(
+        "{\"type\":\"measurement\",\"seq\":0,\"t\":"));
+    EXPECT_NE(lines[0].find("\"label\":\"srad(par)\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"wer\":2.9243528842926025e-07"),
+              std::string::npos);
+    EXPECT_TRUE(lines[0].ends_with("}"));
+    EXPECT_TRUE(lines[1].starts_with(
+        "{\"type\":\"heartbeat\",\"seq\":1,\"t\":"));
+
+    std::remove(path.c_str());
+}
+
+TEST(EventSink, ReopeningResetsSequenceNumbers)
+{
+    const std::string path =
+        ::testing::TempDir() + "dfault_events_reopen.jsonl";
+    EventSink sink;
+    sink.open(path);
+    sink.emit("a", JsonWriter());
+    sink.close();
+    sink.open(path); // truncates and restarts
+    sink.emit("b", JsonWriter());
+    sink.close();
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(lines[0].starts_with("{\"type\":\"b\",\"seq\":0,"));
+    std::remove(path.c_str());
+}
+
+TEST(Progress, GatedByEnableFlagAndQuiet)
+{
+    setProgress(false);
+    EXPECT_FALSE(progressEnabled());
+
+    setProgress(true);
+    EXPECT_TRUE(progressEnabled());
+
+    detail::setQuiet(true); // setQuiet must also silence progress
+    EXPECT_FALSE(progressEnabled());
+    detail::setQuiet(false);
+    EXPECT_TRUE(progressEnabled());
+
+    testing::internal::CaptureStderr();
+    progress("halfway there");
+    const std::string on = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(on, "progress: halfway there\n");
+
+    setProgress(false);
+    testing::internal::CaptureStderr();
+    progress("should not appear");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+} // namespace
+} // namespace dfault::obs

@@ -14,14 +14,24 @@
  * Every subcommand accepts key=value overrides:
  *   footprint_mib=16 work_scale=1.0 epochs=120 trefp_s=2.283
  *   temp_c=50 vdd_v=1.428 threads=8 input_set=1 model=knn
+ *
+ * Telemetry flags (see docs/observability.md):
+ *   --stats-out=<path>   dump the stats registry after the command
+ *                        (.json suffix selects JSON, else gem5-style
+ *                        text)
+ *   --trace-out=<path>   stream JSONL events ("-" for stderr)
+ *   --progress           one-line progress updates on stderr
  */
 
 #include <cstdio>
 #include <iostream>
 #include <cstring>
+#include <string_view>
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "obs/events.hh"
+#include "obs/stats.hh"
 #include "core/dataset_builder.hh"
 #include "core/report.hh"
 #include "core/error_model.hh"
@@ -38,12 +48,34 @@ struct Cli
 {
     Config config;
     std::vector<std::string> positional;
+    std::string statsOut;
     std::unique_ptr<sys::Platform> platform;
     std::unique_ptr<core::CharacterizationCampaign> campaign;
 
     Cli(int argc, char **argv)
     {
-        positional = config.parseArgs(argc, argv);
+        // Telemetry flags are peeled off before key=value parsing so
+        // they never collide with config keys or positionals.
+        std::vector<char *> args;
+        args.reserve(static_cast<std::size_t>(argc));
+        for (int i = 0; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.starts_with("--stats-out="))
+                statsOut = arg.substr(12);
+            else if (arg.starts_with("--trace-out="))
+                obs::EventSink::instance().open(
+                    std::string(arg.substr(12)));
+            else if (arg == "--progress")
+                obs::setProgress(true);
+            else if (i > 0 && arg.starts_with("--"))
+                DFAULT_FATAL("unknown flag '", std::string(arg),
+                             "'; telemetry flags are --stats-out=, "
+                             "--trace-out=, --progress");
+            else
+                args.push_back(argv[i]);
+        }
+        positional = config.parseArgs(static_cast<int>(args.size()),
+                                      args.data());
 
         sys::Platform::Params pp;
         const std::uint64_t footprint =
@@ -266,15 +298,13 @@ usage()
         "kernels: backprop kmeans nw srad fmm memcached pagerank bfs\n"
         "         bc lulesh_o2 lulesh_f random\n"
         "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
-        "           vdd_v threads input_set model thermal_loop\n");
+        "           vdd_v threads input_set model thermal_loop\n"
+        "telemetry: --stats-out=<path> --trace-out=<path> --progress\n");
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(Cli &cli)
 {
-    Cli cli(argc, argv);
     if (cli.positional.empty()) {
         usage();
         return 1;
@@ -297,4 +327,19 @@ main(int argc, char **argv)
 
     usage();
     return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const int rc = dispatch(cli);
+    if (!cli.statsOut.empty()) {
+        obs::Registry::instance().writeFile(cli.statsOut);
+        DFAULT_INFORM("stats written to ", cli.statsOut);
+    }
+    obs::EventSink::instance().close();
+    return rc;
 }
