@@ -11,6 +11,10 @@
  *   stats_out=<path>   dump the stats registry when the bench exits
  *   trace_out=<path>   stream JSONL events ("-" for stderr)
  *   progress=true      one-line progress updates on stderr
+ *
+ * Parallelism (see docs/parallelism.md):
+ *   threads=<n>        size the global pool (overrides DFAULT_THREADS);
+ *                      results are bit-identical for any value
  * A per-phase timing table and the total wall clock are printed at
  * exit regardless.
  */
@@ -32,6 +36,7 @@
 #include "obs/events.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
+#include "par/pool.hh"
 #include "sys/platform.hh"
 #include "workloads/registry.hh"
 
@@ -45,6 +50,10 @@ class Harness
         : start_(std::chrono::steady_clock::now())
     {
         config_.parseArgs(argc, argv);
+        const int threads =
+            static_cast<int>(config_.getInt("threads", 0));
+        if (threads > 0)
+            par::Pool::setGlobalThreads(threads);
         const std::uint64_t footprint =
             static_cast<std::uint64_t>(
                 config_.getInt("footprint_mib", 16))

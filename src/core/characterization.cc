@@ -8,6 +8,7 @@
 #include "obs/events.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
+#include "par/pool.hh"
 
 namespace dfault::core {
 
@@ -28,10 +29,20 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
                                   std::uint64_t run_seed,
                                   dram::ErrorLog *log)
 {
+    return measureOn(platform_, config, op, run_seed, log);
+}
+
+Measurement
+CharacterizationCampaign::measureOn(sys::Platform &platform,
+                                    const workloads::WorkloadConfig &config,
+                                    const dram::OperatingPoint &op,
+                                    std::uint64_t run_seed,
+                                    dram::ErrorLog *log)
+{
     op.validate();
 
     const features::WorkloadProfile &profile =
-        features::ProfileCache::instance().get(platform_, config,
+        features::ProfileCache::instance().get(platform, config,
                                                params_.workload);
 
     Measurement m;
@@ -43,12 +54,15 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
 
     if (params_.useThermalLoop) {
         const obs::ScopedTimer settle_timer("thermal_settle");
-        auto &thermal = platform_.thermal();
+        auto &thermal = platform.thermal();
+        // Start from a reset testbed: the settle must not depend on
+        // which experiment (if any) heated the DIMMs before this one.
+        thermal.reset();
         // DRAM self-heating: each DIMM dissipates according to its
         // share of the workload's command activity; the PID loop has
         // to regulate around it, exactly as on the physical testbed.
         const dram::PowerModel power;
-        const auto &geometry = platform_.geometry();
+        const auto &geometry = platform.geometry();
         for (int dimm = 0; dimm < geometry.params().channels; ++dimm) {
             double act_rate = 0.0, cmd_rate = 0.0;
             for (int rank = 0; rank < geometry.params().ranksPerDimm;
@@ -79,8 +93,8 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
     {
         const obs::ScopedTimer integrate_timer("integrate");
         m.run = integrator_.run(profile, m.achieved,
-                                platform_.geometry(),
-                                platform_.devices(), run_seed, log);
+                                platform.geometry(),
+                                platform.devices(), run_seed, log);
         integrate_seconds = integrate_timer.elapsed();
     }
 
@@ -127,25 +141,48 @@ CharacterizationCampaign::measure(const workloads::WorkloadConfig &config,
     return m;
 }
 
+sys::Platform &
+CharacterizationCampaign::slotPlatform()
+{
+    const int slot = par::Pool::currentSlot();
+    if (slot <= 0)
+        return platform_;
+    DFAULT_ASSERT(static_cast<std::size_t>(slot) < replicas_.size(),
+                  "pool slot without a replica array entry");
+    auto &replica = replicas_[static_cast<std::size_t>(slot)];
+    if (!replica)
+        replica = platform_.clone();
+    return *replica;
+}
+
+void
+CharacterizationCampaign::prepareReplicas()
+{
+    const auto slots =
+        static_cast<std::size_t>(par::Pool::global().slots());
+    if (replicas_.size() < slots)
+        replicas_.resize(slots);
+}
+
 std::vector<Measurement>
 CharacterizationCampaign::sweep(
     const std::vector<workloads::WorkloadConfig> &suite,
     const std::vector<dram::OperatingPoint> &points)
 {
     const obs::ScopedTimer sweep_timer("sweep");
-    std::vector<Measurement> out;
     const std::size_t total = suite.size() * points.size();
-    out.reserve(total);
-    for (const auto &config : suite) {
-        for (const auto &op : points) {
-            obs::progress("experiment " +
-                          std::to_string(out.size() + 1) + "/" +
+    prepareReplicas();
+    // One task per (workload, point) cell, committed in cell order:
+    // the result vector is identical whatever the worker schedule.
+    return par::Pool::global().parallelMap<Measurement>(
+        total, [&](std::size_t i) {
+            const auto &config = suite[i / points.size()];
+            const auto &op = points[i % points.size()];
+            obs::progress("experiment " + std::to_string(i + 1) + "/" +
                           std::to_string(total) + ": " + config.label +
                           " at " + op.label());
-            out.push_back(measure(config, op));
-        }
-    }
-    return out;
+            return measureOn(slotPlatform(), config, op, 0, nullptr);
+        });
 }
 
 double
@@ -154,12 +191,18 @@ CharacterizationCampaign::measurePue(
     const dram::OperatingPoint &op, int repeats)
 {
     DFAULT_ASSERT(repeats > 0, "PUE needs at least one repeat");
+    const obs::ScopedTimer pue_timer("pue");
+    prepareReplicas();
+    const auto crashed = par::Pool::global().parallelMap<char>(
+        static_cast<std::size_t>(repeats), [&](std::size_t r) {
+            const Measurement m =
+                measureOn(slotPlatform(), config, op,
+                          static_cast<std::uint64_t>(r) + 1, nullptr);
+            return static_cast<char>(m.run.crashed ? 1 : 0);
+        });
     int crashes = 0;
-    for (int r = 0; r < repeats; ++r) {
-        const Measurement m =
-            measure(config, op, static_cast<std::uint64_t>(r) + 1);
-        crashes += m.run.crashed ? 1 : 0;
-    }
+    for (const char c : crashed)
+        crashes += c;
     return static_cast<double>(crashes) / static_cast<double>(repeats);
 }
 

@@ -50,8 +50,11 @@ class CharacterizationCampaign
     explicit CharacterizationCampaign(sys::Platform &platform);
 
     /**
-     * Run one experiment: profile (cached), heat the DIMMs, integrate
-     * errors over the 2-hour window.
+     * Run one experiment: profile (cached), heat the DIMMs from a
+     * reset testbed, integrate errors over the 2-hour window. The
+     * testbed reset makes every measurement independent of campaign
+     * history, which is what allows sweeps to run in any order — or
+     * in parallel — with identical results.
      *
      * @param run_seed distinguishes repeats of the same experiment
      * @param log optional destination for sampled error records
@@ -61,14 +64,21 @@ class CharacterizationCampaign
                         std::uint64_t run_seed = 0,
                         dram::ErrorLog *log = nullptr);
 
-    /** Full sweep: every workload at every operating point. */
+    /**
+     * Full sweep: every workload at every operating point, fanned out
+     * over the global par::Pool. Worker slots measure on per-slot
+     * platform replicas (Platform::clone); results are committed in
+     * (workload, point) order, so the returned vector is bit-identical
+     * for any DFAULT_THREADS.
+     */
     std::vector<Measurement>
     sweep(const std::vector<workloads::WorkloadConfig> &suite,
           const std::vector<dram::OperatingPoint> &points);
 
     /**
      * Probability of a UE for each workload at @p op from @p repeats
-     * independent runs (paper Eq. 3: crashes / experiments).
+     * independent runs (paper Eq. 3: crashes / experiments). Repeats
+     * run in parallel, each seeded by its repeat index.
      */
     double measurePue(const workloads::WorkloadConfig &config,
                       const dram::OperatingPoint &op, int repeats);
@@ -78,9 +88,24 @@ class CharacterizationCampaign
     const Params &params() const { return params_; }
 
   private:
+    /** measure() against an explicit platform (a worker's replica). */
+    Measurement measureOn(sys::Platform &platform,
+                          const workloads::WorkloadConfig &config,
+                          const dram::OperatingPoint &op,
+                          std::uint64_t run_seed, dram::ErrorLog *log);
+
+    /** The calling slot's platform: the campaign's own on the
+     *  submitting thread, a lazily-built replica on pool workers. */
+    sys::Platform &slotPlatform();
+
+    /** Grow the replica array to the global pool's slot count. */
+    void prepareReplicas();
+
     sys::Platform &platform_;
     Params params_;
     ErrorIntegrator integrator_;
+    /** Per-slot platform replicas (index 0 unused: that is platform_). */
+    std::vector<std::unique_ptr<sys::Platform>> replicas_;
 };
 
 /** The WER study's operating points: Fig 7's TREFP x temperature grid

@@ -391,20 +391,31 @@ ProfileCache::get(sys::Platform &platform,
         std::to_string(platform.params().hierarchy.l2.sizeBytes) + "/" +
         std::to_string(platform.params().geometry.rowsPerBank);
 
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
+    // Two-phase lookup: the map mutex is held only long enough to pin
+    // the entry; the (expensive) extraction happens outside it, with
+    // std::call_once giving each key exactly-one-computation semantics
+    // even when several pool workers request it at the same moment.
+    std::shared_ptr<Entry> entry;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    std::call_once(entry->once, [&] {
         DFAULT_INFORM("profiling ", config.label, " (", config.threads,
                       " threads)");
-        it = entries_.emplace(key,
-                              extractProfile(platform, config, wparams))
-                 .first;
-    }
-    return it->second;
+        entry->profile = extractProfile(platform, config, wparams);
+    });
+    return entry->profile;
 }
 
 void
 ProfileCache::clear()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
 }
 

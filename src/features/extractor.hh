@@ -8,6 +8,8 @@
 #define DFAULT_FEATURES_EXTRACTOR_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "features/profile.hh"
 #include "sys/platform.hh"
@@ -28,26 +30,46 @@ WorkloadProfile extractProfile(sys::Platform &platform,
 
 /**
  * Process-wide profile memoization keyed by (label, threads, footprint,
- * seed, workScale): campaigns and benchmark drivers re-profile the same
- * suite many times; the profile is deterministic so caching is exact.
+ * seed, workScale, platform params): campaigns and benchmark drivers
+ * re-profile the same suite many times; the profile is deterministic so
+ * caching is exact.
+ *
+ * The cache is safe for concurrent use from par::Pool workers. Each key
+ * is computed exactly once, even under a concurrent first request from
+ * many workers (the losers block until the winner's extraction
+ * finishes), and entries live on the heap, so the returned references —
+ * and any WorkloadProfile pointers taken from them — stay valid across
+ * later insertions. clear() still invalidates everything.
  */
 class ProfileCache
 {
   public:
     static ProfileCache &instance();
 
-    /** Get or compute the profile for @p config on @p platform. */
+    /**
+     * Get or compute the profile for @p config on @p platform. The
+     * extraction runs on the caller's platform; concurrent callers must
+     * pass distinct Platform instances (pool workers use per-slot
+     * replicas).
+     */
     const WorkloadProfile &
     get(sys::Platform &platform, const workloads::WorkloadConfig &config,
         const workloads::Workload::Params &wparams);
 
-    /** Drop all cached profiles. */
+    /** Drop all cached profiles (invalidates outstanding pointers). */
     void clear();
 
   private:
+    struct Entry
+    {
+        std::once_flag once;
+        WorkloadProfile profile;
+    };
+
     ProfileCache() = default;
 
-    std::map<std::string, WorkloadProfile> entries_;
+    std::mutex mutex_; ///< guards entries_ (the map, not the profiles)
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
 };
 
 } // namespace dfault::features

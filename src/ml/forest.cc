@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "par/pool.hh"
 
 namespace dfault::ml {
 
@@ -48,14 +49,22 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
             ? std::min(params_.maxFeatures, p)
             : std::max<std::size_t>(1, p / 3);
 
-    Rng rng(params_.seed);
     trees_.clear();
     trees_.resize(params_.trees);
 
-    std::vector<std::size_t> feature_pool(p);
-    std::iota(feature_pool.begin(), feature_pool.end(), 0);
+    // Each tree draws from its own RNG stream, derived from the forest
+    // seed and the tree index — not from one generator shared across
+    // the loop. That makes every tree's randomness independent of how
+    // work is scheduled, so trees can be grown in parallel (or in any
+    // order) and the fitted forest is identical.
+    par::Pool::global().parallelFor(trees_.size(), [&](std::size_t t) {
+        Tree &tree = trees_[t];
+        Rng rng(hashCombine(params_.seed,
+                            static_cast<std::uint64_t>(t)));
 
-    for (auto &tree : trees_) {
+        std::vector<std::size_t> feature_pool(p);
+        std::iota(feature_pool.begin(), feature_pool.end(), 0);
+
         // Bootstrap sample.
         std::vector<std::size_t> rows(n);
         for (auto &r : rows)
@@ -96,7 +105,7 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
             }
 
             // Choose mtry candidate features at random (partial
-            // Fisher-Yates on the shared pool).
+            // Fisher-Yates on this tree's pool).
             for (std::size_t k = 0; k < mtry; ++k) {
                 const std::size_t pick =
                     k + rng.uniformInt(
@@ -173,7 +182,7 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
             stack.push_back({std::move(right_rows), item.depth + 1,
                              right_index});
         }
-    }
+    });
 }
 
 double

@@ -6,6 +6,8 @@
 #include "ml/cross_validation.hh"
 #include "ml/metrics.hh"
 #include "ml/scaler.hh"
+#include "obs/timer.hh"
+#include "par/pool.hh"
 
 namespace dfault::ml {
 
@@ -19,14 +21,23 @@ gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
     DFAULT_ASSERT(folds.size() >= 2,
                   "grid search needs at least two groups");
 
-    std::vector<GridResult> results;
-    results.reserve(grid.size());
-    for (const auto &candidate : grid) {
-        double rmse_sum = 0.0;
-        int fold_count = 0;
-        for (const Fold &fold : folds) {
+    // Every (candidate, fold) cell is an independent fit: flatten the
+    // two loops into one task list so even a small grid saturates the
+    // pool. Per-candidate means are reduced below in fold order, so
+    // the RMSE sums match a serial run bit for bit.
+    struct Cell
+    {
+        double rmse = 0.0;
+        char contributed = 0;
+    };
+    const obs::ScopedTimer timer("grid_search");
+    const std::size_t n_folds = folds.size();
+    const auto cells = par::Pool::global().parallelMap<Cell>(
+        grid.size() * n_folds, [&](std::size_t i) {
+            const auto &candidate = grid[i / n_folds];
+            const Fold &fold = folds[i % n_folds];
             if (fold.trainRows.empty() || fold.testRows.empty())
-                continue;
+                return Cell{};
             const Dataset train = data.subset(fold.trainRows);
             const Dataset test = data.subset(fold.testRows);
 
@@ -40,11 +51,23 @@ gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
             for (const auto &row : test.x())
                 predicted.push_back(
                     model->predict(scaler.transform(row)));
-            rmse_sum += rmse(test.y(), predicted);
+            return Cell{rmse(test.y(), predicted), 1};
+        });
+
+    std::vector<GridResult> results;
+    results.reserve(grid.size());
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+        double rmse_sum = 0.0;
+        int fold_count = 0;
+        for (std::size_t f = 0; f < n_folds; ++f) {
+            const Cell &cell = cells[c * n_folds + f];
+            if (!cell.contributed)
+                continue;
+            rmse_sum += cell.rmse;
             ++fold_count;
         }
         GridResult result;
-        result.label = candidate.label;
+        result.label = grid[c].label;
         result.meanRmse =
             fold_count > 0 ? rmse_sum / fold_count : 0.0;
         results.push_back(std::move(result));

@@ -64,6 +64,29 @@ ScopedTimer::currentPath()
     return joinStack();
 }
 
+PhaseAdoption::PhaseAdoption(const std::string &path)
+{
+    saved_ = std::move(t_phaseStack);
+    t_phaseStack.clear();
+    std::size_t begin = 0;
+    while (begin <= path.size() && !path.empty()) {
+        const std::size_t dot = path.find('.', begin);
+        const std::size_t end = dot == std::string::npos ? path.size()
+                                                         : dot;
+        DFAULT_ASSERT(end > begin,
+                      "phase path has an empty segment: ", path);
+        t_phaseStack.emplace_back(path.substr(begin, end - begin));
+        if (dot == std::string::npos)
+            break;
+        begin = dot + 1;
+    }
+}
+
+PhaseAdoption::~PhaseAdoption()
+{
+    t_phaseStack = std::move(saved_);
+}
+
 std::vector<PhaseTime>
 phaseTimes(const Registry *registry)
 {

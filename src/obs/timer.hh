@@ -66,6 +66,26 @@ class ScopedTimer
 };
 
 /**
+ * Temporarily replace the calling thread's phase stack with @p path
+ * (a dotted path, possibly empty). Pool workers adopt the submitting
+ * thread's phase path while executing its tasks, so timers started
+ * inside parallel work accumulate under the same dotted paths as a
+ * serial execution. The previous stack is restored on destruction.
+ */
+class PhaseAdoption
+{
+  public:
+    explicit PhaseAdoption(const std::string &path);
+    ~PhaseAdoption();
+
+    PhaseAdoption(const PhaseAdoption &) = delete;
+    PhaseAdoption &operator=(const PhaseAdoption &) = delete;
+
+  private:
+    std::vector<std::string> saved_;
+};
+
+/**
  * All phases recorded in @p registry (stats named time.<path>.seconds),
  * sorted by path. Defaults to the global registry.
  */

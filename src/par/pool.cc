@@ -1,0 +1,330 @@
+#include "par/pool.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/logging.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
+
+namespace dfault::par {
+
+namespace {
+
+thread_local int t_slot = -1;
+
+std::mutex g_globalMutex;
+std::unique_ptr<Pool> g_globalPool;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+/** One submitted parallelFor: shared body plus completion tracking. */
+struct Batch
+{
+    const std::function<void(std::size_t)> *body = nullptr;
+    /** Submitter's phase path; workers adopt it so nested ScopedTimers
+     *  land under the same stats paths as the serial execution. */
+    std::string phasePath;
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<std::uint64_t> taskNanos{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+};
+
+int
+defaultThreads()
+{
+    if (const char *env = std::getenv("DFAULT_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1 || v > 1024)
+            DFAULT_FATAL("DFAULT_THREADS must be an integer in [1, 1024],"
+                         " got '", env, "'");
+        return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Pool::Pool(int threads) : threads_(threads)
+{
+    if (threads < 1 || threads > 1024)
+        DFAULT_FATAL("pool size must be in [1, 1024], got ", threads);
+    slots_.reserve(threads_);
+    for (int s = 0; s < threads_; ++s)
+        slots_.push_back(std::make_unique<Slot>());
+    workers_.reserve(threads_ - 1);
+    for (int s = 1; s < threads_; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    sleepCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+Pool &
+Pool::global()
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    if (!g_globalPool)
+        g_globalPool = std::make_unique<Pool>(defaultThreads());
+    return *g_globalPool;
+}
+
+void
+Pool::setGlobalThreads(int threads)
+{
+    std::lock_guard<std::mutex> lock(g_globalMutex);
+    g_globalPool.reset(); // joins any previous workers
+    g_globalPool = std::make_unique<Pool>(threads);
+}
+
+int
+Pool::currentSlot()
+{
+    return t_slot;
+}
+
+void
+Pool::parallelFor(std::size_t n,
+                  const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    auto &reg = obs::Registry::instance();
+    const std::string phase = obs::ScopedTimer::currentPath();
+
+    // Nested calls (already on a pool slot) and 1-thread pools run the
+    // loop inline: this is the serial reference execution, and it makes
+    // recursive parallelism (forest training inside a fold) safe.
+    if (t_slot >= 0 || threads_ == 1) {
+        const bool adopt_slot = t_slot < 0;
+        if (adopt_slot)
+            t_slot = 0;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            for (std::size_t i = 0; i < n; ++i)
+                body(i);
+        } catch (...) {
+            if (adopt_slot)
+                t_slot = -1;
+            throw;
+        }
+        if (adopt_slot) {
+            t_slot = -1;
+            const double wall = secondsSince(start);
+            reg.counter("par.batches", "parallelFor batches submitted")
+                .inc();
+            reg.counter("par.tasks_executed", "pool tasks executed")
+                .inc();
+            publishPhaseStats(phase, wall, wall);
+        }
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    t_slot = 0;
+    const auto start = std::chrono::steady_clock::now();
+
+    Batch batch;
+    batch.body = &body;
+    batch.phasePath = phase;
+
+    // Chunk the range: enough tasks for stealing to balance uneven
+    // costs, few enough that queue traffic stays negligible.
+    const std::size_t max_chunks =
+        static_cast<std::size_t>(threads_) * 4;
+    const std::size_t chunks = std::min(n, max_chunks);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+
+    std::size_t count = 0;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        Task task;
+        task.begin = begin;
+        task.end = std::min(n, begin + chunk);
+        task.batch = &batch;
+        batch.remaining.fetch_add(1, std::memory_order_relaxed);
+        Slot &slot = *slots_[count % static_cast<std::size_t>(threads_)];
+        {
+            std::lock_guard<std::mutex> lock(slot.mutex);
+            pending_.fetch_add(1, std::memory_order_relaxed);
+            slot.queue.push_back(task);
+        }
+        ++count;
+    }
+    sleepCv_.notify_all();
+    reg.counter("par.batches", "parallelFor batches submitted").inc();
+    reg.counter("par.tasks_queued", "pool tasks queued")
+        .inc(static_cast<std::uint64_t>(count));
+
+    // Help drain: run our own share, then steal stragglers. Once the
+    // queues look empty, wait for in-flight tasks under batch.mutex —
+    // completion is only ever observed under that mutex (see runTask),
+    // so the stack-allocated Batch cannot be torn down while a worker
+    // is still signalling it.
+    while (tryRun(0)) {
+    }
+    {
+        std::unique_lock<std::mutex> lock(batch.mutex);
+        batch.cv.wait(lock, [&] {
+            return batch.remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+    t_slot = -1;
+
+    const double wall = secondsSince(start);
+    publishPhaseStats(
+        phase,
+        static_cast<double>(
+            batch.taskNanos.load(std::memory_order_relaxed)) *
+            1e-9,
+        wall);
+
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+void
+Pool::workerLoop(int slot)
+{
+    t_slot = slot;
+    for (;;) {
+        if (tryRun(slot))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        sleepCv_.wait(lock, [&] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   pending_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+    }
+}
+
+bool
+Pool::tryRun(int slot)
+{
+    Task task;
+    if (popOwn(slot, task) || stealAny(slot, task)) {
+        runTask(task);
+        return true;
+    }
+    return false;
+}
+
+bool
+Pool::popOwn(int slot, Task &task)
+{
+    Slot &own = *slots_[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (own.queue.empty())
+        return false;
+    task = own.queue.back(); // LIFO: cache-warm end of the range
+    own.queue.pop_back();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+Pool::stealAny(int thief, Task &task)
+{
+    for (int k = 1; k < threads_; ++k) {
+        const int victim = (thief + k) % threads_;
+        Slot &other = *slots_[static_cast<std::size_t>(victim)];
+        std::lock_guard<std::mutex> lock(other.mutex);
+        if (other.queue.empty())
+            continue;
+        task = other.queue.front(); // FIFO: take the coldest chunk
+        other.queue.pop_front();
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        obs::Registry::instance()
+            .counter("par.steals", "tasks stolen from another slot")
+            .inc();
+        return true;
+    }
+    return false;
+}
+
+void
+Pool::runTask(const Task &task)
+{
+    Batch &batch = *task.batch;
+    const auto start = std::chrono::steady_clock::now();
+
+    // Workers inherit the submitter's phase stack so their nested
+    // timers accumulate under the same dotted paths as a serial run;
+    // the submitting thread (slot 0) already carries it.
+    std::optional<obs::PhaseAdoption> adopted;
+    if (t_slot > 0 && !batch.phasePath.empty())
+        adopted.emplace(batch.phasePath);
+
+    try {
+        for (std::size_t i = task.begin; i < task.end; ++i)
+            (*batch.body)(i);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.error)
+            batch.error = std::current_exception();
+    }
+    adopted.reset();
+
+    batch.taskNanos.fetch_add(
+        static_cast<std::uint64_t>(secondsSince(start) * 1e9),
+        std::memory_order_relaxed);
+    obs::Registry::instance()
+        .counter("par.tasks_executed", "pool tasks executed")
+        .inc();
+
+    // Decrement and notify under batch.mutex. The submitter only
+    // concludes the batch is done while holding the same mutex, so by
+    // the time it can destroy the Batch the last worker has finished
+    // touching the condition variable (no use-after-free on the cv).
+    {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            batch.cv.notify_all();
+    }
+}
+
+void
+Pool::publishPhaseStats(const std::string &phase, double task_seconds,
+                        double wall_seconds)
+{
+    auto &reg = obs::Registry::instance();
+    const std::string base =
+        "par.phase." + (phase.empty() ? std::string("main") : phase);
+    obs::Gauge &task = reg.gauge(base + ".task_seconds",
+                                 "summed task seconds inside " + base);
+    obs::Gauge &wall = reg.gauge(base + ".wall_seconds",
+                                 "submitter wall seconds inside " + base);
+    task.add(task_seconds);
+    wall.add(wall_seconds);
+    reg.formula(
+        base + ".speedup",
+        [&task, &wall] {
+            const double w = wall.value();
+            return w > 0.0 ? task.value() / w : 0.0;
+        },
+        "parallel speedup (task seconds / wall seconds)");
+}
+
+} // namespace dfault::par

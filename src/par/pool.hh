@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic work-stealing thread pool.
+ *
+ * The experiment matrix is embarrassingly parallel (workloads x
+ * operating points x repeats, LOGO folds, forest trees, bootstrap
+ * resamples), so the hot drivers fan their loops out over a small
+ * work-stealing pool. Determinism is preserved by construction:
+ *
+ *  - every task is keyed by its index in the submitted range and must
+ *    derive any randomness from (base_seed, index) via the Rng
+ *    splitmix helpers — never from a stream shared across tasks;
+ *  - results are committed into index-addressed slots, so the output
+ *    is independent of the order in which workers finish;
+ *  - any cross-task reduction (sums, event emission) is performed by
+ *    the caller in index order after the batch completes.
+ *
+ * Under this contract a run with DFAULT_THREADS=8 is bit-identical to
+ * a run with DFAULT_THREADS=1 (see docs/parallelism.md).
+ *
+ * Structure: each execution slot owns a deque; the caller pushes
+ * chunked index ranges round-robin, takes slot 0 itself, and workers
+ * pop their own deque LIFO and steal from peers FIFO when empty. A
+ * pool of 1 thread spawns no workers and runs everything inline, which
+ * doubles as the serial reference implementation. Nested parallelFor
+ * calls (e.g. forest training inside a cross-validation fold) execute
+ * inline on the calling worker, so recursion can never deadlock.
+ *
+ * Pool activity is instrumented through the obs:: registry: tasks
+ * queued/executed, steals, and per-phase task/wall seconds with a
+ * derived "speedup" formula (visible in --stats-out dumps).
+ */
+
+#ifndef DFAULT_PAR_POOL_HH
+#define DFAULT_PAR_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfault::par {
+
+/**
+ * Threads a fresh pool uses by default: the DFAULT_THREADS environment
+ * variable when set (a positive integer), otherwise the hardware
+ * concurrency (at least 1).
+ */
+int defaultThreads();
+
+/** See file comment. */
+class Pool
+{
+  public:
+    /** @param threads total execution slots (including the caller). */
+    explicit Pool(int threads);
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /**
+     * The process-wide pool, lazily created with defaultThreads().
+     * Campaigns, trainers and stats helpers all share it.
+     */
+    static Pool &global();
+
+    /**
+     * Replace the global pool with one of @p threads slots. Must not
+     * be called while work is in flight (intended for drivers parsing
+     * a threads= override and for the determinism tests).
+     */
+    static void setGlobalThreads(int threads);
+
+    /** Total execution slots: worker threads plus the caller. */
+    int threads() const { return threads_; }
+
+    /** Alias for threads(): per-slot state arrays are sized by this. */
+    int slots() const { return threads_; }
+
+    /**
+     * Execution slot of the calling thread: 0 for the submitting
+     * thread inside parallelFor, 1..threads-1 on workers, -1 outside
+     * any pool execution. Callers use it to index per-slot replicas
+     * (e.g. one sys::Platform per slot).
+     */
+    static int currentSlot();
+
+    /**
+     * Run body(i) for every i in [0, n) and block until all complete.
+     *
+     * The body must be safe to call concurrently for distinct indices
+     * and must derive any randomness from its index (file comment).
+     * Exceptions thrown by the body are rethrown (the first one, by
+     * completion order) after the batch drains. Top-level calls are
+     * serialized against each other; nested calls run inline.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * parallelFor committing fn(i) into slot i of the returned vector.
+     * T must be default-constructible and movable. Do not instantiate
+     * with bool (std::vector<bool> slots are not independent).
+     */
+    template <typename T>
+    std::vector<T>
+    parallelMap(std::size_t n, const std::function<T(std::size_t)> &fn)
+    {
+        static_assert(!std::is_same_v<T, bool>,
+                      "vector<bool> elements alias; map to char instead");
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    struct Task
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        struct Batch *batch = nullptr;
+    };
+
+    struct Slot
+    {
+        std::mutex mutex;
+        std::deque<Task> queue;
+    };
+
+    void workerLoop(int slot);
+    bool tryRun(int slot);
+    void runTask(const Task &task);
+    bool popOwn(int slot, Task &task);
+    bool stealAny(int thief, Task &task);
+    void publishPhaseStats(const std::string &phase, double task_seconds,
+                           double wall_seconds);
+
+    const int threads_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    std::atomic<std::size_t> pending_{0}; ///< queued, not yet popped
+    std::atomic<bool> stop_{false};
+
+    /** Serializes top-level parallelFor calls (slot 0 is exclusive). */
+    std::mutex submitMutex_;
+};
+
+} // namespace dfault::par
+
+#endif // DFAULT_PAR_POOL_HH

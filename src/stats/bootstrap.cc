@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "par/pool.hh"
 #include "stats/summary.hh"
 
 namespace dfault::stats {
@@ -24,16 +25,19 @@ bootstrapMeanCi(std::span<const double> sample, double confidence,
     ConfidenceInterval ci;
     ci.mean = total / static_cast<double>(sample.size());
 
-    Rng rng(seed);
-    std::vector<double> means;
-    means.reserve(resamples);
-    for (int r = 0; r < resamples; ++r) {
-        double sum = 0.0;
-        for (std::size_t i = 0; i < sample.size(); ++i)
-            sum += sample[rng.uniformInt(
-                static_cast<std::uint64_t>(sample.size()))];
-        means.push_back(sum / static_cast<double>(sample.size()));
-    }
+    // Each resample draws from its own RNG stream derived from (seed,
+    // resample index), so resamples are independent of scheduling and
+    // fan out over the pool; `means` comes back in resample order.
+    const std::vector<double> means =
+        par::Pool::global().parallelMap<double>(
+            static_cast<std::size_t>(resamples), [&](std::size_t r) {
+                Rng rng(hashCombine(seed, static_cast<std::uint64_t>(r)));
+                double sum = 0.0;
+                for (std::size_t i = 0; i < sample.size(); ++i)
+                    sum += sample[rng.uniformInt(
+                        static_cast<std::uint64_t>(sample.size()))];
+                return sum / static_cast<double>(sample.size());
+            });
 
     const double alpha = (1.0 - confidence) / 2.0;
     ci.lo = quantile(means, alpha);

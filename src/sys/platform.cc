@@ -27,6 +27,12 @@ Platform::Platform(const Params &params) : params_(params)
     thermal_ = std::make_unique<ThermalTestbed>(params_.thermal);
 }
 
+std::unique_ptr<Platform>
+Platform::clone() const
+{
+    return std::make_unique<Platform>(params_);
+}
+
 const dram::DramDevice &
 Platform::device(const dram::DeviceId &id) const
 {

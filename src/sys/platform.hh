@@ -50,6 +50,15 @@ class Platform
     Platform();
     explicit Platform(const Params &params);
 
+    /**
+     * Build an identical platform from this platform's parameters.
+     * Construction is deterministic (the device population derives
+     * from the master seed), so the replica's simulated hardware is
+     * indistinguishable from this one's; parallel campaign workers
+     * measure on per-slot replicas instead of sharing one platform.
+     */
+    std::unique_ptr<Platform> clone() const;
+
     const dram::Geometry &geometry() const { return *geometry_; }
     const std::vector<dram::DramDevice> &devices() const { return devices_; }
     const dram::DramDevice &device(const dram::DeviceId &id) const;

@@ -72,6 +72,17 @@ ThermalTestbed::ThermalTestbed(const Params &params) : params_(params)
 }
 
 void
+ThermalTestbed::reset()
+{
+    temperature_.assign(params_.dimms, params_.ambient);
+    target_.assign(params_.dimms, params_.ambient);
+    dramPower_.assign(params_.dimms, 0.0);
+    settledSteps_.assign(params_.dimms, 0);
+    for (auto &controller : controllers_)
+        controller.reset();
+}
+
+void
 ThermalTestbed::setTarget(int dimm, Celsius target)
 {
     DFAULT_ASSERT(dimm >= 0 && dimm < params_.dimms, "dimm out of range");

@@ -84,6 +84,16 @@ class ThermalTestbed
      */
     void setDramPower(int dimm, double watts);
 
+    /**
+     * Return the testbed to its just-constructed state: every DIMM at
+     * ambient, targets cleared, DRAM power zeroed, PID state reset.
+     * Each characterization measurement starts from a reset testbed so
+     * its result is independent of whatever ran before it — the
+     * property that lets campaign measurements execute in any order
+     * (or in parallel) with identical results.
+     */
+    void reset();
+
     /** Advance the plant + controllers by one control period. */
     void step();
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The pool's headline guarantee: results are bit-identical whatever
+ * DFAULT_THREADS is. Every parallelized hot path — campaign sweep,
+ * cross-validation, forest training, bootstrap resampling — is run
+ * serially (1 thread) and with 2 and 8 pool slots, and the outputs are
+ * compared with exact floating-point equality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/characterization.hh"
+#include "core/trainer.hh"
+#include "ml/forest.hh"
+#include "par/pool.hh"
+#include "stats/bootstrap.hh"
+
+namespace dfault {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/** Run @p f with a global pool of @p threads slots, then restore 1. */
+template <typename F>
+auto
+atThreads(int threads, F &&f)
+{
+    par::Pool::setGlobalThreads(threads);
+    auto result = f();
+    par::Pool::setGlobalThreads(1);
+    return result;
+}
+
+// ---- campaign sweep ---------------------------------------------------
+
+core::CharacterizationCampaign::Params
+campaignParams()
+{
+    core::CharacterizationCampaign::Params p;
+    p.workload.footprintBytes = 2 << 20;
+    p.workload.workScale = 0.25;
+    return p;
+}
+
+sys::Platform::Params
+platformParams()
+{
+    sys::Platform::Params p;
+    p.hierarchy.l1.sizeBytes = 16 * 1024;
+    p.hierarchy.l2.sizeBytes = 1 << 20;
+    p.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+    return p;
+}
+
+std::vector<core::Measurement>
+runSweep()
+{
+    sys::Platform platform(platformParams());
+    core::CharacterizationCampaign campaign(platform, campaignParams());
+    const std::vector<workloads::WorkloadConfig> suite = {
+        {"random", 8, "random"},
+        {"memcached", 8, "memcached"},
+    };
+    const std::vector<dram::OperatingPoint> points = {
+        {0.618, dram::kMinVdd, 50.0},
+        {2.283, dram::kMinVdd, 60.0},
+    };
+    return campaign.sweep(suite, points);
+}
+
+void
+expectIdentical(const core::Measurement &a, const core::Measurement &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.achieved.temperature, b.achieved.temperature);
+    EXPECT_EQ(a.run.crashed, b.run.crashed);
+    EXPECT_EQ(a.run.crashEpoch, b.run.crashEpoch);
+    ASSERT_EQ(a.run.werSeries.size(), b.run.werSeries.size());
+    for (std::size_t e = 0; e < a.run.werSeries.size(); ++e)
+        EXPECT_EQ(a.run.werSeries[e], b.run.werSeries[e]) << "epoch " << e;
+    ASSERT_EQ(a.run.cePerDevice.size(), b.run.cePerDevice.size());
+    for (std::size_t d = 0; d < a.run.cePerDevice.size(); ++d)
+        EXPECT_EQ(a.run.cePerDevice[d], b.run.cePerDevice[d]);
+}
+
+TEST(ParDeterminism, SweepIsBitIdenticalAcrossThreadCounts)
+{
+    const auto reference = atThreads(1, runSweep);
+    ASSERT_EQ(reference.size(), 4u);
+    for (const int threads : kThreadCounts) {
+        const auto run = atThreads(threads, runSweep);
+        ASSERT_EQ(run.size(), reference.size()) << threads << " threads";
+        for (std::size_t i = 0; i < run.size(); ++i) {
+            SCOPED_TRACE(std::to_string(threads) + " threads, cell " +
+                         std::to_string(i));
+            expectIdentical(reference[i], run[i]);
+        }
+    }
+}
+
+// ---- forest training --------------------------------------------------
+
+void
+syntheticData(ml::Matrix &x, std::vector<double> &y, std::size_t rows)
+{
+    Rng rng(42);
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<double> row(6);
+        for (auto &v : row)
+            v = rng.uniform();
+        y.push_back(row[0] * 3.0 - row[2] + 0.1 * rng.uniform());
+        x.push_back(std::move(row));
+    }
+}
+
+TEST(ParDeterminism, ForestFitIsBitIdenticalAcrossThreadCounts)
+{
+    ml::Matrix x;
+    std::vector<double> y;
+    syntheticData(x, y, 80);
+
+    ml::RandomForestRegressor::Params params;
+    params.trees = 24;
+    params.maxDepth = 6;
+
+    const auto predictions = [&] {
+        ml::RandomForestRegressor model(params);
+        model.fit(x, y);
+        std::vector<double> out;
+        for (const auto &row : x)
+            out.push_back(model.predict(row));
+        return out;
+    };
+
+    const auto reference = atThreads(1, predictions);
+    for (const int threads : kThreadCounts) {
+        const auto run = atThreads(threads, predictions);
+        ASSERT_EQ(run.size(), reference.size());
+        for (std::size_t i = 0; i < run.size(); ++i)
+            EXPECT_EQ(run[i], reference[i])
+                << threads << " threads, row " << i;
+    }
+}
+
+// ---- cross-validation -------------------------------------------------
+
+ml::Dataset
+syntheticDataset()
+{
+    ml::Dataset data({"f0", "f1", "f2", "f3"});
+    Rng rng(99);
+    for (const char *group : {"bp", "mc", "rd", "sr"}) {
+        for (int i = 0; i < 12; ++i) {
+            std::vector<double> row(4);
+            for (auto &v : row)
+                v = rng.uniform();
+            data.addSample(row, 1.0 + row[1] * 2.0 + 0.05 * rng.uniform(),
+                           group);
+        }
+    }
+    return data;
+}
+
+TEST(ParDeterminism, CrossValidationIsBitIdenticalAcrossThreadCounts)
+{
+    const ml::Dataset data = syntheticDataset();
+    const auto evaluate = [&] {
+        return core::evaluateModel(data, core::ModelKind::Rdf, false);
+    };
+
+    const auto reference = atThreads(1, evaluate);
+    for (const int threads : kThreadCounts) {
+        const auto run = atThreads(threads, evaluate);
+        EXPECT_EQ(run.mpe, reference.mpe) << threads << " threads";
+        ASSERT_EQ(run.mpePerGroup.size(), reference.mpePerGroup.size());
+        for (const auto &[group, mpe] : reference.mpePerGroup) {
+            const auto it = run.mpePerGroup.find(group);
+            ASSERT_NE(it, run.mpePerGroup.end()) << group;
+            EXPECT_EQ(it->second, mpe) << group;
+        }
+    }
+}
+
+// ---- bootstrap --------------------------------------------------------
+
+TEST(ParDeterminism, BootstrapCiIsBitIdenticalAcrossThreadCounts)
+{
+    std::vector<double> sample;
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i)
+        sample.push_back(rng.uniform(0.0, 10.0));
+
+    const auto ci = [&] {
+        return stats::bootstrapMeanCi(sample, 0.95, 400, 7);
+    };
+
+    const auto reference = atThreads(1, ci);
+    for (const int threads : kThreadCounts) {
+        const auto run = atThreads(threads, ci);
+        EXPECT_EQ(run.mean, reference.mean) << threads << " threads";
+        EXPECT_EQ(run.lo, reference.lo) << threads << " threads";
+        EXPECT_EQ(run.hi, reference.hi) << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace dfault

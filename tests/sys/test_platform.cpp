@@ -60,6 +60,21 @@ TEST(Platform, ThermalDimmCountFollowsGeometry)
     EXPECT_EQ(p.devices().size(), 4u);
 }
 
+TEST(Platform, CloneReplicatesTheSimulatedHardware)
+{
+    Platform::Params params;
+    params.geometry.channels = 2;
+    params.geometry.ranksPerDimm = 2;
+    Platform p(params);
+    const auto c = p.clone();
+    ASSERT_EQ(c->devices().size(), p.devices().size());
+    for (std::size_t i = 0; i < p.devices().size(); ++i)
+        EXPECT_DOUBLE_EQ(c->devices()[i].retentionScale(),
+                         p.devices()[i].retentionScale());
+    EXPECT_EQ(c->thermal().dimms(), p.thermal().dimms());
+    EXPECT_EQ(c->hierarchy().cores(), p.hierarchy().cores());
+}
+
 TEST(PlatformDeath, ZeroThreadRunPanics)
 {
     Platform p;

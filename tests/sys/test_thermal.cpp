@@ -100,6 +100,38 @@ TEST(Thermal, CoolsBackAfterTargetLowered)
     EXPECT_NEAR(bed.temperature(0), 50.0, 0.6);
 }
 
+TEST(Thermal, ResetRestoresConstructedState)
+{
+    ThermalTestbed bed;
+    bed.setDramPower(0, 8.0);
+    bed.setTargetAll(70.0);
+    ASSERT_TRUE(bed.stepUntilSettled());
+    bed.reset();
+    for (int d = 0; d < bed.dimms(); ++d) {
+        EXPECT_DOUBLE_EQ(bed.temperature(d), 35.0);
+        EXPECT_DOUBLE_EQ(bed.target(d), 35.0);
+    }
+}
+
+TEST(Thermal, ResetMakesSettlingHistoryIndependent)
+{
+    // A reset testbed must follow the exact trajectory of a fresh one:
+    // the property campaign measurements rely on to be order- (and
+    // schedule-) independent.
+    ThermalTestbed fresh, reused;
+    reused.setDramPower(1, 6.0);
+    reused.setTargetAll(70.0);
+    ASSERT_TRUE(reused.stepUntilSettled());
+    reused.reset();
+
+    fresh.setTargetAll(60.0);
+    reused.setTargetAll(60.0);
+    ASSERT_TRUE(fresh.stepUntilSettled());
+    ASSERT_TRUE(reused.stepUntilSettled());
+    for (int d = 0; d < fresh.dimms(); ++d)
+        EXPECT_DOUBLE_EQ(fresh.temperature(d), reused.temperature(d));
+}
+
 TEST(ThermalDeath, UnreachableTargetIsFatal)
 {
     ThermalTestbed bed; // max ~ ambient + 40W/0.8W/K = 85 C
