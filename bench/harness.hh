@@ -8,9 +8,14 @@
  *   footprint_mib=8 work_scale=0.5 epochs=60 repeats=5
  *
  * Telemetry overrides (see docs/observability.md):
- *   stats_out=<path>   dump the stats registry when the bench exits
- *   trace_out=<path>   stream JSONL events ("-" for stderr)
- *   progress=true      one-line progress updates on stderr
+ *   stats_out=<path>     dump the stats registry when the bench exits;
+ *                        also writes <path>.manifest.json provenance
+ *   trace_out=<path>     stream JSONL events ("-" for stderr)
+ *   trace_events=<path>  record spans, export Perfetto trace-event
+ *                        JSON, print the exclusive-time critical path
+ *   manifest_out=<path>  write the run manifest here (default
+ *                        <stats_out>.manifest.json)
+ *   progress=true        one-line progress updates on stderr
  *
  * Parallelism (see docs/parallelism.md):
  *   threads=<n>        size the global pool (overrides DFAULT_THREADS);
@@ -34,8 +39,11 @@
 #include "core/error_model.hh"
 #include "core/trainer.hh"
 #include "obs/events.hh"
+#include "obs/manifest.hh"
+#include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
+#include "obs/trace_writer.hh"
 #include "par/pool.hh"
 #include "sys/platform.hh"
 #include "workloads/registry.hh"
@@ -49,6 +57,15 @@ class Harness
     Harness(int argc, char **argv)
         : start_(std::chrono::steady_clock::now())
     {
+        tool_ = argc > 0 ? argv[0] : "bench";
+        const std::size_t slash = tool_.find_last_of('/');
+        if (slash != std::string::npos)
+            tool_ = tool_.substr(slash + 1);
+        for (int i = 0; i < argc; ++i) {
+            if (i > 0)
+                commandLine_ += ' ';
+            commandLine_ += argv[i];
+        }
         config_.parseArgs(argc, argv);
         const int threads =
             static_cast<int>(config_.getInt("threads", 0));
@@ -73,9 +90,13 @@ class Harness
             *platform_, cp);
 
         statsOut_ = config_.getString("stats_out", "");
+        manifestOut_ = config_.getString("manifest_out", "");
         const std::string trace = config_.getString("trace_out", "");
         if (!trace.empty())
             obs::EventSink::instance().open(trace);
+        traceEvents_ = config_.getString("trace_events", "");
+        if (!traceEvents_.empty())
+            obs::SpanTracer::instance().enable();
         obs::setProgress(config_.getBool("progress", false));
     }
 
@@ -96,9 +117,49 @@ class Harness
                             static_cast<unsigned long long>(p.calls));
         }
         std::printf("\ntotal wall clock %.3f s\n", wall);
+
+        auto &tracer = obs::SpanTracer::instance();
+        if (tracer.enabled()) {
+            tracer.disable();
+            const auto entries = tracer.drain();
+            std::printf("\n");
+            obs::printCriticalPath(stdout,
+                                   obs::exclusiveTimes(entries));
+            if (tracer.dropped() > 0)
+                DFAULT_WARN("span ring overflow: ", tracer.dropped(),
+                            " oldest trace entries dropped");
+            if (!obs::writeTraceFile(traceEvents_, entries))
+                DFAULT_FATAL("cannot write trace events to '",
+                             traceEvents_, "'");
+            DFAULT_INFORM("trace events written to ", traceEvents_,
+                          " (load in ui.perfetto.dev)");
+        }
+
         if (!statsOut_.empty()) {
             obs::Registry::instance().writeFile(statsOut_);
             DFAULT_INFORM("stats written to ", statsOut_);
+        }
+        // Provenance: tie every figure artifact back to the run that
+        // produced it (digest covers the deterministic stats only, so
+        // a same-seed re-run reproduces it exactly).
+        std::string manifest_path = manifestOut_;
+        if (manifest_path.empty() && !statsOut_.empty())
+            manifest_path = statsOut_ + ".manifest.json";
+        if (!manifest_path.empty()) {
+            obs::ManifestInfo info;
+            info.tool = tool_;
+            info.command = commandLine_;
+            for (const std::string &key : config_.keys())
+                info.config.emplace_back(key,
+                                         config_.getString(key));
+            info.threads = par::Pool::global().threads();
+            info.statsPath = statsOut_;
+            info.tracePath = traceEvents_;
+            info.wallSeconds = wall;
+            if (!obs::writeManifestFile(manifest_path, info))
+                DFAULT_FATAL("cannot write manifest to '",
+                             manifest_path, "'");
+            DFAULT_INFORM("run manifest written to ", manifest_path);
         }
         obs::EventSink::instance().close();
     }
@@ -118,7 +179,11 @@ class Harness
 
   private:
     Config config_;
+    std::string tool_;
+    std::string commandLine_;
     std::string statsOut_;
+    std::string traceEvents_;
+    std::string manifestOut_;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<sys::Platform> platform_;
     std::unique_ptr<core::CharacterizationCampaign> campaign_;

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "dram/power.hh"
 #include "obs/events.hh"
+#include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 #include "par/pool.hh"
@@ -92,6 +93,11 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
     double integrate_seconds = 0.0;
     {
         const obs::ScopedTimer integrate_timer("integrate");
+        // Name the measurement in the trace: the "integrate" span of
+        // this cell shows which (workload, operating point) it ran.
+        if (obs::SpanTracer::instance().enabled())
+            obs::SpanTracer::instance().annotateCurrent(
+                config.label + " @ " + op.label());
         m.run = integrator_.run(profile, m.achieved,
                                 platform.geometry(),
                                 platform.devices(), run_seed, log);

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "ml/cross_validation.hh"
 #include "obs/events.hh"
+#include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 #include "par/pool.hh"
@@ -94,6 +95,11 @@ evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
         folds.size(), [&](std::size_t f) {
             const ml::Fold &fold = folds[f];
             const obs::ScopedTimer fold_timer("fold");
+            // Name the fold in the trace by its held-out benchmark.
+            if (obs::SpanTracer::instance().enabled())
+                obs::SpanTracer::instance().annotateCurrent(
+                    modelKindName(kind) + " holdout " +
+                    fold.heldOutGroup);
             const ml::Dataset train = data.subset(fold.trainRows);
             const ml::Dataset test = data.subset(fold.testRows);
 

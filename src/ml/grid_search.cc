@@ -6,6 +6,7 @@
 #include "ml/cross_validation.hh"
 #include "ml/metrics.hh"
 #include "ml/scaler.hh"
+#include "obs/span.hh"
 #include "obs/timer.hh"
 #include "par/pool.hh"
 
@@ -36,6 +37,11 @@ gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
         grid.size() * n_folds, [&](std::size_t i) {
             const auto &candidate = grid[i / n_folds];
             const Fold &fold = folds[i % n_folds];
+            // Name the cell in the trace by candidate and held-out
+            // fold, so a slow grid cell is identifiable in Perfetto.
+            if (obs::SpanTracer::instance().enabled())
+                obs::SpanTracer::instance().annotateCurrent(
+                    candidate.label + " holdout " + fold.heldOutGroup);
             if (fold.trainRows.empty() || fold.testRows.empty())
                 return Cell{};
             const Dataset train = data.subset(fold.trainRows);

@@ -62,6 +62,13 @@ EventSink::emit(std::string_view type, const JsonWriter &fields)
 {
     if (!enabled())
         return;
+    // Interleaving invariant (exercised by test_event_sink_mt): the
+    // whole record — envelope, spliced fields, trailing newline — is
+    // assembled into one buffer and handed to a single fwrite while
+    // mutex_ is held. Nothing may write to out_ between lock and
+    // fwrite, and seq must be drawn under the same lock so sequence
+    // order matches file order. Any refactor that splits the write or
+    // moves the fetch_add outside the lock breaks one-line-per-record.
     std::lock_guard<std::mutex> lock(mutex_);
     if (out_ == nullptr)
         return;

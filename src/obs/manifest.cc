@@ -1,0 +1,164 @@
+#include "obs/manifest.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+
+#ifndef __has_feature
+#define __has_feature(x) 0 // gcc spells the sanitizers __SANITIZE_*__
+#endif
+
+namespace dfault::obs {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnv1a(std::uint64_t &hash, std::string_view bytes)
+{
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= kFnvPrime;
+    }
+}
+
+std::string
+isoTimestamp()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+bool
+digestExcludes(const std::string &name)
+{
+    // time.* is pure wall clock; par.* depends on scheduling (steal
+    // counts, per-phase seconds); anything measured in seconds is
+    // host-speed-dependent wherever it lives; last_* gauges are
+    // last-writer-wins snapshots, so their final value depends on
+    // which task published last.
+    return name.starts_with("time.") || name.starts_with("par.") ||
+           name.find("seconds") != std::string::npos ||
+           name.find("last_") != std::string::npos;
+}
+
+std::uint64_t
+statsDigest(const Registry *registry)
+{
+    const Registry &reg =
+        registry != nullptr ? *registry : Registry::instance();
+    std::uint64_t hash = kFnvOffset;
+    for (const std::string &name : reg.names()) {
+        if (digestExcludes(name))
+            continue;
+        fnv1a(hash, name);
+        fnv1a(hash, "=");
+        // 9 significant digits: enough to catch any real drift, few
+        // enough that float-sum reassociation across thread counts
+        // (last-ulp differences in distribution means and accumulated
+        // gauges) cannot perturb the digest.
+        char value[40];
+        std::snprintf(value, sizeof(value), "%.9g", reg.value(name));
+        fnv1a(hash, value);
+        fnv1a(hash, "\n");
+    }
+    return hash;
+}
+
+std::string
+buildInfoJson()
+{
+    JsonWriter w;
+#if defined(__VERSION__)
+    w.field("compiler", __VERSION__);
+#else
+    w.field("compiler", "unknown");
+#endif
+    w.field("cxx_standard",
+            static_cast<std::int64_t>(__cplusplus));
+#if defined(NDEBUG)
+    w.field("assertions", false);
+#else
+    w.field("assertions", true);
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+    w.field("asan", true);
+#else
+    w.field("asan", false);
+#endif
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+    w.field("tsan", true);
+#else
+    w.field("tsan", false);
+#endif
+    return w.str();
+}
+
+std::string
+manifestJson(const ManifestInfo &info, const Registry *registry)
+{
+    const Registry &reg =
+        registry != nullptr ? *registry : Registry::instance();
+
+    JsonWriter w;
+    w.field("manifest_version", 1);
+    w.field("tool", info.tool);
+    w.field("command", info.command);
+    w.field("created_utc", isoTimestamp());
+    w.field("threads", info.threads);
+
+    JsonWriter config;
+    for (const auto &kv : info.config)
+        config.field(kv.first, kv.second);
+    w.fieldRaw("config", config.str());
+
+    w.fieldRaw("build", buildInfoJson());
+    w.field("wall_seconds", info.wallSeconds);
+    if (!info.statsPath.empty())
+        w.field("stats_out", info.statsPath);
+    if (!info.tracePath.empty())
+        w.field("trace_events", info.tracePath);
+
+    JsonWriter stats;
+    stats.field("total", static_cast<std::uint64_t>(reg.size()));
+    std::uint64_t digested = 0;
+    for (const std::string &name : reg.names())
+        if (!digestExcludes(name))
+            ++digested;
+    stats.field("digested", digested);
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(
+                      statsDigest(&reg)));
+    stats.field("digest", digest);
+    w.fieldRaw("stats", stats.str());
+    return w.str();
+}
+
+bool
+writeManifestFile(const std::string &path, const ManifestInfo &info,
+                  const Registry *registry)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        return false;
+    const std::string body = manifestJson(info, registry);
+    std::fwrite(body.data(), 1, body.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    return true;
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,307 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/stats.hh"
+
+namespace dfault::obs {
+
+thread_local std::shared_ptr<SpanTracer::ThreadRing>
+    SpanTracer::t_ring_;
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+void
+SpanTracer::enable(std::size_t ring_capacity)
+{
+    DFAULT_ASSERT(ring_capacity > 0, "span ring capacity must be > 0");
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Discard prior state: rings re-register lazily at their next
+    // record under the fresh epoch and capacity.
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        ring->ring.clear();
+        ring->next = 0;
+        ring->dropped = 0;
+        ring->open.clear();
+        ring->adoptedParent = 0;
+    }
+    capacity_.store(ring_capacity, std::memory_order_relaxed);
+    epoch_ = std::chrono::steady_clock::now();
+    nextId_.store(1, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+SpanTracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+SpanTracer::newId()
+{
+    return nextId_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+SpanTracer::nowNs() const
+{
+    if (epoch_ == std::chrono::steady_clock::time_point{})
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+SpanTracer::ThreadRing &
+SpanTracer::localRing()
+{
+    if (!t_ring_) {
+        auto ring = std::make_shared<ThreadRing>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ring->tid = static_cast<std::uint32_t>(rings_.size());
+        rings_.push_back(ring);
+        t_ring_ = std::move(ring);
+    }
+    return *t_ring_;
+}
+
+void
+SpanTracer::push(ThreadRing &ring, TraceEntry entry)
+{
+    const std::size_t capacity =
+        capacity_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    if (ring.ring.size() < capacity) {
+        ring.ring.push_back(std::move(entry));
+        ring.next = ring.ring.size() % capacity;
+        return;
+    }
+    // Full: overwrite the oldest entry so the newest spans survive.
+    ring.ring[ring.next] = std::move(entry);
+    ring.next = (ring.next + 1) % capacity;
+    ++ring.dropped;
+}
+
+std::uint64_t
+SpanTracer::beginSpan(std::string_view name, std::string_view path)
+{
+    if (!enabled())
+        return 0;
+    ThreadRing &ring = localRing();
+    OpenSpan span;
+    span.id = newId();
+    span.parent = ring.open.empty() ? ring.adoptedParent
+                                    : ring.open.back().id;
+    span.startNs = nowNs();
+    span.name = name;
+    span.path = path;
+    const std::uint64_t id = span.id;
+    {
+        std::lock_guard<std::mutex> lock(ring.mutex);
+        ring.open.push_back(std::move(span));
+    }
+    return id;
+}
+
+void
+SpanTracer::endSpan(std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    ThreadRing &ring = localRing();
+    OpenSpan span;
+    {
+        std::lock_guard<std::mutex> lock(ring.mutex);
+        DFAULT_ASSERT(!ring.open.empty() && ring.open.back().id == id,
+                      "span end does not match the innermost open span");
+        span = std::move(ring.open.back());
+        ring.open.pop_back();
+    }
+    if (span.exported)
+        return; // drain() already finalized this span
+    TraceEntry entry;
+    entry.kind = TraceKind::Span;
+    entry.tid = ring.tid;
+    entry.id = span.id;
+    entry.parent = span.parent;
+    entry.startNs = span.startNs;
+    entry.endNs = nowNs();
+    entry.name = std::move(span.name);
+    entry.path = std::move(span.path);
+    entry.detail = std::move(span.detail);
+    push(ring, std::move(entry));
+}
+
+void
+SpanTracer::annotateCurrent(std::string_view detail)
+{
+    if (!enabled() || !t_ring_)
+        return;
+    std::lock_guard<std::mutex> lock(t_ring_->mutex);
+    if (!t_ring_->open.empty())
+        t_ring_->open.back().detail = detail;
+}
+
+void
+SpanTracer::flowEvent(TraceKind kind, std::uint64_t flow_id,
+                      std::string_view path)
+{
+    if (!enabled())
+        return;
+    DFAULT_ASSERT(kind == TraceKind::FlowBegin ||
+                      kind == TraceKind::FlowEnd,
+                  "flowEvent takes FlowBegin or FlowEnd");
+    ThreadRing &ring = localRing();
+    TraceEntry entry;
+    entry.kind = kind;
+    entry.tid = ring.tid;
+    entry.id = flow_id;
+    entry.startNs = nowNs();
+    entry.path = path;
+    push(ring, std::move(entry));
+}
+
+void
+SpanTracer::sampleCounters(const Registry &registry)
+{
+    if (!enabled())
+        return;
+    ThreadRing &ring = localRing();
+    const std::uint64_t now = nowNs();
+    for (const std::string &name : registry.names()) {
+        if (registry.kindOf(name) != StatKind::Counter)
+            continue;
+        TraceEntry entry;
+        entry.kind = TraceKind::CounterSample;
+        entry.tid = ring.tid;
+        entry.startNs = now;
+        entry.name = name;
+        entry.value = registry.value(name);
+        push(ring, std::move(entry));
+    }
+}
+
+std::uint64_t
+SpanTracer::currentSpan()
+{
+    if (!t_ring_)
+        return 0;
+    std::lock_guard<std::mutex> lock(t_ring_->mutex);
+    return t_ring_->open.empty() ? t_ring_->adoptedParent
+                                : t_ring_->open.back().id;
+}
+
+std::vector<TraceEntry>
+SpanTracer::drain()
+{
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rings = rings_;
+    }
+    const std::uint64_t now = nowNs();
+    std::vector<TraceEntry> out;
+    for (const auto &ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        const std::size_t n = ring->ring.size();
+        if (n > 0) {
+            // Oldest first: the overwrite cursor points at the oldest
+            // entry once the ring has wrapped.
+            const std::size_t first = ring->next % n;
+            for (std::size_t k = 0; k < n; ++k)
+                out.push_back(ring->ring[(first + k) % n]);
+        }
+        // Finalize half-open spans at the drain timestamp; mark them
+        // exported so the eventual real end is dropped, not recorded
+        // as a duplicate.
+        for (OpenSpan &span : ring->open) {
+            if (span.exported)
+                continue;
+            span.exported = true;
+            TraceEntry entry;
+            entry.kind = TraceKind::Span;
+            entry.tid = ring->tid;
+            entry.id = span.id;
+            entry.parent = span.parent;
+            entry.startNs = span.startNs;
+            entry.endNs = now;
+            entry.name = span.name;
+            entry.path = span.path;
+            entry.detail = span.detail;
+            out.push_back(std::move(entry));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEntry &a, const TraceEntry &b) {
+                         return a.startNs < b.startNs;
+                     });
+    return out;
+}
+
+std::uint64_t
+SpanTracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        total += ring->dropped;
+    }
+    return total;
+}
+
+std::uint64_t
+SpanTracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        for (const TraceEntry &entry : ring->ring)
+            if (entry.kind == TraceKind::Span)
+                ++total;
+    }
+    return total;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view path)
+    : id_(SpanTracer::instance().beginSpan(
+          name, path.empty() ? name : path))
+{
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    SpanTracer::instance().endSpan(id_);
+}
+
+SpanAdoption::SpanAdoption(std::uint64_t parent_span)
+{
+    if (!SpanTracer::instance().enabled())
+        return;
+    auto &ring = SpanTracer::instance().localRing();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    saved_ = ring.adoptedParent;
+    ring.adoptedParent = parent_span;
+    active_ = true;
+}
+
+SpanAdoption::~SpanAdoption()
+{
+    if (!active_)
+        return;
+    auto &ring = SpanTracer::instance().localRing();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    ring.adoptedParent = saved_;
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Low-overhead span tracing with per-thread bounded ring buffers.
+ *
+ * A span is one timed interval on one thread: begin/end timestamps
+ * (nanoseconds since the tracer was enabled), the thread that ran it,
+ * and the span that encloses it. ScopedTimer opens a span for every
+ * phase automatically when tracing is enabled, and par::Pool opens one
+ * "task" span per executed task, parented to the submitting thread's
+ * span via SpanAdoption (the span analogue of PhaseAdoption). Pool
+ * task dispatch additionally records flow events linking the moment a
+ * task was queued on the submitter to the moment a worker picked it
+ * up, so the Perfetto view shows arrows from submission to execution.
+ *
+ * Recording is wait-free with respect to other threads: each thread
+ * owns a bounded ring (default 64 Ki entries) guarded by a mutex that
+ * is only ever contended by drain(), which runs once at export time.
+ * When a ring is full the *oldest* entries are overwritten, so a trace
+ * always keeps the newest spans and reports how many were dropped.
+ *
+ * At drain time any span still open (a timer alive during export, or
+ * a region that threw past a manual begin) is finalized with the drain
+ * timestamp instead of being leaked; its later real end is discarded.
+ *
+ * A disabled tracer costs one relaxed atomic load per would-be span.
+ * See trace_writer.hh for the Chrome trace-event JSON exporter and the
+ * exclusive-time attribution built on the drained entries.
+ */
+
+#ifndef DFAULT_OBS_SPAN_HH
+#define DFAULT_OBS_SPAN_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfault::obs {
+
+class Registry;
+
+/** What one ring-buffer record describes. */
+enum class TraceKind : std::uint8_t
+{
+    Span,          ///< completed (or drain-finalized) interval
+    FlowBegin,     ///< pool task queued on the submitting thread
+    FlowEnd,       ///< the same task picked up by an executing thread
+    CounterSample, ///< cumulative stat value at a phase boundary
+};
+
+/** One drained trace record; field use depends on kind. */
+struct TraceEntry
+{
+    TraceKind kind = TraceKind::Span;
+    std::uint32_t tid = 0;     ///< tracer-assigned thread index
+    std::uint64_t id = 0;      ///< span id, or flow id for flow events
+    std::uint64_t parent = 0;  ///< enclosing span id (0 = thread root)
+    std::uint64_t startNs = 0; ///< since the tracer was enabled
+    std::uint64_t endNs = 0;   ///< spans only
+    std::string name;          ///< phase segment / counter name
+    std::string path;          ///< full dotted phase path at begin
+    std::string detail;        ///< free-form annotation (args.detail)
+    double value = 0.0;        ///< counter samples only
+};
+
+/** See file comment. */
+class SpanTracer
+{
+  public:
+    static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+    /** The process-wide tracer shared by timers and the pool. */
+    static SpanTracer &instance();
+
+    SpanTracer() = default;
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /**
+     * Start recording. @p ring_capacity bounds the entries kept *per
+     * thread*; older entries are overwritten once a ring fills.
+     * Re-enabling resets the epoch and discards prior entries.
+     */
+    void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+
+    /** Stop recording (drained entries remain until the next enable). */
+    void disable();
+
+    /** Cheap producer-side guard: one relaxed atomic load. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Fresh process-unique id for a span or flow arrow. */
+    std::uint64_t newId();
+
+    /**
+     * Open a span named @p name (dotted @p path for reports) under the
+     * calling thread's current span. Returns the span id, 0 when
+     * disabled.
+     */
+    std::uint64_t beginSpan(std::string_view name, std::string_view path);
+
+    /** Close span @p id (0 is ignored). Must nest per thread. */
+    void endSpan(std::uint64_t id);
+
+    /**
+     * Attach a free-form annotation to the calling thread's innermost
+     * open span (exported as args.detail — e.g. which workload a
+     * "measure" span instance ran). No-op when disabled or outside
+     * any span; the last annotation wins.
+     */
+    void annotateCurrent(std::string_view detail);
+
+    /** Record one side of a submission->execution flow arrow. */
+    void flowEvent(TraceKind kind, std::uint64_t flow_id,
+                   std::string_view path);
+
+    /**
+     * Record the cumulative value of every Counter in @p registry as a
+     * CounterSample (drawn as counter tracks in Perfetto). ScopedTimer
+     * calls this when a top-level phase ends.
+     */
+    void sampleCounters(const Registry &registry);
+
+    /**
+     * Innermost open span id of the calling thread (the adopted parent
+     * if none is open locally, 0 outside any span).
+     */
+    static std::uint64_t currentSpan();
+
+    /**
+     * Copy out every recorded entry, oldest first per thread, merged
+     * and sorted by startNs. Spans still open are finalized at the
+     * drain timestamp (their later real end is discarded, not
+     * recorded twice).
+     */
+    std::vector<TraceEntry> drain();
+
+    /** Entries overwritten by ring wraparound since enable(). */
+    std::uint64_t dropped() const;
+
+    /** Completed span records currently held across all rings. */
+    std::uint64_t spanCount() const;
+
+    /** Nanoseconds since enable() (0 when never enabled). */
+    std::uint64_t nowNs() const;
+
+  private:
+    friend class SpanAdoption;
+
+    struct OpenSpan
+    {
+        std::uint64_t id = 0;
+        std::uint64_t parent = 0;
+        std::uint64_t startNs = 0;
+        std::string name;
+        std::string path;
+        std::string detail;
+        bool exported = false; ///< finalized by drain(); drop real end
+    };
+
+    /** Per-thread state; shared_ptr keeps it alive past thread exit. */
+    struct ThreadRing
+    {
+        std::mutex mutex;
+        std::uint32_t tid = 0;
+        std::vector<TraceEntry> ring; ///< capacity fixed at enable
+        std::size_t next = 0;         ///< overwrite cursor (oldest)
+        std::uint64_t dropped = 0;
+        std::vector<OpenSpan> open;   ///< innermost last
+        std::uint64_t adoptedParent = 0;
+    };
+
+    ThreadRing &localRing();
+    void push(ThreadRing &ring, TraceEntry entry);
+
+    static thread_local std::shared_ptr<ThreadRing> t_ring_;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> nextId_{1};
+    std::chrono::steady_clock::time_point epoch_{};
+    mutable std::mutex mutex_; ///< guards rings_
+    std::vector<std::shared_ptr<ThreadRing>> rings_;
+    std::atomic<std::size_t> capacity_{kDefaultRingCapacity};
+};
+
+/** RAII span; a no-op (id 0) when the tracer is disabled. */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string_view name,
+                        std::string_view path = "");
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    std::uint64_t id() const { return id_; }
+
+  private:
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * Make @p parent_span the calling thread's span parent while alive —
+ * pool workers adopt the submitting thread's span around each task so
+ * cross-thread parentage survives dispatch, exactly as PhaseAdoption
+ * carries the phase stack. Restores the previous parent on
+ * destruction.
+ */
+class SpanAdoption
+{
+  public:
+    explicit SpanAdoption(std::uint64_t parent_span);
+    ~SpanAdoption();
+
+    SpanAdoption(const SpanAdoption &) = delete;
+    SpanAdoption &operator=(const SpanAdoption &) = delete;
+
+  private:
+    std::uint64_t saved_ = 0;
+    bool active_ = false;
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_SPAN_HH

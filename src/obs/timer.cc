@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/span.hh"
 
 namespace dfault::obs {
 
@@ -31,13 +32,27 @@ ScopedTimer::ScopedTimer(std::string_view phase, Registry *registry)
     DFAULT_ASSERT(!phase.empty(), "timer phase name must be non-empty");
     DFAULT_ASSERT(phase.find('.') == std::string_view::npos,
                   "timer phase must be a single path segment: ", phase);
-    t_phaseStack.emplace_back(phase);
+    // Build the dotted path before touching the stack: if any of the
+    // allocations below throw, the constructor never completes, the
+    // destructor never runs, and the stack must be exactly as we
+    // found it.
     path_ = joinStack();
+    if (!path_.empty())
+        path_ += '.';
+    path_ += phase;
+    t_phaseStack.emplace_back(phase);
+    try {
+        spanId_ = SpanTracer::instance().beginSpan(phase, path_);
+    } catch (...) {
+        t_phaseStack.pop_back();
+        throw;
+    }
 }
 
 ScopedTimer::~ScopedTimer()
 {
     const double seconds = elapsed();
+    SpanTracer::instance().endSpan(spanId_);
     DFAULT_ASSERT(!t_phaseStack.empty() && path_.ends_with(
                       t_phaseStack.back()),
                   "phase stack corrupted: timers must strictly nest");
@@ -48,6 +63,10 @@ ScopedTimer::~ScopedTimer()
     registry_.counter("time." + path_ + ".calls",
                       "entries into phase " + path_)
         .inc();
+    // A top-level phase boundary: snapshot the counters this run has
+    // accumulated so the trace gets a counter-track data point.
+    if (t_phaseStack.empty() && SpanTracer::instance().enabled())
+        SpanTracer::instance().sampleCounters(registry_);
 }
 
 double
@@ -66,8 +85,11 @@ ScopedTimer::currentPath()
 
 PhaseAdoption::PhaseAdoption(const std::string &path)
 {
-    saved_ = std::move(t_phaseStack);
-    t_phaseStack.clear();
+    // Parse into a local vector first: if a segment allocation throws
+    // the half-built constructor never runs its destructor, so the
+    // thread's stack must not have been moved away yet (it used to
+    // be, leaving the stack corrupted on bad_alloc).
+    std::vector<std::string> segments;
     std::size_t begin = 0;
     while (begin <= path.size() && !path.empty()) {
         const std::size_t dot = path.find('.', begin);
@@ -75,11 +97,13 @@ PhaseAdoption::PhaseAdoption(const std::string &path)
                                                          : dot;
         DFAULT_ASSERT(end > begin,
                       "phase path has an empty segment: ", path);
-        t_phaseStack.emplace_back(path.substr(begin, end - begin));
+        segments.emplace_back(path.substr(begin, end - begin));
         if (dot == std::string::npos)
             break;
         begin = dot + 1;
     }
+    saved_ = std::move(t_phaseStack);
+    t_phaseStack = std::move(segments);
 }
 
 PhaseAdoption::~PhaseAdoption()

@@ -14,6 +14,13 @@
  * two clock reads plus two relaxed atomic updates, negligible at the
  * phase granularity used here (per measurement / per fold, never per
  * access).
+ *
+ * When the SpanTracer is enabled (obs/span.hh), every timer also
+ * opens a span, so a --trace-events run records each phase *instance*
+ * with begin/end timestamps and thread parentage; when a top-level
+ * phase ends the tracer additionally samples the registry's counters
+ * into Perfetto counter tracks. Exclusive-time attribution over those
+ * spans lives in obs/trace_writer.hh.
  */
 
 #ifndef DFAULT_OBS_TIMER_HH
@@ -62,6 +69,7 @@ class ScopedTimer
   private:
     Registry &registry_;
     std::string path_;
+    std::uint64_t spanId_ = 0; ///< 0 when tracing is disabled
     std::chrono::steady_clock::time_point start_;
 };
 

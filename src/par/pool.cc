@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 
@@ -35,6 +36,10 @@ struct Batch
     /** Submitter's phase path; workers adopt it so nested ScopedTimers
      *  land under the same stats paths as the serial execution. */
     std::string phasePath;
+    /** Submitter's open span; workers adopt it so their task spans
+     *  (and any spans opened inside the body) parent correctly across
+     *  the dispatch boundary. 0 when tracing is disabled. */
+    std::uint64_t parentSpan = 0;
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::uint64_t> taskNanos{0};
     std::mutex mutex;
@@ -122,6 +127,12 @@ Pool::parallelFor(std::size_t n,
             t_slot = 0;
         const auto start = std::chrono::steady_clock::now();
         try {
+            // The whole inline range counts as one executed task (it
+            // increments par.tasks_executed once below), so it also
+            // records exactly one task span.
+            std::optional<obs::ScopedSpan> span;
+            if (adopt_slot && obs::SpanTracer::instance().enabled())
+                span.emplace("task", phase);
             for (std::size_t i = 0; i < n; ++i)
                 body(i);
         } catch (...) {
@@ -145,9 +156,12 @@ Pool::parallelFor(std::size_t n,
     t_slot = 0;
     const auto start = std::chrono::steady_clock::now();
 
+    auto &tracer = obs::SpanTracer::instance();
     Batch batch;
     batch.body = &body;
     batch.phasePath = phase;
+    if (tracer.enabled())
+        batch.parentSpan = obs::SpanTracer::currentSpan();
 
     // Chunk the range: enough tasks for stealing to balance uneven
     // costs, few enough that queue traffic stays negligible.
@@ -163,6 +177,12 @@ Pool::parallelFor(std::size_t n,
         task.end = std::min(n, begin + chunk);
         task.batch = &batch;
         batch.remaining.fetch_add(1, std::memory_order_relaxed);
+        if (tracer.enabled()) {
+            // Flow arrow origin: this task leaving the submitter.
+            task.flowId = tracer.newId();
+            tracer.flowEvent(obs::TraceKind::FlowBegin, task.flowId,
+                             phase);
+        }
         Slot &slot = *slots_[count % static_cast<std::size_t>(threads_)];
         {
             std::lock_guard<std::mutex> lock(slot.mutex);
@@ -272,12 +292,28 @@ Pool::runTask(const Task &task)
 
     // Workers inherit the submitter's phase stack so their nested
     // timers accumulate under the same dotted paths as a serial run;
-    // the submitting thread (slot 0) already carries it.
+    // the submitting thread (slot 0) already carries it. Span
+    // parentage crosses the dispatch boundary the same way: workers
+    // adopt the submitter's open span (slot 0 already has it open).
     std::optional<obs::PhaseAdoption> adopted;
     if (t_slot > 0 && !batch.phasePath.empty())
         adopted.emplace(batch.phasePath);
+    std::optional<obs::SpanAdoption> span_parent;
+    if (t_slot > 0 && batch.parentSpan != 0)
+        span_parent.emplace(batch.parentSpan);
 
     try {
+        std::optional<obs::ScopedSpan> span;
+        if (obs::SpanTracer::instance().enabled()) {
+            span.emplace("task", batch.phasePath);
+            if (task.flowId != 0) {
+                // Flow arrow target, timestamped inside the task span
+                // so Perfetto binds it to the enclosing slice.
+                obs::SpanTracer::instance().flowEvent(
+                    obs::TraceKind::FlowEnd, task.flowId,
+                    batch.phasePath);
+            }
+        }
         for (std::size_t i = task.begin; i < task.end; ++i)
             (*batch.body)(i);
     } catch (...) {
@@ -285,6 +321,7 @@ Pool::runTask(const Task &task)
         if (!batch.error)
             batch.error = std::current_exception();
     }
+    span_parent.reset();
     adopted.reset();
 
     batch.taskNanos.fetch_add(

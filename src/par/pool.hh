@@ -28,7 +28,12 @@
  *
  * Pool activity is instrumented through the obs:: registry: tasks
  * queued/executed, steals, and per-phase task/wall seconds with a
- * derived "speedup" formula (visible in --stats-out dumps).
+ * derived "speedup" formula (visible in --stats-out dumps). When the
+ * span tracer is enabled (obs/span.hh), every executed task records a
+ * "task" span parented to the submitter's open span, plus a flow
+ * event pair linking the moment the task was queued to the moment a
+ * slot picked it up — so a Perfetto view of a --trace-events run
+ * shows dispatch arrows from the submitting thread to the workers.
  */
 
 #ifndef DFAULT_PAR_POOL_HH
@@ -37,6 +42,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -123,6 +129,8 @@ class Pool
     {
         std::size_t begin = 0;
         std::size_t end = 0;
+        std::uint64_t flowId = 0; ///< links queueing to execution in
+                                  ///< the trace; 0 = tracing disabled
         struct Batch *batch = nullptr;
     };
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * JSON parser tests: round-tripping JsonWriter output and rejecting
+ * malformed documents (the parser exists to validate what the
+ * observability layer itself writes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace dfault::obs {
+namespace {
+
+TEST(JsonParse, RoundTripsJsonWriterOutput)
+{
+    JsonWriter inner;
+    inner.field("path", "sweep.measure");
+    inner.field("count", std::uint64_t{7});
+
+    JsonWriter w;
+    w.field("label", "srad \"par\"\nline");
+    w.field("wer", 1.5e-9);
+    w.field("crashed", false);
+    w.field("epochs", std::int64_t{-3});
+    w.fieldRaw("args", inner.str());
+    w.fieldRaw("series", "[1,2.5,null,true]");
+
+    std::string error;
+    const auto doc = jsonParse(w.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+
+    EXPECT_EQ(doc->find("label")->string, "srad \"par\"\nline");
+    EXPECT_DOUBLE_EQ(doc->find("wer")->number, 1.5e-9);
+    EXPECT_FALSE(doc->find("crashed")->boolean);
+    EXPECT_DOUBLE_EQ(doc->find("epochs")->number, -3.0);
+
+    const JsonValue *args = doc->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("path")->string, "sweep.measure");
+    EXPECT_DOUBLE_EQ(args->find("count")->number, 7.0);
+
+    const JsonValue *series = doc->find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_TRUE(series->isArray());
+    ASSERT_EQ(series->array.size(), 4u);
+    EXPECT_DOUBLE_EQ(series->array[1].number, 2.5);
+    EXPECT_TRUE(series->array[2].isNull());
+    EXPECT_TRUE(series->array[3].boolean);
+}
+
+TEST(JsonParse, DecodesStringEscapes)
+{
+    const auto doc =
+        jsonParse(R"({"s":"tab\thereA\\\"\/é"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("s")->string, "tab\thereA\\\"/\xc3\xa9");
+}
+
+TEST(JsonParse, ParsesNumbersAndWhitespace)
+{
+    const auto doc = jsonParse(" { \"a\" : -0.5 , \"b\" : 1e3 } ");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("a")->number, -0.5);
+    EXPECT_DOUBLE_EQ(doc->find("b")->number, 1000.0);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapesToUtf8)
+{
+    const auto doc = jsonParse(R"({"s":"\u0041\u00e9\u20ac"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("s")->string, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParse, DuplicateKeysLastOneWins)
+{
+    const auto doc = jsonParse(R"({"k":1,"k":2})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("k")->number, 2.0);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "nul",
+        "\"unterminated",
+        "{\"a\":1} trailing",
+        "{'a':1}",
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(jsonParse(text, &error).has_value())
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+} // namespace
+} // namespace dfault::obs

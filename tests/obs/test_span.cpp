@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Span tracer tests: ring wraparound, half-open finalization, task
+ * span parentage across pool dispatch, exclusive-time attribution and
+ * the Chrome trace-event export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/span.hh"
+#include "obs/stats.hh"
+#include "obs/timer.hh"
+#include "obs/trace_writer.hh"
+#include "par/pool.hh"
+
+namespace dfault::obs {
+namespace {
+
+/** Completed Span entries among @p entries. */
+std::vector<TraceEntry>
+spansOf(const std::vector<TraceEntry> &entries)
+{
+    std::vector<TraceEntry> spans;
+    for (const TraceEntry &e : entries)
+        if (e.kind == TraceKind::Span)
+            spans.push_back(e);
+    return spans;
+}
+
+TEST(SpanTracer, DisabledTracerRecordsNothing)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.disable();
+    EXPECT_EQ(tracer.beginSpan("x", "x"), 0u);
+    const ScopedSpan span("x");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(SpanTracer::currentSpan(), 0u);
+}
+
+TEST(SpanTracer, RingWraparoundKeepsNewestSpans)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.enable(4);
+    for (int i = 0; i < 10; ++i) {
+        const std::string path = "p" + std::to_string(i);
+        const ScopedSpan span("step", path);
+    }
+    tracer.disable();
+
+    EXPECT_EQ(tracer.dropped(), 6u); // 10 recorded into 4 slots
+    EXPECT_EQ(tracer.spanCount(), 4u);
+    const auto spans = spansOf(tracer.drain());
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest-first drain of the newest four spans.
+    for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(spans[static_cast<std::size_t>(k)].path,
+                  "p" + std::to_string(6 + k));
+}
+
+TEST(SpanTracer, DrainFinalizesHalfOpenSpanExactlyOnce)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    const std::uint64_t id = tracer.beginSpan("leaky", "leaky");
+    ASSERT_NE(id, 0u);
+
+    const auto first = spansOf(tracer.drain());
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].id, id);
+    EXPECT_GE(first[0].endNs, first[0].startNs); // finalized at drain
+
+    // The real end arrives later; it must not record a duplicate.
+    tracer.endSpan(id);
+    tracer.disable();
+    const auto second = spansOf(tracer.drain());
+    EXPECT_TRUE(second.empty());
+}
+
+TEST(SpanTracer, NestingRecordsParentage)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    std::uint64_t outer_id = 0, inner_id = 0;
+    {
+        const ScopedSpan outer("outer");
+        outer_id = outer.id();
+        EXPECT_EQ(SpanTracer::currentSpan(), outer_id);
+        const ScopedSpan inner("inner");
+        inner_id = inner.id();
+    }
+    tracer.disable();
+    const auto spans = spansOf(tracer.drain());
+    ASSERT_EQ(spans.size(), 2u);
+    const TraceEntry &outer_e =
+        spans[0].id == outer_id ? spans[0] : spans[1];
+    const TraceEntry &inner_e =
+        spans[0].id == inner_id ? spans[0] : spans[1];
+    EXPECT_EQ(outer_e.id, outer_id);
+    EXPECT_EQ(outer_e.parent, 0u);
+    EXPECT_EQ(inner_e.id, inner_id);
+    EXPECT_EQ(inner_e.parent, outer_id);
+    EXPECT_LE(inner_e.endNs, outer_e.endNs); // child inside parent
+}
+
+TEST(SpanTracer, TaskSpansParentToSubmitterAcrossDispatch)
+{
+    par::Pool::setGlobalThreads(8);
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    std::uint64_t root_id = 0;
+    {
+        const ScopedSpan root("submit_root");
+        root_id = root.id();
+        par::Pool::global().parallelFor(64, [](std::size_t) {});
+    }
+    tracer.disable();
+
+    int task_spans = 0;
+    for (const TraceEntry &e : spansOf(tracer.drain())) {
+        if (e.name != "task")
+            continue;
+        ++task_spans;
+        // Worker or submitter alike: every task span hangs off the
+        // span that was open on the submitting thread.
+        EXPECT_EQ(e.parent, root_id);
+    }
+    EXPECT_GT(task_spans, 0);
+}
+
+TEST(SpanTracer, TaskSpanCountMatchesExecutedCounter)
+{
+    par::Pool::setGlobalThreads(8);
+    auto &reg = Registry::instance();
+    const auto executed = [&] {
+        return reg.has("par.tasks_executed")
+                   ? reg.value("par.tasks_executed")
+                   : 0.0;
+    };
+
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    const double before = executed();
+    par::Pool::global().parallelFor(64, [](std::size_t) {});
+    par::Pool::global().parallelFor(3, [](std::size_t) {});
+    const double delta = executed() - before;
+    tracer.disable();
+
+    int task_spans = 0;
+    std::set<std::uint64_t> flow_begin, flow_end;
+    for (const TraceEntry &e : tracer.drain()) {
+        if (e.kind == TraceKind::Span && e.name == "task")
+            ++task_spans;
+        if (e.kind == TraceKind::FlowBegin)
+            flow_begin.insert(e.id);
+        if (e.kind == TraceKind::FlowEnd)
+            flow_end.insert(e.id);
+    }
+    EXPECT_EQ(static_cast<double>(task_spans), delta);
+    // Every dispatch arrow that was picked up has its origin recorded.
+    EXPECT_EQ(flow_begin, flow_end);
+}
+
+/** Traced workload mixing nested timers with pool tasks. */
+void
+runTracedWorkload()
+{
+    Registry reg;
+    const ScopedTimer outer("outer", &reg);
+    par::Pool::global().parallelFor(32, [&](std::size_t) {
+        const ScopedTimer cell("cell", &reg);
+        volatile double sink = 0.0;
+        for (int k = 0; k < 2000; ++k)
+            sink = sink + static_cast<double>(k);
+    });
+    const ScopedTimer tail("tail", &reg);
+}
+
+void
+expectExclusiveSumsToThreadRoots(int threads)
+{
+    par::Pool::setGlobalThreads(threads);
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    runTracedWorkload();
+    tracer.disable();
+
+    const auto entries = tracer.drain();
+    const auto rows = exclusiveTimes(entries);
+    ASSERT_FALSE(rows.empty());
+    double exclusive_sum = 0.0;
+    for (const ExclusiveTime &row : rows) {
+        EXPECT_GE(row.exclusiveSeconds, 0.0);
+        EXPECT_GE(row.inclusiveSeconds, row.exclusiveSeconds);
+        exclusive_sum += row.exclusiveSeconds;
+    }
+    // Exclusive time partitions the thread-root spans exactly: what a
+    // parent loses to same-thread children, the children gain.
+    EXPECT_NEAR(exclusive_sum, threadRootSeconds(entries), 1e-9);
+}
+
+TEST(ExclusiveTimes, SumToThreadRootInclusiveSerial)
+{
+    expectExclusiveSumsToThreadRoots(1);
+}
+
+TEST(ExclusiveTimes, SumToThreadRootInclusiveParallel)
+{
+    expectExclusiveSumsToThreadRoots(8);
+}
+
+TEST(TraceJson, ExportParsesAndMatchesSpanCount)
+{
+    par::Pool::setGlobalThreads(8);
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    runTracedWorkload();
+    tracer.disable();
+
+    const auto entries = tracer.drain();
+    const auto spans = spansOf(entries);
+    ASSERT_FALSE(spans.empty());
+
+    std::string error;
+    const auto doc = jsonParse(traceJson(entries), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::size_t slices = 0;
+    for (const JsonValue &event : events->array) {
+        const JsonValue *ph = event.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->string == "X")
+            ++slices;
+    }
+    EXPECT_EQ(slices, spans.size());
+}
+
+TEST(TraceJson, CounterSamplesBecomeCounterTracks)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.enable();
+    Registry reg;
+    reg.counter("demo.widgets", "widgets made").inc(42);
+    tracer.sampleCounters(reg);
+    tracer.disable();
+
+    const auto entries = tracer.drain();
+    std::string error;
+    const auto doc = jsonParse(traceJson(entries), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    bool found = false;
+    for (const JsonValue &event : doc->find("traceEvents")->array) {
+        const JsonValue *ph = event.find("ph");
+        if (ph == nullptr || ph->string != "C")
+            continue;
+        if (event.find("name")->string != "demo.widgets")
+            continue;
+        found = true;
+        EXPECT_EQ(event.find("args")->find("value")->number, 42.0);
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace dfault::obs

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "obs/stats.hh"
@@ -88,6 +89,60 @@ TEST(ScopedTimer, PhaseStacksAreThreadLocal)
     EXPECT_EQ(other_path, "worker_phase");
     EXPECT_EQ(ScopedTimer::currentPath(), "main_phase");
     EXPECT_TRUE(reg.has("time.worker_phase.seconds"));
+}
+
+TEST(ScopedTimer, PhaseStackUnwindsWhenTimedRegionThrows)
+{
+    Registry reg;
+    try {
+        const ScopedTimer outer("outer", &reg);
+        const ScopedTimer inner("inner", &reg);
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    // Stack unwinding ran both destructors: the thread is back at the
+    // top level and both phases still accumulated their time.
+    EXPECT_EQ(ScopedTimer::currentPath(), "");
+    EXPECT_EQ(reg.value("time.outer.calls"), 1.0);
+    EXPECT_EQ(reg.value("time.outer.inner.calls"), 1.0);
+}
+
+TEST(PhaseAdoption, RestoresAdopterStackOnScopeExit)
+{
+    Registry reg;
+    const ScopedTimer outer("main_phase", &reg);
+    {
+        const PhaseAdoption adopted("sweep.measure");
+        EXPECT_EQ(ScopedTimer::currentPath(), "sweep.measure");
+        const ScopedTimer t("integrate", &reg);
+        EXPECT_EQ(ScopedTimer::currentPath(),
+                  "sweep.measure.integrate");
+    }
+    EXPECT_EQ(ScopedTimer::currentPath(), "main_phase");
+    EXPECT_TRUE(reg.has("time.sweep.measure.integrate.seconds"));
+}
+
+TEST(PhaseAdoption, RestoresAdopterStackAfterThrow)
+{
+    Registry reg;
+    const ScopedTimer outer("main_phase", &reg);
+    try {
+        const PhaseAdoption adopted("sweep.measure");
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(ScopedTimer::currentPath(), "main_phase");
+}
+
+TEST(PhaseAdoption, EmptyPathAdoptsTopLevel)
+{
+    Registry reg;
+    const ScopedTimer outer("main_phase", &reg);
+    {
+        const PhaseAdoption adopted("");
+        EXPECT_EQ(ScopedTimer::currentPath(), "");
+    }
+    EXPECT_EQ(ScopedTimer::currentPath(), "main_phase");
 }
 
 TEST(ScopedTimer, RejectsDottedPhaseNames)

@@ -16,13 +16,19 @@
  *   temp_c=50 vdd_v=1.428 threads=8 input_set=1 model=knn
  *
  * Telemetry flags (see docs/observability.md):
- *   --stats-out=<path>   dump the stats registry after the command
- *                        (.json suffix selects JSON, else gem5-style
- *                        text)
- *   --trace-out=<path>   stream JSONL events ("-" for stderr)
- *   --progress           one-line progress updates on stderr
+ *   --stats-out=<path>     dump the stats registry after the command
+ *                          (.json suffix selects JSON, else gem5-style
+ *                          text); also writes <path>.manifest.json
+ *   --trace-out=<path>     stream JSONL events ("-" for stderr)
+ *   --trace-events=<path>  record spans and export a Perfetto /
+ *                          chrome://tracing trace-event JSON; prints
+ *                          the exclusive-time critical-path summary
+ *   --manifest-out=<path>  write the run provenance manifest here
+ *                          (default <stats-out>.manifest.json)
+ *   --progress             one-line progress updates on stderr
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <cstring>
@@ -31,9 +37,13 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "obs/events.hh"
+#include "obs/manifest.hh"
+#include "obs/span.hh"
 #include "obs/stats.hh"
+#include "obs/trace_writer.hh"
 #include "core/dataset_builder.hh"
 #include "core/report.hh"
+#include "par/pool.hh"
 #include "core/error_model.hh"
 #include "core/trainer.hh"
 #include "features/extractor.hh"
@@ -49,11 +59,21 @@ struct Cli
     Config config;
     std::vector<std::string> positional;
     std::string statsOut;
+    std::string traceEvents;
+    std::string manifestOut;
+    std::string commandLine;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
     std::unique_ptr<sys::Platform> platform;
     std::unique_ptr<core::CharacterizationCampaign> campaign;
 
     Cli(int argc, char **argv)
     {
+        for (int i = 0; i < argc; ++i) {
+            if (i > 0)
+                commandLine += ' ';
+            commandLine += argv[i];
+        }
         // Telemetry flags are peeled off before key=value parsing so
         // they never collide with config keys or positionals.
         std::vector<char *> args;
@@ -65,12 +85,18 @@ struct Cli
             else if (arg.starts_with("--trace-out="))
                 obs::EventSink::instance().open(
                     std::string(arg.substr(12)));
+            else if (arg.starts_with("--trace-events=")) {
+                traceEvents = arg.substr(15);
+                obs::SpanTracer::instance().enable();
+            } else if (arg.starts_with("--manifest-out="))
+                manifestOut = arg.substr(15);
             else if (arg == "--progress")
                 obs::setProgress(true);
             else if (i > 0 && arg.starts_with("--"))
                 DFAULT_FATAL("unknown flag '", std::string(arg),
                              "'; telemetry flags are --stats-out=, "
-                             "--trace-out=, --progress");
+                             "--trace-out=, --trace-events=, "
+                             "--manifest-out=, --progress");
             else
                 args.push_back(argv[i]);
         }
@@ -299,7 +325,9 @@ usage()
         "         bc lulesh_o2 lulesh_f random\n"
         "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
         "           vdd_v threads input_set model thermal_loop\n"
-        "telemetry: --stats-out=<path> --trace-out=<path> --progress\n");
+        "telemetry: --stats-out=<path> --trace-out=<path>\n"
+        "           --trace-events=<path> --manifest-out=<path>\n"
+        "           --progress\n");
 }
 
 int
@@ -339,6 +367,48 @@ main(int argc, char **argv)
     if (!cli.statsOut.empty()) {
         obs::Registry::instance().writeFile(cli.statsOut);
         DFAULT_INFORM("stats written to ", cli.statsOut);
+    }
+
+    auto &tracer = obs::SpanTracer::instance();
+    if (tracer.enabled()) {
+        tracer.disable();
+        const auto entries = tracer.drain();
+        const auto rows = obs::exclusiveTimes(entries);
+        std::printf("\n");
+        obs::printCriticalPath(stdout, rows);
+        if (tracer.dropped() > 0)
+            DFAULT_WARN("span ring overflow: ", tracer.dropped(),
+                        " oldest trace entries dropped");
+        if (!obs::writeTraceFile(cli.traceEvents, entries))
+            DFAULT_FATAL("cannot write trace events to '",
+                         cli.traceEvents, "'");
+        DFAULT_INFORM("trace events written to ", cli.traceEvents,
+                      " (load in ui.perfetto.dev)");
+    }
+
+    // Provenance: every stats-producing run gets a manifest tying its
+    // artifacts to the exact configuration that made them.
+    std::string manifest_path = cli.manifestOut;
+    if (manifest_path.empty() && !cli.statsOut.empty())
+        manifest_path = cli.statsOut + ".manifest.json";
+    if (!manifest_path.empty()) {
+        obs::ManifestInfo info;
+        info.tool = "dfault";
+        info.command = cli.commandLine;
+        for (const std::string &key : cli.config.keys())
+            info.config.emplace_back(key,
+                                     cli.config.getString(key));
+        info.threads = par::Pool::global().threads();
+        info.statsPath = cli.statsOut;
+        info.tracePath = cli.traceEvents;
+        info.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cli.start)
+                .count();
+        if (!obs::writeManifestFile(manifest_path, info))
+            DFAULT_FATAL("cannot write manifest to '", manifest_path,
+                         "'");
+        DFAULT_INFORM("run manifest written to ", manifest_path);
     }
     obs::EventSink::instance().close();
     return rc;
