@@ -20,6 +20,19 @@
  * Parallelism (see docs/parallelism.md):
  *   threads=<n>        size the global pool (overrides DFAULT_THREADS);
  *                      results are bit-identical for any value
+ *
+ * Robustness (see docs/robustness.md):
+ *   faults=<spec>        arm fault-injection points (grammar in
+ *                        fi/injector.hh; adds to DFAULT_FAULTS)
+ *   checkpoint=<dir>     journal completed sweep cells there and
+ *                        resume from them on the next run
+ *   retries=<n>          per-cell retries before quarantine (default 2)
+ *   fail_fast=true       abort the sweep on an exhausted cell instead
+ *                        of degrading to a quarantine report
+ *   quarantine_out=<path> quarantine report destination (default
+ *                        <stats_out>.quarantine.json, only written
+ *                        when cells were quarantined)
+ *
  * A per-phase timing table and the total wall clock are printed at
  * exit regardless.
  */
@@ -37,7 +50,9 @@
 #include "core/characterization.hh"
 #include "core/dataset_builder.hh"
 #include "core/error_model.hh"
+#include "core/report.hh"
 #include "core/trainer.hh"
+#include "fi/injector.hh"
 #include "obs/events.hh"
 #include "obs/manifest.hh"
 #include "obs/span.hh"
@@ -67,13 +82,21 @@ class Harness
             commandLine_ += argv[i];
         }
         config_.parseArgs(argc, argv);
+        // Touching the injector here validates a malformed
+        // DFAULT_FAULTS spec up front, even on runs that never reach a
+        // fault point.
+        const std::string faults = config_.getString("faults", "");
+        if (!faults.empty())
+            fi::Injector::instance().arm(faults);
+        else
+            (void)fi::Injector::instance();
         const int threads =
-            static_cast<int>(config_.getInt("threads", 0));
+            static_cast<int>(config_.getIntIn("threads", 0, 1, 4096));
         if (threads > 0)
             par::Pool::setGlobalThreads(threads);
         const std::uint64_t footprint =
             static_cast<std::uint64_t>(
-                config_.getInt("footprint_mib", 16))
+                config_.getIntIn("footprint_mib", 16, 1, 1 << 20))
             << 20;
 
         sys::Platform::Params pp;
@@ -82,10 +105,15 @@ class Harness
 
         core::CharacterizationCampaign::Params cp;
         cp.workload.footprintBytes = footprint;
-        cp.workload.workScale = config_.getDouble("work_scale", 1.0);
-        cp.integrator.epochs =
-            static_cast<int>(config_.getInt("epochs", 120));
+        cp.workload.workScale =
+            config_.getDoubleIn("work_scale", 1.0, 1e-6, 1000.0);
+        cp.integrator.epochs = static_cast<int>(
+            config_.getIntIn("epochs", 120, 1, 1000000));
         cp.useThermalLoop = config_.getBool("thermal_loop", true);
+        cp.taskRetries = static_cast<int>(
+            config_.getIntIn("retries", cp.taskRetries, 0, 1000));
+        cp.failFast = config_.getBool("fail_fast", cp.failFast);
+        cp.checkpointDir = config_.getString("checkpoint", "");
         campaign_ = std::make_unique<core::CharacterizationCampaign>(
             *platform_, cp);
 
@@ -133,6 +161,32 @@ class Harness
                              traceEvents_, "'");
             DFAULT_INFORM("trace events written to ", traceEvents_,
                           " (load in ui.perfetto.dev)");
+        }
+
+        // Record what the injector actually did this run; fi.* stats
+        // are excluded from the manifest digest, so a faulted run can
+        // still digest-match a clean one.
+        auto &inj = fi::Injector::instance();
+        if (inj.armed()) {
+            for (const auto &[point, fired] : inj.firedCounts())
+                obs::Registry::instance()
+                    .gauge("fi.fired." + point,
+                           "times this fault point fired")
+                    .set(static_cast<double>(fired));
+        }
+
+        const auto &quarantine = campaign_->lastQuarantine();
+        std::string quarantine_path =
+            config_.getString("quarantine_out", "");
+        if (quarantine_path.empty() && !statsOut_.empty())
+            quarantine_path = statsOut_ + ".quarantine.json";
+        if (!quarantine.empty() && !quarantine_path.empty()) {
+            if (!core::writeQuarantineFile(quarantine, quarantine_path))
+                DFAULT_FATAL("cannot write quarantine report to '",
+                             quarantine_path, "'");
+            DFAULT_INFORM(quarantine.size(),
+                          " quarantined cell(s); report written to ",
+                          quarantine_path);
         }
 
         if (!statsOut_.empty()) {

@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -54,6 +55,22 @@ Config::getDouble(const std::string &key, double fallback) const
     if (end == it->second.c_str() || *end != '\0')
         DFAULT_FATAL("config key '", key, "' is not a number: '",
                      it->second, "'");
+    if (!std::isfinite(v))
+        DFAULT_FATAL("config key '", key, "' is not a finite number: '",
+                     it->second, "'");
+    return v;
+}
+
+double
+Config::getDoubleIn(const std::string &key, double fallback, double lo,
+                    double hi) const
+{
+    if (!has(key))
+        return fallback;
+    const double v = getDouble(key, fallback);
+    if (v < lo || v > hi)
+        DFAULT_FATAL("config key '", key, "' = ", v,
+                     " is outside the allowed range [", lo, ", ", hi, "]");
     return v;
 }
 
@@ -68,6 +85,19 @@ Config::getInt(const std::string &key, std::int64_t fallback) const
     if (end == it->second.c_str() || *end != '\0')
         DFAULT_FATAL("config key '", key, "' is not an integer: '",
                      it->second, "'");
+    return v;
+}
+
+std::int64_t
+Config::getIntIn(const std::string &key, std::int64_t fallback,
+                 std::int64_t lo, std::int64_t hi) const
+{
+    if (!has(key))
+        return fallback;
+    const std::int64_t v = getInt(key, fallback);
+    if (v < lo || v > hi)
+        DFAULT_FATAL("config key '", key, "' = ", v,
+                     " is outside the allowed range [", lo, ", ", hi, "]");
     return v;
 }
 

@@ -37,12 +37,25 @@ class Config
     /**
      * Typed getters returning @p fallback when the key is absent.
      * A present key that fails to convert is a user error -> fatal().
+     * getDouble additionally rejects non-finite values ("nan", "inf"):
+     * no simulation parameter is meaningfully NaN, and letting one
+     * through poisons every downstream model silently.
      */
     std::string getString(const std::string &key,
                           const std::string &fallback = "") const;
     double getDouble(const std::string &key, double fallback) const;
     std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
     bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Range-checked getters: fatal(), naming the key and the allowed
+     * range, when the (present) value falls outside [lo, hi]. The
+     * fallback is not range-checked — defaults are the library's.
+     */
+    double getDoubleIn(const std::string &key, double fallback, double lo,
+                       double hi) const;
+    std::int64_t getIntIn(const std::string &key, std::int64_t fallback,
+                          std::int64_t lo, std::int64_t hi) const;
 
     /**
      * Parse argv-style "key=value" tokens; tokens without '=' are

@@ -15,6 +15,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace dfault {
 
@@ -34,6 +35,25 @@ hashCombine(std::uint64_t a, std::uint64_t b)
 {
     std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
     return splitMix64(s);
+}
+
+/** FNV-1a 64-bit offset basis. */
+constexpr std::uint64_t kFnvOffset64 = 1469598103934665603ULL;
+
+/**
+ * FNV-1a 64-bit hash of @p bytes folded into @p basis. Chain calls by
+ * passing the previous result as the basis; used for config digests,
+ * fault-schedule keys and manifest stats digests.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view bytes, std::uint64_t basis = kFnvOffset64)
+{
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    for (const char c : bytes) {
+        basis ^= static_cast<unsigned char>(c);
+        basis *= kPrime;
+    }
+    return basis;
 }
 
 /**

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/checkpoint.hh"
 #include "dram/power.hh"
+#include "fi/injector.hh"
+#include "obs/deferral.hh"
 #include "obs/events.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
@@ -38,9 +43,20 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
                                     const workloads::WorkloadConfig &config,
                                     const dram::OperatingPoint &op,
                                     std::uint64_t run_seed,
-                                    dram::ErrorLog *log)
+                                    dram::ErrorLog *log, int attempt)
 {
     op.validate();
+
+    // The cell key is derived from labels, not indices, so the fault
+    // schedule is identical whether the cell runs through measure()
+    // or a sweep; the attempt re-rolls it so max_attempt-bounded
+    // faults recover under retry.
+    auto &inj = fi::Injector::instance();
+    const std::uint64_t cell_key =
+        hashCombine(fnv1a64(config.label), fnv1a64(op.label()));
+    if (inj.armed())
+        // Models a transient device hang before the thermal settle.
+        inj.maybeThrow("campaign.hang", cell_key, attempt);
 
     const features::WorkloadProfile &profile =
         features::ProfileCache::instance().get(platform, config,
@@ -104,18 +120,32 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
         integrate_seconds = integrate_timer.elapsed();
     }
 
-    auto &reg = obs::Registry::instance();
-    reg.counter("campaign.measurements",
-                "characterization experiments completed")
-        .inc();
+    if (inj.armed() && inj.shouldFire("measure.nan", cell_key, attempt)) {
+        // Models corrupted telemetry (an overflowed ECC log, a torn
+        // counter read): the numbers arrive, but are garbage. The
+        // dataset builder is expected to quarantine the sample.
+        DFAULT_WARN("injected measurement corruption for ", config.label,
+                    " at ", op.label());
+        if (!m.run.werSeries.empty())
+            m.run.werSeries.back() =
+                std::numeric_limits<double>::quiet_NaN();
+        if (!m.run.cePerDevice.empty())
+            m.run.cePerDevice.front() =
+                std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // publish*() so a sweep cell's deferral can capture these (see
+    // sweep(): drop on a failed attempt, replay from a checkpoint).
+    obs::publishCounter("campaign.measurements",
+                        "characterization experiments completed");
     if (m.run.crashed)
-        reg.counter("campaign.crashes", "experiments ended by a UE")
-            .inc();
+        obs::publishCounter("campaign.crashes",
+                            "experiments ended by a UE");
     const double wer = m.run.wer();
     if (wer > 0.0)
-        reg.distribution("campaign.wer_log10", -14.0, 0.0, 28,
-                         "log10 of measured aggregate WER")
-            .record(std::log10(wer));
+        obs::publishDistribution("campaign.wer_log10", -14.0, 0.0, 28,
+                                 "log10 of measured aggregate WER",
+                                 std::log10(wer));
 
     auto &sink = obs::EventSink::instance();
     if (sink.enabled()) {
@@ -178,17 +208,119 @@ CharacterizationCampaign::sweep(
     const obs::ScopedTimer sweep_timer("sweep");
     const std::size_t total = suite.size() * points.size();
     prepareReplicas();
+    lastQuarantine_.clear();
+    auto &pool = par::Pool::global();
+
+    // Profile every workload before the cell loop. The cache fills
+    // exactly once per config either way; doing it up front keeps the
+    // platform.* / profile.* stats independent of which cells are
+    // measured fresh, restored from a checkpoint, or quarantined.
+    {
+        par::ResilienceOptions profile_opts;
+        profile_opts.maxRetries = params_.taskRetries;
+        profile_opts.failFast = true;
+        pool.parallelForResilient(
+            suite.size(),
+            [&](std::size_t w, int) {
+                features::ProfileCache::instance().get(
+                    slotPlatform(), suite[w], params_.workload);
+            },
+            profile_opts);
+    }
+
+    CheckpointJournal journal;
+    std::map<std::size_t, CheckpointCell> restored;
+    if (!params_.checkpointDir.empty()) {
+        journal.open(params_.checkpointDir,
+                     sweepConfigDigest(params_, suite, points));
+        restored = journal.load(total);
+        if (!restored.empty())
+            obs::progress("checkpoint: restoring " +
+                          std::to_string(restored.size()) + "/" +
+                          std::to_string(total) + " cells from " +
+                          params_.checkpointDir);
+    }
+
     // One task per (workload, point) cell, committed in cell order:
     // the result vector is identical whatever the worker schedule.
-    return par::Pool::global().parallelMap<Measurement>(
-        total, [&](std::size_t i) {
+    std::vector<Measurement> out(total);
+    std::vector<std::vector<obs::StatOp>> cell_ops(total);
+
+    par::ResilienceOptions opts;
+    opts.maxRetries = params_.taskRetries;
+    opts.failFast = params_.failFast;
+    const auto failures = pool.parallelForResilient(
+        total,
+        [&](std::size_t i, int attempt) {
+            if (restored.count(i) != 0)
+                return; // committed after the batch, in cell order
             const auto &config = suite[i / points.size()];
             const auto &op = points[i % points.size()];
             obs::progress("experiment " + std::to_string(i + 1) + "/" +
                           std::to_string(total) + ": " + config.label +
                           " at " + op.label());
-            return measureOn(slotPlatform(), config, op, 0, nullptr);
-        });
+            // Buffer this cell's stat updates: a failed attempt must
+            // contribute nothing, and a successful one is journaled
+            // with the cell and applied post-batch in cell order.
+            obs::StatsDeferral deferral;
+            Measurement m = measureOn(slotPlatform(), config, op, 0,
+                                      nullptr, attempt);
+            std::vector<obs::StatOp> ops = deferral.take();
+            if (journal.enabled()) {
+                journal.store({i, m, ops});
+                // Chaos testing: a kill between journal writes.
+                fi::Injector::instance().maybeKill("sweep.kill", i);
+            }
+            out[i] = std::move(m);
+            cell_ops[i] = std::move(ops);
+        },
+        opts);
+
+    // Quarantined cells (only reachable when !failFast): mark the
+    // slot as failed instead of aborting the sweep.
+    for (const par::TaskFailure &f : failures) {
+        const auto &config = suite[f.index / points.size()];
+        const auto &op = points[f.index % points.size()];
+        Measurement &m = out[f.index];
+        m.label = config.label;
+        m.threads = config.threads;
+        m.requested = op;
+        m.achieved = op;
+        m.quarantined = true;
+        m.failure = f.error;
+        lastQuarantine_.push_back(
+            {f.index, config.label, op.label(), f.attempts, f.error});
+        DFAULT_WARN("sweep: quarantined cell ", f.index, " (",
+                    config.label, " at ", op.label(), ") after ",
+                    f.attempts, " attempt(s): ", f.error);
+    }
+    if (!failures.empty())
+        obs::Registry::instance()
+            .counter("fi.quarantined_slots",
+                     "sweep cells quarantined after exhausting retries")
+            .inc(failures.size());
+
+    // Restored cells: rebuild the measurement (profile pointer from
+    // the cache warmed above) and queue their journaled stat ops.
+    for (auto &[index, cell] : restored) {
+        Measurement m = std::move(cell.measurement);
+        m.profile = &features::ProfileCache::instance().get(
+            platform_, suite[index / points.size()], params_.workload);
+        out[index] = std::move(m);
+        cell_ops[index] = std::move(cell.statOps);
+    }
+    if (!restored.empty())
+        obs::Registry::instance()
+            .counter("fi.checkpoint_restored",
+                     "sweep cells restored from a checkpoint journal")
+            .inc(restored.size());
+
+    // Apply every cell's stats in cell order: fresh, restored and
+    // resumed runs all reach the identical registry state.
+    for (std::size_t i = 0; i < total; ++i)
+        obs::applyStatOps(cell_ops[i]);
+
+    return out;
 }
 
 double

@@ -31,6 +31,10 @@ struct Measurement
     dram::OperatingPoint achieved;  ///< after the thermal control loop
     RunResult run;
     const features::WorkloadProfile *profile = nullptr; ///< cache-owned
+    /** Slot failed every attempt of a degrade-and-report sweep; run
+     *  is empty and failure holds the final error. */
+    bool quarantined = false;
+    std::string failure;
 };
 
 /** See file comment. */
@@ -43,6 +47,29 @@ class CharacterizationCampaign
         ErrorIntegrator::Params integrator;
         /** Drive the PID thermal loop (false: temperatures are ideal). */
         bool useThermalLoop = true;
+        /** Retries granted to a failing sweep cell before quarantine.
+         *  Results are attempt-independent (the measurement seed never
+         *  depends on the attempt), so a recovered retry is
+         *  bit-identical to a first-try success. */
+        int taskRetries = 2;
+        /** true: a cell that exhausts its retries aborts the sweep
+         *  with par::BatchError (after siblings drain). false: the
+         *  cell is quarantined into the returned Measurement and
+         *  lastQuarantine(). */
+        bool failFast = false;
+        /** Non-empty: journal completed sweep cells here and resume
+         *  from any found on the next run (see core/checkpoint.hh). */
+        std::string checkpointDir;
+    };
+
+    /** One sweep cell that failed all its attempts. */
+    struct QuarantineEntry
+    {
+        std::size_t cell = 0;
+        std::string label; ///< workload label
+        std::string op;    ///< operating point label
+        int attempts = 0;
+        std::string error;
     };
 
     CharacterizationCampaign(sys::Platform &platform,
@@ -70,10 +97,23 @@ class CharacterizationCampaign
      * platform replicas (Platform::clone); results are committed in
      * (workload, point) order, so the returned vector is bit-identical
      * for any DFAULT_THREADS.
+     *
+     * Execution is resilient: a throwing cell is retried
+     * params_.taskRetries times, then (unless failFast) quarantined —
+     * its Measurement comes back with quarantined set and siblings
+     * are unaffected. With params_.checkpointDir set, completed cells
+     * are journaled and a re-run resumes from them (file comment of
+     * core/checkpoint.hh).
      */
     std::vector<Measurement>
     sweep(const std::vector<workloads::WorkloadConfig> &suite,
           const std::vector<dram::OperatingPoint> &points);
+
+    /** Cells quarantined by the most recent sweep(), in cell order. */
+    const std::vector<QuarantineEntry> &lastQuarantine() const
+    {
+        return lastQuarantine_;
+    }
 
     /**
      * Probability of a UE for each workload at @p op from @p repeats
@@ -88,11 +128,14 @@ class CharacterizationCampaign
     const Params &params() const { return params_; }
 
   private:
-    /** measure() against an explicit platform (a worker's replica). */
+    /** measure() against an explicit platform (a worker's replica).
+     *  @p attempt keys the fault-injection schedule only — results
+     *  never depend on it. */
     Measurement measureOn(sys::Platform &platform,
                           const workloads::WorkloadConfig &config,
                           const dram::OperatingPoint &op,
-                          std::uint64_t run_seed, dram::ErrorLog *log);
+                          std::uint64_t run_seed, dram::ErrorLog *log,
+                          int attempt = 0);
 
     /** The calling slot's platform: the campaign's own on the
      *  submitting thread, a lazily-built replica on pool workers. */
@@ -106,6 +149,7 @@ class CharacterizationCampaign
     ErrorIntegrator integrator_;
     /** Per-slot platform replicas (index 0 unused: that is platform_). */
     std::vector<std::unique_ptr<sys::Platform>> replicas_;
+    std::vector<QuarantineEntry> lastQuarantine_;
 };
 
 /** The WER study's operating points: Fig 7's TREFP x temperature grid

@@ -1,7 +1,10 @@
 #include "core/dataset_builder.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "features/catalog.hh"
+#include "obs/stats.hh"
 
 namespace dfault::core {
 
@@ -33,6 +36,39 @@ sampleRow(const features::WorkloadProfile &profile,
     return row;
 }
 
+/**
+ * Final screen before a row enters a training set: reject NaN/inf
+ * features or targets, naming the offending feature. A corrupted
+ * measurement (e.g. an injected fault, or a model bug) must cost one
+ * sample and a warning, not silently poison the whole fit.
+ */
+bool
+admitSample(ml::Dataset &data, std::vector<double> row, double target,
+            const std::string &group)
+{
+    if (const auto bad = ml::firstNonFinite(row)) {
+        DFAULT_WARN("dataset: quarantining sample of ", group,
+                    ": feature '", data.featureNames()[*bad],
+                    "' is not finite");
+        obs::Registry::instance()
+            .counter("fi.quarantined_rows",
+                     "dataset rows dropped for non-finite values")
+            .inc();
+        return false;
+    }
+    if (!std::isfinite(target)) {
+        DFAULT_WARN("dataset: quarantining sample of ", group,
+                    ": target is not finite");
+        obs::Registry::instance()
+            .counter("fi.quarantined_rows",
+                     "dataset rows dropped for non-finite values")
+            .inc();
+        return false;
+    }
+    data.addSample(std::move(row), target, group);
+    return true;
+}
+
 } // namespace
 
 ml::Dataset
@@ -42,12 +78,17 @@ makeWerDataset(const std::vector<Measurement> &measurements, int device,
     const auto program_features = inputSetFeatures(set);
     ml::Dataset data(schema(set));
     for (const auto &m : measurements) {
+        if (m.quarantined) {
+            DFAULT_WARN("dataset: skipping quarantined measurement ",
+                        m.label, " at ", m.requested.label());
+            continue;
+        }
         if (m.run.crashed)
             continue;
         DFAULT_ASSERT(m.profile != nullptr, "measurement lost its profile");
-        data.addSample(sampleRow(*m.profile, m.requested,
-                                 program_features),
-                       m.run.werForDevice(device), m.label);
+        admitSample(data,
+                    sampleRow(*m.profile, m.requested, program_features),
+                    m.run.werForDevice(device), m.label);
     }
     return data;
 }
@@ -83,8 +124,9 @@ makePueDataset(CharacterizationCampaign &campaign,
             features::ProfileCache::instance().get(
                 campaign.platform(), sample.config,
                 campaign.params().workload);
-        data.addSample(sampleRow(profile, sample.op, program_features),
-                       sample.pue, sample.config.label);
+        admitSample(data,
+                    sampleRow(profile, sample.op, program_features),
+                    sample.pue, sample.config.label);
     }
     return data;
 }

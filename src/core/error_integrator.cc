@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/deferral.hh"
 #include "obs/stats.hh"
 
 namespace dfault::core {
@@ -394,22 +395,25 @@ ErrorIntegrator::run(const features::WorkloadProfile &profile,
             break;
     }
 
-    auto &reg = obs::Registry::instance();
-    reg.counter("integrator.runs", "characterization runs integrated")
-        .inc();
-    reg.counter("integrator.epochs", "one-minute epochs simulated")
-        .inc(result.werSeries.size());
+    // publish*() so campaign-cell deferrals (obs/deferral.hh) can
+    // capture the run's stats transactionally; outside a deferral
+    // these apply immediately, as before.
+    obs::publishCounter("integrator.runs",
+                        "characterization runs integrated");
+    obs::publishCounter("integrator.epochs", "one-minute epochs simulated",
+                        result.werSeries.size());
     double total_ce = 0.0;
     for (const double ce : result.cePerDevice)
         total_ce += ce;
-    reg.counter("dram.ce_unique_words",
-                "unique CE word locations (exposure-scaled)")
-        .inc(static_cast<std::uint64_t>(std::llround(total_ce)));
+    obs::publishCounter(
+        "dram.ce_unique_words",
+        "unique CE word locations (exposure-scaled)",
+        static_cast<std::uint64_t>(std::llround(total_ce)));
     if (result.crashed)
-        reg.counter("dram.ue_crashes", "runs ended by a UE").inc();
-    reg.gauge("dram.sdc_expected",
-              "cumulative expected SDC events")
-        .add(result.expectedSdc);
+        obs::publishCounter("dram.ue_crashes", "runs ended by a UE");
+    obs::publishGaugeAdd("dram.sdc_expected",
+                         "cumulative expected SDC events",
+                         result.expectedSdc);
 
     return result;
 }

@@ -1,13 +1,14 @@
 #include "core/report.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <map>
 #include <sstream>
 #include <vector>
 
 #include "common/logging.hh"
+#include "fi/durable.hh"
+#include "obs/json.hh"
 
 namespace dfault::core {
 
@@ -18,6 +19,12 @@ writeMeasurementsCsv(const std::vector<Measurement> &measurements,
     out << "benchmark,threads,trefp_s,vdd_v,temp_c,device,wer,crashed\n";
     out << std::setprecision(12);
     for (const auto &m : measurements) {
+        if (m.quarantined) {
+            DFAULT_WARN("report: omitting quarantined measurement ",
+                        m.label, " at ", m.requested.label(), ": ",
+                        m.failure);
+            continue;
+        }
         for (int d = 0; d < geometry.deviceCount(); ++d) {
             out << m.label << ',' << m.threads << ','
                 << m.requested.trefp << ',' << m.requested.vdd << ','
@@ -38,11 +45,11 @@ writeMeasurementsCsvFile(const std::vector<Measurement> &measurements,
                          const dram::Geometry &geometry,
                          const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        DFAULT_FATAL("report: cannot open '", path, "' for writing");
+    std::ostringstream out;
     writeMeasurementsCsv(measurements, geometry, out);
     if (!out)
+        DFAULT_FATAL("report: formatting rows for '", path, "' failed");
+    if (!fi::atomicWriteFile(path, out.str()))
         DFAULT_FATAL("report: write to '", path, "' failed");
 }
 
@@ -77,6 +84,8 @@ printWerTable(const std::vector<Measurement> &measurements,
             const auto it = table[row].find(op);
             if (it == table[row].end()) {
                 out << std::right << std::setw(30) << "-";
+            } else if (it->second->quarantined) {
+                out << std::right << std::setw(30) << "FAIL";
             } else if (it->second->run.crashed) {
                 out << std::right << std::setw(30) << "UE";
             } else {
@@ -88,6 +97,40 @@ printWerTable(const std::vector<Measurement> &measurements,
         }
         out << '\n';
     }
+}
+
+std::string
+quarantineJson(
+    const std::vector<CharacterizationCampaign::QuarantineEntry> &entries)
+{
+    std::string slots = "[";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        if (i > 0)
+            slots += ',';
+        obs::JsonWriter w;
+        w.field("cell", static_cast<std::uint64_t>(e.cell));
+        w.field("label", e.label);
+        w.field("op", e.op);
+        w.field("attempts", e.attempts);
+        w.field("error", e.error);
+        slots += w.str();
+    }
+    slots += ']';
+
+    obs::JsonWriter doc;
+    doc.field("quarantine_version", 1);
+    doc.field("count", static_cast<std::uint64_t>(entries.size()));
+    doc.fieldRaw("slots", slots);
+    return doc.str();
+}
+
+bool
+writeQuarantineFile(
+    const std::vector<CharacterizationCampaign::QuarantineEntry> &entries,
+    const std::string &path)
+{
+    return fi::atomicWriteFile(path, quarantineJson(entries) + "\n");
 }
 
 } // namespace dfault::core

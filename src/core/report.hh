@@ -18,16 +18,31 @@ namespace dfault::core {
 /**
  * Write one row per (measurement, device) with the columns
  * `benchmark,threads,trefp_s,vdd_v,temp_c,device,wer,crashed` plus a
- * final aggregate row per measurement (device = "all").
+ * final aggregate row per measurement (device = "all"). Quarantined
+ * measurements carry no data and are skipped (with a warning naming
+ * them); the quarantine report is the record of what is missing.
  */
 void writeMeasurementsCsv(const std::vector<Measurement> &measurements,
                           const dram::Geometry &geometry,
                           std::ostream &out);
 
-/** File variant; fatal() on I/O failure. */
+/** File variant: written atomically; fatal() on I/O failure. */
 void writeMeasurementsCsvFile(
     const std::vector<Measurement> &measurements,
     const dram::Geometry &geometry, const std::string &path);
+
+/**
+ * The quarantine report of a degrade-and-report sweep as one JSON
+ * document: {"quarantine_version":1,"count":k,"slots":[...]} with one
+ * slot object (cell, label, op, attempts, error) per quarantined cell.
+ */
+std::string quarantineJson(
+    const std::vector<CharacterizationCampaign::QuarantineEntry> &entries);
+
+/** Write quarantineJson() atomically. Returns false on I/O failure. */
+bool writeQuarantineFile(
+    const std::vector<CharacterizationCampaign::QuarantineEntry> &entries,
+    const std::string &path);
 
 /**
  * Render a benchmark x operating-point WER table (one row per

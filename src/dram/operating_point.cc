@@ -1,5 +1,6 @@
 #include "dram/operating_point.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -18,10 +19,29 @@ OperatingPoint::label() const
 void
 OperatingPoint::validate() const
 {
+    // Non-finite values would silently poison the retention model
+    // (every exp()/pow() of them is NaN), so they are rejected up
+    // front with the offending field named.
+    if (!std::isfinite(trefp))
+        DFAULT_FATAL("operating point: TREFP (key trefp_s) is not a "
+                     "finite number");
+    if (!std::isfinite(vdd))
+        DFAULT_FATAL("operating point: VDD (key vdd_v) is not a "
+                     "finite number");
+    if (!std::isfinite(temperature))
+        DFAULT_FATAL("operating point: temperature (key temp_c) is not "
+                     "a finite number");
     if (trefp <= 0.0)
         DFAULT_FATAL("operating point: TREFP must be positive, got ", trefp);
+    if (trefp > 10.0)
+        DFAULT_FATAL("operating point: TREFP ", trefp,
+                     " s is beyond the modeled range (the paper sweeps "
+                     "up to ", kMaxTrefp, " s)");
     if (vdd <= 0.0)
         DFAULT_FATAL("operating point: VDD must be positive, got ", vdd);
+    if (vdd < 0.8 || vdd > 2.5)
+        DFAULT_FATAL("operating point: VDD ", vdd,
+                     " V is outside the modeled DDR3 range [0.8, 2.5]");
     if (vdd < 1.0 || vdd > 2.0)
         DFAULT_WARN("operating point: VDD ", vdd,
                     " V is outside the DDR3 plausible range");

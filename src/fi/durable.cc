@@ -1,0 +1,102 @@
+#include "fi/durable.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fi/injector.hh"
+
+namespace dfault::fi {
+
+namespace {
+
+constexpr int kMaxAttempts = 3;
+
+/**
+ * One write-temp-fsync-rename attempt. @p attempt keys the io.* fault
+ * schedule so injected transient failures recover on retry.
+ */
+bool
+writeOnce(const std::string &path, const std::string &tmp,
+          std::string_view body, std::uint64_t key, int attempt)
+{
+    Injector &inj = Injector::instance();
+    if (inj.armed() && inj.shouldFire("io.open", key, attempt)) {
+        DFAULT_WARN("injected io.open failure for ", path);
+        return false;
+    }
+    std::FILE *out = std::fopen(tmp.c_str(), "w");
+    if (out == nullptr) {
+        DFAULT_WARN("cannot create ", tmp, ": ", std::strerror(errno));
+        return false;
+    }
+    bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
+    ok = ok && std::fflush(out) == 0;
+    if (ok && inj.armed() && inj.shouldFire("io.write", key, attempt)) {
+        DFAULT_WARN("injected io.write failure for ", path);
+        ok = false;
+    }
+    // fsync before rename: once the new name is visible it must also
+    // be durable, or a crash could leave an empty committed file.
+    ok = ok && ::fsync(fileno(out)) == 0;
+    if (std::fclose(out) != 0)
+        ok = false;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        DFAULT_WARN("cannot rename ", tmp, " to ", path, ": ",
+                    std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+atomicWriteFile(const std::string &path, std::string_view body)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const std::uint64_t key = fnv1a64(path);
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        if (writeOnce(path, tmp, body, key, attempt))
+            return true;
+    }
+    DFAULT_WARN("giving up on ", path, " after ", kMaxAttempts,
+                " attempts");
+    return false;
+}
+
+std::optional<std::string>
+readFile(const std::string &path, std::string *error)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr) {
+        if (error != nullptr)
+            *error = detail::concat("cannot open ", path, ": ",
+                                    std::strerror(errno));
+        return std::nullopt;
+    }
+    std::string body;
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        body.append(buf, got);
+    const bool bad = std::ferror(in) != 0;
+    std::fclose(in);
+    if (bad) {
+        if (error != nullptr)
+            *error = detail::concat("read error on ", path);
+        return std::nullopt;
+    }
+    return body;
+}
+
+} // namespace dfault::fi

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Durable, atomic artifact writes.
+ *
+ * Every artifact the pipeline emits (stats dumps, traces, manifests,
+ * CSV reports, model files, checkpoint cells) used to be written with
+ * a plain truncating stream: a crash mid-write left a corrupt file
+ * under the final name. atomicWriteFile() instead writes the full body
+ * to a sibling temporary, flushes and fsyncs it, then rename()s it
+ * over the destination — readers see either the old complete file or
+ * the new complete file, never a torn one.
+ *
+ * The helper is also a fault-injection surface: the io.open and
+ * io.write points simulate transient filesystem failures, which the
+ * helper absorbs with a bounded deterministic retry before giving up.
+ */
+
+#ifndef DFAULT_FI_DURABLE_HH
+#define DFAULT_FI_DURABLE_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dfault::fi {
+
+/**
+ * Atomically replace @p path with @p body (written verbatim). Returns
+ * false when the write ultimately fails; the destination is left
+ * untouched in that case and the temporary is removed.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view body);
+
+/**
+ * Read @p path fully. On failure returns nullopt and, when @p error is
+ * non-null, stores a message naming the path and cause.
+ */
+std::optional<std::string> readFile(const std::string &path,
+                                    std::string *error = nullptr);
+
+} // namespace dfault::fi
+
+#endif // DFAULT_FI_DURABLE_HH

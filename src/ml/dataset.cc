@@ -1,10 +1,20 @@
 #include "ml/dataset.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
 namespace dfault::ml {
+
+std::optional<std::size_t>
+firstNonFinite(std::span<const double> row)
+{
+    for (std::size_t j = 0; j < row.size(); ++j)
+        if (!std::isfinite(row[j]))
+            return j;
+    return std::nullopt;
+}
 
 Dataset::Dataset(std::vector<std::string> feature_names)
     : featureNames_(std::move(feature_names))

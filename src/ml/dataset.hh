@@ -10,6 +10,7 @@
 #ifndef DFAULT_ML_DATASET_HH
 #define DFAULT_ML_DATASET_HH
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +19,15 @@ namespace dfault::ml {
 
 /** Row-major numeric matrix. */
 using Matrix = std::vector<std::vector<double>>;
+
+/**
+ * Index of the first NaN/inf entry in @p row, or nullopt when every
+ * value is finite. A non-finite feature silently poisons every model
+ * that trains on it (distances, gains, and means all become NaN), so
+ * builders and loaders screen rows with this before ingesting them and
+ * report the offending feature by name.
+ */
+std::optional<std::size_t> firstNonFinite(std::span<const double> row);
 
 /** See file comment. */
 class Dataset

@@ -1,10 +1,12 @@
 #include "ml/io.hh"
 
-#include <fstream>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "fi/durable.hh"
 
 namespace dfault::ml {
 
@@ -21,6 +23,79 @@ splitCsvLine(const std::string &line)
     if (!line.empty() && line.back() == ',')
         fields.emplace_back();
     return fields;
+}
+
+/**
+ * Shared parser core behind readCsv (fatal) and tryReadCsvFile
+ * (non-fatal): true on success, false with a one-line description in
+ * @p error otherwise.
+ */
+bool
+parseCsv(std::istream &in, Dataset *out, std::string *error)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        *error = "missing header row";
+        return false;
+    }
+
+    auto header = splitCsvLine(line);
+    if (header.size() < 2 || header[header.size() - 2] != "target" ||
+        header.back() != "group") {
+        *error = "header must end in 'target,group'";
+        return false;
+    }
+    header.pop_back(); // group
+    header.pop_back(); // target
+
+    Dataset data(header);
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto fields = splitCsvLine(line);
+        if (fields.size() != header.size() + 2) {
+            *error = detail::concat("line ", line_no, " has ",
+                                    fields.size(), " fields, expected ",
+                                    header.size() + 2);
+            return false;
+        }
+        std::vector<double> row;
+        row.reserve(header.size());
+        for (std::size_t j = 0; j < header.size(); ++j) {
+            char *end = nullptr;
+            row.push_back(std::strtod(fields[j].c_str(), &end));
+            if (end == fields[j].c_str()) {
+                *error = detail::concat("line ", line_no,
+                                        ": bad number '", fields[j],
+                                        "'");
+                return false;
+            }
+        }
+        if (const auto bad = firstNonFinite(row)) {
+            *error = detail::concat("line ", line_no, ": feature '",
+                                    header[*bad], "' is not finite (",
+                                    fields[*bad], ")");
+            return false;
+        }
+        char *end = nullptr;
+        const double target =
+            std::strtod(fields[header.size()].c_str(), &end);
+        if (end == fields[header.size()].c_str()) {
+            *error = detail::concat("line ", line_no, ": bad target");
+            return false;
+        }
+        if (!std::isfinite(target)) {
+            *error = detail::concat("line ", line_no,
+                                    ": target is not finite (",
+                                    fields[header.size()], ")");
+            return false;
+        }
+        data.addSample(std::move(row), target, fields.back());
+    }
+    *out = std::move(data);
+    return true;
 }
 
 } // namespace
@@ -52,65 +127,56 @@ writeCsv(const Dataset &data, std::ostream &out)
 void
 writeCsvFile(const Dataset &data, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        DFAULT_FATAL("csv: cannot open '", path, "' for writing");
+    std::ostringstream out;
     writeCsv(data, out);
     if (!out)
+        DFAULT_FATAL("csv: formatting rows for '", path, "' failed");
+    if (!fi::atomicWriteFile(path, out.str()))
         DFAULT_FATAL("csv: write to '", path, "' failed");
 }
 
 Dataset
 readCsv(std::istream &in)
 {
-    std::string line;
-    if (!std::getline(in, line))
-        DFAULT_FATAL("csv: missing header row");
-
-    auto header = splitCsvLine(line);
-    if (header.size() < 2 || header[header.size() - 2] != "target" ||
-        header.back() != "group") {
-        DFAULT_FATAL("csv: header must end in 'target,group'");
-    }
-    header.pop_back(); // group
-    header.pop_back(); // target
-
-    Dataset data(header);
-    std::size_t line_no = 1;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty())
-            continue;
-        const auto fields = splitCsvLine(line);
-        if (fields.size() != header.size() + 2)
-            DFAULT_FATAL("csv: line ", line_no, " has ", fields.size(),
-                         " fields, expected ", header.size() + 2);
-        std::vector<double> row;
-        row.reserve(header.size());
-        for (std::size_t j = 0; j < header.size(); ++j) {
-            char *end = nullptr;
-            row.push_back(std::strtod(fields[j].c_str(), &end));
-            if (end == fields[j].c_str())
-                DFAULT_FATAL("csv: line ", line_no,
-                             ": bad number '", fields[j], "'");
-        }
-        char *end = nullptr;
-        const double target =
-            std::strtod(fields[header.size()].c_str(), &end);
-        if (end == fields[header.size()].c_str())
-            DFAULT_FATAL("csv: line ", line_no, ": bad target");
-        data.addSample(std::move(row), target, fields.back());
-    }
+    Dataset data;
+    std::string error;
+    if (!parseCsv(in, &data, &error))
+        DFAULT_FATAL("csv: ", error);
     return data;
 }
 
 Dataset
 readCsvFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        DFAULT_FATAL("csv: cannot open '", path, "' for reading");
-    return readCsv(in);
+    std::string error;
+    auto body = fi::readFile(path, &error);
+    if (!body)
+        DFAULT_FATAL("csv: ", error);
+    std::istringstream in(*body);
+    Dataset data;
+    if (!parseCsv(in, &data, &error))
+        DFAULT_FATAL("csv: '", path, "': ", error);
+    return data;
+}
+
+std::optional<Dataset>
+tryReadCsvFile(const std::string &path, std::string *error)
+{
+    std::string why;
+    auto body = fi::readFile(path, &why);
+    if (!body) {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    }
+    std::istringstream in(*body);
+    Dataset data;
+    if (!parseCsv(in, &data, &why)) {
+        if (error)
+            *error = detail::concat("'", path, "': ", why);
+        return std::nullopt;
+    }
+    return data;
 }
 
 } // namespace dfault::ml

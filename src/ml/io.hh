@@ -16,6 +16,7 @@
 #define DFAULT_ML_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "ml/dataset.hh"
@@ -25,14 +26,30 @@ namespace dfault::ml {
 /** Serialize @p data as CSV to a stream. */
 void writeCsv(const Dataset &data, std::ostream &out);
 
-/** Serialize @p data as CSV to @p path; fatal() on I/O failure. */
+/**
+ * Serialize @p data as CSV to @p path; fatal() on I/O failure. The
+ * file is written atomically (write-temp, fsync, rename), so a crash
+ * mid-write never leaves a truncated dataset behind.
+ */
 void writeCsvFile(const Dataset &data, const std::string &path);
 
-/** Parse a dataset from CSV; fatal() on malformed input. */
+/**
+ * Parse a dataset from CSV; fatal() on malformed input, including
+ * rows whose features or target are NaN/inf (the diagnostic names the
+ * offending column and line).
+ */
 Dataset readCsv(std::istream &in);
 
 /** Parse a dataset from the CSV file at @p path. */
 Dataset readCsvFile(const std::string &path);
+
+/**
+ * Non-fatal load: returns std::nullopt — with a one-line description
+ * in @p error when non-null — instead of aborting, for callers that
+ * can degrade when a dataset file is missing, truncated, or garbage.
+ */
+std::optional<Dataset> tryReadCsvFile(const std::string &path,
+                                      std::string *error = nullptr);
 
 } // namespace dfault::ml
 

@@ -50,6 +50,11 @@ EventSink::close()
     enabled_.store(false, std::memory_order_relaxed);
     if (out_ != nullptr) {
         std::fflush(out_);
+        // JSONL is append-only, so there is no atomic-replace story
+        // here; the best we can do is notice a torn stream and say so.
+        if (owned_ && std::ferror(out_) != 0)
+            DFAULT_WARN("event stream had write errors; "
+                        "the JSONL tail may be truncated");
         if (owned_)
             std::fclose(out_);
     }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ctime>
 
+#include "common/rng.hh"
+#include "fi/durable.hh"
 #include "obs/json.hh"
 #include "obs/stats.hh"
 
@@ -14,18 +16,6 @@
 namespace dfault::obs {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void
-fnv1a(std::uint64_t &hash, std::string_view bytes)
-{
-    for (const char c : bytes) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= kFnvPrime;
-    }
-}
 
 std::string
 isoTimestamp()
@@ -45,11 +35,14 @@ bool
 digestExcludes(const std::string &name)
 {
     // time.* is pure wall clock; par.* depends on scheduling (steal
-    // counts, per-phase seconds); anything measured in seconds is
-    // host-speed-dependent wherever it lives; last_* gauges are
-    // last-writer-wins snapshots, so their final value depends on
-    // which task published last.
+    // counts, per-phase seconds); fi.* records fault-injection and
+    // recovery activity (retries, quarantines, checkpoint restores),
+    // which varies between a faulted and a clean run of the same
+    // config; anything measured in seconds is host-speed-dependent
+    // wherever it lives; last_* gauges are last-writer-wins snapshots,
+    // so their final value depends on which task published last.
     return name.starts_with("time.") || name.starts_with("par.") ||
+           name.starts_with("fi.") ||
            name.find("seconds") != std::string::npos ||
            name.find("last_") != std::string::npos;
 }
@@ -59,20 +52,20 @@ statsDigest(const Registry *registry)
 {
     const Registry &reg =
         registry != nullptr ? *registry : Registry::instance();
-    std::uint64_t hash = kFnvOffset;
+    std::uint64_t hash = kFnvOffset64;
     for (const std::string &name : reg.names()) {
         if (digestExcludes(name))
             continue;
-        fnv1a(hash, name);
-        fnv1a(hash, "=");
+        hash = fnv1a64(name, hash);
+        hash = fnv1a64("=", hash);
         // 9 significant digits: enough to catch any real drift, few
         // enough that float-sum reassociation across thread counts
         // (last-ulp differences in distribution means and accumulated
         // gauges) cannot perturb the digest.
         char value[40];
         std::snprintf(value, sizeof(value), "%.9g", reg.value(name));
-        fnv1a(hash, value);
-        fnv1a(hash, "\n");
+        hash = fnv1a64(value, hash);
+        hash = fnv1a64("\n", hash);
     }
     return hash;
 }
@@ -151,14 +144,7 @@ bool
 writeManifestFile(const std::string &path, const ManifestInfo &info,
                   const Registry *registry)
 {
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (out == nullptr)
-        return false;
-    const std::string body = manifestJson(info, registry);
-    std::fwrite(body.data(), 1, body.size(), out);
-    std::fputc('\n', out);
-    std::fclose(out);
-    return true;
+    return fi::atomicWriteFile(path, manifestJson(info, registry) + "\n");
 }
 
 } // namespace dfault::obs

@@ -1,9 +1,11 @@
 #include "obs/stats.hh"
 
 #include <cctype>
+#include <cstdlib>
 #include <limits>
 
 #include "common/logging.hh"
+#include "fi/durable.hh"
 #include "obs/json.hh"
 
 namespace dfault::obs {
@@ -413,20 +415,27 @@ Registry::toJson() const
 bool
 Registry::writeFile(const std::string &path) const
 {
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (out == nullptr)
-        return false;
     const bool json = path.size() >= 5 &&
                       path.compare(path.size() - 5, 5, ".json") == 0;
+    std::string body;
     if (json) {
-        const std::string body = toJson();
-        std::fwrite(body.data(), 1, body.size(), out);
-        std::fputc('\n', out);
+        body = toJson();
+        body += '\n';
     } else {
-        dumpText(out);
+        // Render the text dump into memory so the file write goes
+        // through the atomic temp-fsync-rename path like every other
+        // artifact.
+        char *buf = nullptr;
+        std::size_t len = 0;
+        std::FILE *mem = open_memstream(&buf, &len);
+        if (mem == nullptr)
+            return false;
+        dumpText(mem);
+        std::fclose(mem);
+        body.assign(buf, len);
+        std::free(buf);
     }
-    std::fclose(out);
-    return true;
+    return fi::atomicWriteFile(path, body);
 }
 
 } // namespace dfault::obs

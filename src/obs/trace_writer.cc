@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "fi/durable.hh"
 #include "obs/json.hh"
 #include "obs/stats.hh"
 
@@ -187,14 +188,7 @@ bool
 writeTraceFile(const std::string &path,
                const std::vector<TraceEntry> &entries)
 {
-    std::FILE *out = std::fopen(path.c_str(), "w");
-    if (out == nullptr)
-        return false;
-    const std::string body = traceJson(entries);
-    std::fwrite(body.data(), 1, body.size(), out);
-    std::fputc('\n', out);
-    std::fclose(out);
-    return true;
+    return fi::atomicWriteFile(path, traceJson(entries) + "\n");
 }
 
 void

@@ -1,11 +1,13 @@
 #include "par/pool.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <optional>
 #include <string>
 
 #include "common/logging.hh"
+#include "fi/injector.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
@@ -32,7 +34,7 @@ secondsSince(std::chrono::steady_clock::time_point start)
 /** One submitted parallelFor: shared body plus completion tracking. */
 struct Batch
 {
-    const std::function<void(std::size_t)> *body = nullptr;
+    const std::function<void(std::size_t, int)> *body = nullptr;
     /** Submitter's phase path; workers adopt it so nested ScopedTimers
      *  land under the same stats paths as the serial execution. */
     std::string phasePath;
@@ -40,12 +42,97 @@ struct Batch
      *  (and any spans opened inside the body) parent correctly across
      *  the dispatch boundary. 0 when tracing is disabled. */
     std::uint64_t parentSpan = 0;
+    int maxRetries = 0;
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::uint64_t> taskNanos{0};
     std::mutex mutex;
     std::condition_variable cv;
-    std::exception_ptr error;
+    std::vector<TaskFailure> failures; ///< guarded by mutex
 };
+
+namespace {
+
+std::string
+batchErrorMessage(const std::vector<TaskFailure> &failures)
+{
+    std::string msg = "parallel batch: " +
+                      std::to_string(failures.size()) + " task(s) failed:";
+    std::size_t shown = 0;
+    for (const TaskFailure &f : failures) {
+        if (shown++ == 8) {
+            msg += " ...";
+            break;
+        }
+        msg += " [" + std::to_string(f.index) + "] " + f.error + ";";
+    }
+    return msg;
+}
+
+/**
+ * Execute one index with the batch's retry budget. Never throws: a
+ * fully failed index is recorded in batch.failures instead, so one bad
+ * task cannot take its chunk siblings down with it.
+ */
+void
+runIndex(Batch &batch, std::size_t i)
+{
+    auto &inj = fi::Injector::instance();
+    for (int attempt = 0;; ++attempt) {
+        std::string error;
+        try {
+            if (inj.armed())
+                inj.maybeThrow("task.throw",
+                               static_cast<std::uint64_t>(i), attempt);
+            (*batch.body)(i, attempt);
+            return;
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "non-standard exception";
+        }
+        if (attempt < batch.maxRetries) {
+            obs::Registry::instance()
+                .counter("par.task_retries",
+                         "task attempts retried after a failure")
+                .inc();
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        batch.failures.push_back({i, attempt + 1, std::move(error)});
+        return;
+    }
+}
+
+/**
+ * Post-drain bookkeeping shared by the inline and pooled paths:
+ * deterministic failure order, failure stats, fail-fast throw.
+ */
+std::vector<TaskFailure>
+finishBatch(Batch &batch, const ResilienceOptions &opts)
+{
+    std::vector<TaskFailure> failures = std::move(batch.failures);
+    if (failures.empty())
+        return failures;
+    std::sort(failures.begin(), failures.end(),
+              [](const TaskFailure &a, const TaskFailure &b) {
+                  return a.index < b.index;
+              });
+    obs::Registry::instance()
+        .counter("par.task_failures",
+                 "tasks quarantined after exhausting retries")
+        .inc(failures.size());
+    if (opts.failFast)
+        throw BatchError(std::move(failures));
+    return failures;
+}
+
+} // namespace
+
+BatchError::BatchError(std::vector<TaskFailure> failures)
+    : std::runtime_error(batchErrorMessage(failures)),
+      failures_(std::move(failures))
+{
+}
 
 int
 defaultThreads()
@@ -112,8 +199,18 @@ void
 Pool::parallelFor(std::size_t n,
                   const std::function<void(std::size_t)> &body)
 {
+    const std::function<void(std::size_t, int)> wrapped =
+        [&body](std::size_t i, int) { body(i); };
+    parallelForResilient(n, wrapped, ResilienceOptions{});
+}
+
+std::vector<TaskFailure>
+Pool::parallelForResilient(std::size_t n,
+                           const std::function<void(std::size_t, int)> &body,
+                           const ResilienceOptions &opts)
+{
     if (n == 0)
-        return;
+        return {};
 
     auto &reg = obs::Registry::instance();
     const std::string phase = obs::ScopedTimer::currentPath();
@@ -125,20 +222,21 @@ Pool::parallelFor(std::size_t n,
         const bool adopt_slot = t_slot < 0;
         if (adopt_slot)
             t_slot = 0;
+        Batch batch;
+        batch.body = &body;
+        batch.phasePath = phase;
+        batch.maxRetries = opts.maxRetries;
         const auto start = std::chrono::steady_clock::now();
-        try {
+        {
             // The whole inline range counts as one executed task (it
             // increments par.tasks_executed once below), so it also
-            // records exactly one task span.
+            // records exactly one task span. runIndex never throws,
+            // so the loop always drains the full range.
             std::optional<obs::ScopedSpan> span;
             if (adopt_slot && obs::SpanTracer::instance().enabled())
                 span.emplace("task", phase);
             for (std::size_t i = 0; i < n; ++i)
-                body(i);
-        } catch (...) {
-            if (adopt_slot)
-                t_slot = -1;
-            throw;
+                runIndex(batch, i);
         }
         if (adopt_slot) {
             t_slot = -1;
@@ -149,7 +247,7 @@ Pool::parallelFor(std::size_t n,
                 .inc();
             publishPhaseStats(phase, wall, wall);
         }
-        return;
+        return finishBatch(batch, opts);
     }
 
     std::lock_guard<std::mutex> submit(submitMutex_);
@@ -160,6 +258,7 @@ Pool::parallelFor(std::size_t n,
     Batch batch;
     batch.body = &body;
     batch.phasePath = phase;
+    batch.maxRetries = opts.maxRetries;
     if (tracer.enabled())
         batch.parentSpan = obs::SpanTracer::currentSpan();
 
@@ -219,8 +318,7 @@ Pool::parallelFor(std::size_t n,
             1e-9,
         wall);
 
-    if (batch.error)
-        std::rethrow_exception(batch.error);
+    return finishBatch(batch, opts);
 }
 
 void
@@ -302,7 +400,7 @@ Pool::runTask(const Task &task)
     if (t_slot > 0 && batch.parentSpan != 0)
         span_parent.emplace(batch.parentSpan);
 
-    try {
+    {
         std::optional<obs::ScopedSpan> span;
         if (obs::SpanTracer::instance().enabled()) {
             span.emplace("task", batch.phasePath);
@@ -314,12 +412,10 @@ Pool::runTask(const Task &task)
                     batch.phasePath);
             }
         }
+        // runIndex never throws: each index retries, then quarantines
+        // into batch.failures, so the chunk always runs to completion.
         for (std::size_t i = task.begin; i < task.end; ++i)
-            (*batch.body)(i);
-    } catch (...) {
-        std::lock_guard<std::mutex> lock(batch.mutex);
-        if (!batch.error)
-            batch.error = std::current_exception();
+            runIndex(batch, i);
     }
     span_parent.reset();
     adopted.reset();

@@ -46,10 +46,57 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace dfault::par {
+
+/** One task of a batch that failed every attempt it was given. */
+struct TaskFailure
+{
+    std::size_t index = 0; ///< index within the submitted [0, n) range
+    int attempts = 0;      ///< executions performed (1 + retries)
+    std::string error;     ///< what() of the final attempt
+};
+
+/**
+ * Thrown when a fail-fast batch had failing tasks. Unlike the old
+ * first-exception-wins rethrow, every failed slot is reported: the
+ * message lists each failing index with its error, and failures()
+ * exposes them programmatically, sorted by index.
+ */
+class BatchError : public std::runtime_error
+{
+  public:
+    explicit BatchError(std::vector<TaskFailure> failures);
+
+    const std::vector<TaskFailure> &failures() const { return failures_; }
+
+  private:
+    std::vector<TaskFailure> failures_;
+};
+
+/** Failure policy for parallelForResilient(). */
+struct ResilienceOptions
+{
+    /**
+     * Extra attempts given to a failing index before it is
+     * quarantined. The body sees the attempt number and must key any
+     * *fault* randomness on it while keeping its *result* randomness
+     * attempt-independent, so a recovered retry is bit-identical to a
+     * first-try success.
+     */
+    int maxRetries = 0;
+
+    /**
+     * true: throw BatchError after the batch drains (siblings still
+     * ran to completion). false: return the quarantined tasks and let
+     * the caller degrade gracefully.
+     */
+    bool failFast = true;
+};
 
 /**
  * Threads a fresh pool uses by default: the DFAULT_THREADS environment
@@ -101,12 +148,27 @@ class Pool
      *
      * The body must be safe to call concurrently for distinct indices
      * and must derive any randomness from its index (file comment).
-     * Exceptions thrown by the body are rethrown (the first one, by
-     * completion order) after the batch drains. Top-level calls are
+     * A throwing index never aborts its siblings: the whole batch
+     * drains, then a BatchError aggregating every failed index (not
+     * just the first, as before) is thrown. Top-level calls are
      * serialized against each other; nested calls run inline.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * parallelFor with per-task failure isolation: a failing index is
+     * retried up to opts.maxRetries times (the body receives the
+     * attempt number), then quarantined. With opts.failFast the
+     * drained batch throws BatchError; otherwise the quarantined
+     * tasks are returned, sorted by index, and the caller decides
+     * what a missing slot means. Either way sibling tasks always run
+     * to completion.
+     */
+    std::vector<TaskFailure>
+    parallelForResilient(std::size_t n,
+                         const std::function<void(std::size_t, int)> &body,
+                         const ResilienceOptions &opts = {});
 
     /**
      * parallelFor committing fn(i) into slot i of the returned vector.

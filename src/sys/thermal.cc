@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/deferral.hh"
 #include "obs/events.hh"
 #include "obs/stats.hh"
 
@@ -149,15 +150,16 @@ ThermalTestbed::stepUntilSettled(int max_steps)
         }
     }
 
-    auto &reg = obs::Registry::instance();
-    reg.counter("thermal.settles", "PID settle attempts").inc();
-    reg.distribution("thermal.settle_steps", 0.0, 20000.0, 40,
-                     "control steps until the PID loop converged")
-        .record(static_cast<double>(steps));
+    // publish*() so campaign-cell deferrals (obs/deferral.hh) can
+    // capture the settle stats transactionally; outside a deferral
+    // these apply immediately, as before.
+    obs::publishCounter("thermal.settles", "PID settle attempts");
+    obs::publishDistribution("thermal.settle_steps", 0.0, 20000.0, 40,
+                             "control steps until the PID loop converged",
+                             static_cast<double>(steps));
     if (!settled)
-        reg.counter("thermal.settle_failures",
-                    "settle attempts that hit the step limit")
-            .inc();
+        obs::publishCounter("thermal.settle_failures",
+                            "settle attempts that hit the step limit");
     auto &sink = obs::EventSink::instance();
     if (sink.enabled()) {
         double mean_temp = 0.0, mean_target = 0.0;

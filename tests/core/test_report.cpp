@@ -87,7 +87,7 @@ TEST(ReportDeath, UnwritablePathIsFatal)
     EXPECT_EXIT(writeMeasurementsCsvFile(fakeMeasurements(geometry),
                                          geometry,
                                          "/no/such/dir/report.csv"),
-                ::testing::ExitedWithCode(1), "cannot open");
+                ::testing::ExitedWithCode(1), "write to");
 }
 
 } // namespace

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Campaign-level resilience tests: quarantine semantics of a faulted
+ * sweep, retry recovery producing bit-identical results, checkpoint
+ * resume (including a real mid-sweep kill), and stats-digest equality
+ * between interrupted and uninterrupted runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "core/checkpoint.hh"
+#include "core/dataset_builder.hh"
+#include "features/extractor.hh"
+#include "fi/injector.hh"
+#include "obs/manifest.hh"
+#include "obs/stats.hh"
+#include "par/pool.hh"
+
+namespace dfault::core {
+namespace {
+
+sys::Platform::Params
+smallPlatform()
+{
+    sys::Platform::Params p;
+    p.hierarchy.l1.sizeBytes = 16 * 1024;
+    p.hierarchy.l2.sizeBytes = 1 << 20;
+    p.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+    return p;
+}
+
+CharacterizationCampaign::Params
+smallParams()
+{
+    CharacterizationCampaign::Params p;
+    p.workload.footprintBytes = 2 << 20;
+    p.workload.workScale = 0.25;
+    p.integrator.epochs = 20;
+    p.useThermalLoop = false;
+    return p;
+}
+
+const std::vector<workloads::WorkloadConfig> kSuite{
+    {"kmeans", 8, "kmeans(par)"}, {"srad", 1, "srad"}};
+const std::vector<dram::OperatingPoint> kPoints{
+    {1.173, 1.428, 50.0}, {2.283, 1.428, 60.0}};
+
+/** Fresh stats + profile cache, so runs can be digest-compared. */
+void
+resetObservability()
+{
+    obs::Registry::instance().resetAll();
+    features::ProfileCache::instance().clear();
+}
+
+std::vector<double>
+wers(const std::vector<Measurement> &measurements)
+{
+    std::vector<double> out;
+    out.reserve(measurements.size());
+    for (const auto &m : measurements)
+        out.push_back(m.quarantined ? -1.0 : m.run.wer());
+    return out;
+}
+
+struct CampaignResilienceTest : ::testing::Test
+{
+    std::string dir = ::testing::TempDir() + "dfault_resume_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+
+    void TearDown() override
+    {
+        fi::Injector::instance().disarm();
+        std::filesystem::remove_all(dir);
+    }
+};
+
+TEST_F(CampaignResilienceTest, AllFailingCellsQuarantineWithoutAborting)
+{
+    // campaign.hang fires on every attempt of every cell; with all
+    // retries exhausted the whole grid is quarantined — and the sweep
+    // still returns instead of throwing.
+    fi::Injector::instance().arm("campaign.hang");
+    sys::Platform platform(smallPlatform());
+    auto params = smallParams();
+    params.taskRetries = 1;
+    CharacterizationCampaign campaign(platform, params);
+
+    const auto measurements = campaign.sweep(kSuite, kPoints);
+    ASSERT_EQ(measurements.size(), 4u);
+    for (const auto &m : measurements) {
+        EXPECT_TRUE(m.quarantined);
+        EXPECT_NE(m.failure.find("campaign.hang"), std::string::npos);
+        EXPECT_FALSE(m.label.empty());
+    }
+    const auto &report = campaign.lastQuarantine();
+    ASSERT_EQ(report.size(), 4u);
+    EXPECT_EQ(report[0].cell, 0u);
+    EXPECT_EQ(report[0].attempts, 2); // 1 + taskRetries
+    EXPECT_EQ(report[3].cell, 3u);
+}
+
+TEST_F(CampaignResilienceTest, RetriedFaultsYieldBitIdenticalResults)
+{
+    sys::Platform platform(smallPlatform());
+    CharacterizationCampaign clean(platform, smallParams());
+    const auto reference = wers(clean.sweep(kSuite, kPoints));
+
+    // Every cell fails its first attempt; one retry recovers all of
+    // them and the recovered results match the clean run exactly.
+    fi::Injector::instance().arm("campaign.hang:max_attempt=1");
+    sys::Platform platform2(smallPlatform());
+    auto params = smallParams();
+    params.taskRetries = 1;
+    CharacterizationCampaign faulted(platform2, params);
+    const auto measurements = faulted.sweep(kSuite, kPoints);
+
+    EXPECT_TRUE(faulted.lastQuarantine().empty());
+    EXPECT_EQ(wers(measurements), reference);
+    EXPECT_GE(fi::Injector::instance().firedCount("campaign.hang"), 4u);
+}
+
+TEST_F(CampaignResilienceTest, FailFastSweepThrowsBatchError)
+{
+    fi::Injector::instance().arm("campaign.hang");
+    sys::Platform platform(smallPlatform());
+    auto params = smallParams();
+    params.taskRetries = 0;
+    params.failFast = true;
+    CharacterizationCampaign campaign(platform, params);
+    EXPECT_THROW((void)campaign.sweep(kSuite, kPoints), par::BatchError);
+}
+
+TEST_F(CampaignResilienceTest, CorruptedMeasurementsAreKeptOutOfDatasets)
+{
+    fi::Injector::instance().arm("measure.nan");
+    sys::Platform platform(smallPlatform());
+    CharacterizationCampaign campaign(platform, smallParams());
+    const auto m =
+        campaign.measure({"srad", 1, "srad"}, {1.173, 1.428, 50.0});
+    ASSERT_FALSE(m.run.werSeries.empty());
+    EXPECT_TRUE(std::isnan(m.run.werSeries.back()));
+    fi::Injector::instance().disarm();
+
+    // The NaN target is quarantined at dataset assembly, not trained on.
+    const auto data = makeWerDataset({m}, 0, InputSet::Set1);
+    EXPECT_EQ(data.size(), 0u);
+}
+
+TEST_F(CampaignResilienceTest, ResumeReproducesResultsAndStatsDigest)
+{
+    sys::Platform platform(smallPlatform());
+    auto params = smallParams();
+    params.checkpointDir = dir;
+
+    resetObservability();
+    CharacterizationCampaign first(platform, params);
+    const auto full = first.sweep(kSuite, kPoints);
+    const std::uint64_t full_digest = obs::statsDigest();
+
+    // Lose two of the four journaled cells, as if the campaign had
+    // been killed mid-sweep, then resume into a fresh campaign.
+    ASSERT_TRUE(std::filesystem::remove(dir + "/cell-000001.json"));
+    ASSERT_TRUE(std::filesystem::remove(dir + "/cell-000003.json"));
+
+    resetObservability();
+    sys::Platform platform2(smallPlatform());
+    CharacterizationCampaign resumed(platform2, params);
+    const auto again = resumed.sweep(kSuite, kPoints);
+    const std::uint64_t resumed_digest = obs::statsDigest();
+
+    ASSERT_EQ(again.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(again[i].label, full[i].label);
+        ASSERT_EQ(again[i].run.werSeries.size(),
+                  full[i].run.werSeries.size());
+        for (std::size_t e = 0; e < full[i].run.werSeries.size(); ++e)
+            EXPECT_EQ(again[i].run.werSeries[e],
+                      full[i].run.werSeries[e])
+                << "cell " << i << " epoch " << e;
+        ASSERT_NE(again[i].profile, nullptr);
+    }
+    EXPECT_EQ(resumed_digest, full_digest)
+        << "resumed sweep must reach a bit-identical stats digest";
+}
+
+TEST_F(CampaignResilienceTest, DigestIsThreadCountIndependent)
+{
+    sys::Platform platform(smallPlatform());
+
+    par::Pool::setGlobalThreads(1);
+    resetObservability();
+    CharacterizationCampaign serial(platform, smallParams());
+    const auto serial_wers = wers(serial.sweep(kSuite, kPoints));
+    const std::uint64_t serial_digest = obs::statsDigest();
+
+    par::Pool::setGlobalThreads(8);
+    resetObservability();
+    sys::Platform platform2(smallPlatform());
+    CharacterizationCampaign parallel(platform2, smallParams());
+    const auto parallel_wers = wers(parallel.sweep(kSuite, kPoints));
+    const std::uint64_t parallel_digest = obs::statsDigest();
+
+    EXPECT_EQ(parallel_wers, serial_wers);
+    EXPECT_EQ(parallel_digest, serial_digest);
+}
+
+TEST_F(CampaignResilienceTest, KillMidSweepThenResumeCompletes)
+{
+    // threadsafe style re-execs the binary for the child, so the
+    // killed sweep runs against a fresh process (and a fresh pool)
+    // rather than a forked copy of this one.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // The child process arms sweep.kill and dies (by design) with the
+    // spec's exit code after journaling its third cell.
+    EXPECT_EXIT(
+        {
+            par::Pool::setGlobalThreads(1);
+            fi::Injector::instance().arm("sweep.kill:after=2,code=17");
+            sys::Platform killed(smallPlatform());
+            auto params = smallParams();
+            params.checkpointDir = dir;
+            CharacterizationCampaign campaign(killed, params);
+            (void)campaign.sweep(kSuite, kPoints);
+        },
+        ::testing::ExitedWithCode(17), "injected kill");
+
+    // The journal holds the cells completed before the kill.
+    std::size_t journaled = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir))
+        journaled += entry.path().filename().string().starts_with("cell-");
+    ASSERT_GE(journaled, 2u);
+    ASSERT_LT(journaled, 4u);
+
+    // Resuming (fault-free) completes the grid and matches a clean
+    // uninterrupted sweep bit-for-bit.
+    sys::Platform platform(smallPlatform());
+    auto params = smallParams();
+    params.checkpointDir = dir;
+    CharacterizationCampaign resumed(platform, params);
+    const auto measurements = resumed.sweep(kSuite, kPoints);
+
+    sys::Platform platform2(smallPlatform());
+    CharacterizationCampaign clean(platform2, smallParams());
+    EXPECT_EQ(wers(measurements), wers(clean.sweep(kSuite, kPoints)));
+    EXPECT_TRUE(resumed.lastQuarantine().empty());
+}
+
+} // namespace
+} // namespace dfault::core

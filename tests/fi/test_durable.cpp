@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the durable artifact writer: atomic replacement,
+ * injected I/O failures (transient and persistent), and the non-fatal
+ * file reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fi/durable.hh"
+#include "fi/injector.hh"
+
+namespace dfault::fi {
+namespace {
+
+struct DurableTest : ::testing::Test
+{
+    std::string path =
+        ::testing::TempDir() + "dfault_durable_" +
+        std::to_string(static_cast<long>(::getpid())) + ".txt";
+
+    void TearDown() override
+    {
+        Injector::instance().disarm();
+        std::remove(path.c_str());
+    }
+};
+
+TEST_F(DurableTest, WriteReadRoundTrip)
+{
+    ASSERT_TRUE(atomicWriteFile(path, "hello\nworld\n"));
+    std::string error;
+    const auto body = readFile(path, &error);
+    ASSERT_TRUE(body.has_value()) << error;
+    EXPECT_EQ(*body, "hello\nworld\n");
+}
+
+TEST_F(DurableTest, OverwriteReplacesAtomically)
+{
+    ASSERT_TRUE(atomicWriteFile(path, "first"));
+    ASSERT_TRUE(atomicWriteFile(path, "second"));
+    EXPECT_EQ(readFile(path).value_or(""), "second");
+    // No temp file is left behind.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    struct stat st;
+    EXPECT_NE(::stat(tmp.c_str(), &st), 0);
+}
+
+TEST_F(DurableTest, UnwritableDirectoryFails)
+{
+    EXPECT_FALSE(atomicWriteFile("/no/such/dir/file.txt", "x"));
+}
+
+TEST_F(DurableTest, PersistentFaultLeavesDestinationUntouched)
+{
+    ASSERT_TRUE(atomicWriteFile(path, "survivor"));
+    Injector::instance().arm("io.open");
+    EXPECT_FALSE(atomicWriteFile(path, "clobber"));
+    Injector::instance().disarm();
+    EXPECT_EQ(readFile(path).value_or(""), "survivor");
+}
+
+TEST_F(DurableTest, TransientFaultRecoversOnRetry)
+{
+    // max_attempt=1: the first in-process attempt fails, the internal
+    // retry succeeds — the caller never notices.
+    Injector::instance().arm("io.write:max_attempt=1");
+    EXPECT_TRUE(atomicWriteFile(path, "made it"));
+    EXPECT_EQ(Injector::instance().firedCount("io.write"), 1u);
+    EXPECT_EQ(readFile(path).value_or(""), "made it");
+}
+
+TEST_F(DurableTest, ReadMissingFileReturnsCleanError)
+{
+    std::string error;
+    EXPECT_FALSE(readFile(path + ".nope", &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(DurableTest, ReadPermissionDeniedReturnsCleanError)
+{
+    if (::geteuid() == 0)
+        GTEST_SKIP() << "running as root: chmod 000 is not enforced";
+    ASSERT_TRUE(atomicWriteFile(path, "secret"));
+    ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+    std::string error;
+    EXPECT_FALSE(readFile(path, &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+    ::chmod(path.c_str(), 0600);
+}
+
+TEST_F(DurableTest, EmptyBodyRoundTrips)
+{
+    ASSERT_TRUE(atomicWriteFile(path, ""));
+    const auto body = readFile(path);
+    ASSERT_TRUE(body.has_value());
+    EXPECT_TRUE(body->empty());
+}
+
+} // namespace
+} // namespace dfault::fi

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Load-path failure tests: truncated, garbage and permission-denied
+ * artifact files must produce clean, named errors — never crashes,
+ * silent empty results, or NaN-poisoned datasets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fi/durable.hh"
+#include "ml/io.hh"
+#include "obs/json.hh"
+
+namespace dfault {
+namespace {
+
+struct LoadErrorTest : ::testing::Test
+{
+    std::string path = ::testing::TempDir() + "dfault_load_" +
+                       std::to_string(static_cast<long>(::getpid()));
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    void write(const std::string &body)
+    {
+        ASSERT_TRUE(fi::atomicWriteFile(path, body));
+    }
+};
+
+TEST_F(LoadErrorTest, MissingDatasetReturnsCleanError)
+{
+    std::string error;
+    EXPECT_FALSE(ml::tryReadCsvFile(path + ".nope", &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(LoadErrorTest, TruncatedDatasetReturnsCleanError)
+{
+    // Header cut off mid-way: the target/group columns are missing.
+    write("alpha,beta");
+    std::string error;
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_NE(error.find("target,group"), std::string::npos);
+
+    // A row cut off mid-way.
+    write("alpha,target,group\n1.5,2e-7,backprop\n3.1,");
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_NE(error.find("fields"), std::string::npos);
+}
+
+TEST_F(LoadErrorTest, GarbageDatasetReturnsCleanError)
+{
+    write(std::string("\x7f\x45\x4c\x46\x02\x01\x01\0garbage", 15));
+    std::string error;
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(LoadErrorTest, NonFiniteFeatureIsNamedInTheError)
+{
+    write("alpha,beta,target,group\n1.0,nan,2e-7,backprop\n");
+    std::string error;
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_NE(error.find("beta"), std::string::npos)
+        << "error must name the offending feature: " << error;
+
+    write("alpha,beta,target,group\n1.0,2.0,inf,backprop\n");
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_NE(error.find("target"), std::string::npos);
+}
+
+TEST_F(LoadErrorTest, PermissionDeniedReturnsCleanError)
+{
+    if (::geteuid() == 0)
+        GTEST_SKIP() << "running as root: chmod 000 is not enforced";
+    write("alpha,target,group\n1,2,g\n");
+    ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+    std::string error;
+    EXPECT_FALSE(ml::tryReadCsvFile(path, &error).has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+    ::chmod(path.c_str(), 0600);
+}
+
+TEST_F(LoadErrorTest, ValidDatasetStillLoads)
+{
+    write("alpha,target,group\n1.25,2e-7,backprop\n");
+    std::string error;
+    const auto data = ml::tryReadCsvFile(path, &error);
+    ASSERT_TRUE(data.has_value()) << error;
+    EXPECT_EQ(data->size(), 1u);
+    EXPECT_DOUBLE_EQ(data->x()[0][0], 1.25);
+}
+
+TEST_F(LoadErrorTest, FatalReaderNamesTheFileAndProblem)
+{
+    write("alpha,target,group\n1.0,oops,g\n");
+    EXPECT_EXIT((void)ml::readCsvFile(path), ::testing::ExitedWithCode(1),
+                "bad target");
+    EXPECT_EXIT((void)ml::readCsvFile(path + ".gone"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(LoadErrorTest, JsonParserRejectsGarbageWithOffsets)
+{
+    std::string error;
+    EXPECT_FALSE(obs::jsonParse("{\"a\": 1,", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(obs::jsonParse("", &error).has_value());
+    EXPECT_FALSE(obs::jsonParse("{\"a\":1} trailing", &error).has_value());
+    EXPECT_TRUE(obs::jsonParse("{\"a\":1}", &error).has_value());
+}
+
+} // namespace
+} // namespace dfault

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for par::Pool failure isolation: error aggregation across a
+ * batch, retry-then-quarantine, and determinism of the failure set
+ * across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "fi/injector.hh"
+#include "par/pool.hh"
+
+namespace dfault::par {
+namespace {
+
+struct PoolResilienceTest : ::testing::Test
+{
+    void TearDown() override { fi::Injector::instance().disarm(); }
+};
+
+TEST_F(PoolResilienceTest, BatchErrorAggregatesEveryFailure)
+{
+    Pool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(16, [&](std::size_t i) {
+            if (i % 5 == 0)
+                throw std::runtime_error("task " + std::to_string(i));
+            ++completed;
+        });
+        FAIL() << "expected BatchError";
+    } catch (const BatchError &e) {
+        // Indices 0, 5, 10, 15 failed; everything else still ran.
+        ASSERT_EQ(e.failures().size(), 4u);
+        EXPECT_EQ(e.failures()[0].index, 0u);
+        EXPECT_EQ(e.failures()[1].index, 5u);
+        EXPECT_EQ(e.failures()[2].index, 10u);
+        EXPECT_EQ(e.failures()[3].index, 15u);
+        EXPECT_EQ(e.failures()[1].error, "task 5");
+        EXPECT_NE(std::string(e.what()).find("task 10"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(completed.load(), 12);
+}
+
+TEST_F(PoolResilienceTest, BatchErrorIsStillARuntimeError)
+{
+    Pool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     4, [](std::size_t) { throw std::logic_error("x"); }),
+                 std::runtime_error);
+}
+
+TEST_F(PoolResilienceTest, ResilientModeQuarantinesInsteadOfThrowing)
+{
+    Pool pool(4);
+    std::vector<int> results(12, -1);
+    const auto failures = pool.parallelForResilient(
+        12,
+        [&](std::size_t i, int) {
+            if (i == 3 || i == 7)
+                throw std::runtime_error("boom " + std::to_string(i));
+            results[i] = static_cast<int>(i);
+        },
+        {.maxRetries = 0, .failFast = false});
+
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].index, 3u);
+    EXPECT_EQ(failures[0].attempts, 1);
+    EXPECT_EQ(failures[0].error, "boom 3");
+    EXPECT_EQ(failures[1].index, 7u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == 3 || i == 7)
+            EXPECT_EQ(results[i], -1);
+        else
+            EXPECT_EQ(results[i], static_cast<int>(i));
+    }
+}
+
+TEST_F(PoolResilienceTest, RetriesRecoverTransientFailures)
+{
+    Pool pool(4);
+    std::vector<int> attempts_seen(8, -1);
+    const auto failures = pool.parallelForResilient(
+        8,
+        [&](std::size_t i, int attempt) {
+            // Every index fails its first attempt, succeeds on retry.
+            if (attempt == 0)
+                throw std::runtime_error("transient");
+            attempts_seen[i] = attempt;
+        },
+        {.maxRetries = 1, .failFast = false});
+    EXPECT_TRUE(failures.empty());
+    for (const int a : attempts_seen)
+        EXPECT_EQ(a, 1);
+}
+
+TEST_F(PoolResilienceTest, ExhaustedRetriesReportAttemptCount)
+{
+    Pool pool(2);
+    const auto failures = pool.parallelForResilient(
+        4,
+        [](std::size_t i, int) {
+            if (i == 2)
+                throw std::runtime_error("always");
+        },
+        {.maxRetries = 2, .failFast = false});
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].index, 2u);
+    EXPECT_EQ(failures[0].attempts, 3); // 1 + 2 retries
+}
+
+TEST_F(PoolResilienceTest, FailFastResilientThrowsAfterDraining)
+{
+    Pool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelForResilient(
+            10,
+            [&](std::size_t i, int) {
+                if (i == 4)
+                    throw std::runtime_error("fatal cell");
+                ++completed;
+            },
+            {.maxRetries = 0, .failFast = true});
+        FAIL() << "expected BatchError";
+    } catch (const BatchError &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].index, 4u);
+    }
+    EXPECT_EQ(completed.load(), 9);
+}
+
+TEST_F(PoolResilienceTest, InjectedTaskFaultsRecoverViaMaxAttempt)
+{
+    // task.throw is armed to fire on first attempts of every third
+    // index; one retry clears all of them.
+    fi::Injector::instance().arm("task.throw:every=3,max_attempt=1");
+    Pool pool(4);
+    std::vector<int> results(9, -1);
+    const auto failures = pool.parallelForResilient(
+        9,
+        [&](std::size_t i, int) { results[i] = static_cast<int>(i); },
+        {.maxRetries = 1, .failFast = false});
+    EXPECT_TRUE(failures.empty());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i));
+    EXPECT_EQ(fi::Injector::instance().firedCount("task.throw"), 3u);
+}
+
+TEST_F(PoolResilienceTest, InjectedFaultsQuarantineWithoutRetries)
+{
+    fi::Injector::instance().arm("task.throw:every=4");
+    Pool pool(4);
+    const auto failures = pool.parallelForResilient(
+        8, [](std::size_t, int) {}, {.maxRetries = 0, .failFast = false});
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].index, 0u);
+    EXPECT_EQ(failures[1].index, 4u);
+    EXPECT_NE(failures[0].error.find("task.throw"), std::string::npos);
+}
+
+TEST_F(PoolResilienceTest, FailureSetIsIdenticalAcrossThreadCounts)
+{
+    const auto run = [](int threads) {
+        Pool pool(threads);
+        const auto failures = pool.parallelForResilient(
+            32,
+            [](std::size_t i, int) {
+                if (i % 7 == 3)
+                    throw std::runtime_error("f" + std::to_string(i));
+            },
+            {.maxRetries = 1, .failFast = false});
+        std::set<std::size_t> indices;
+        for (const auto &f : failures)
+            indices.insert(f.index);
+        return indices;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(run(4), serial);
+    EXPECT_EQ(run(8), serial);
+    EXPECT_EQ(serial.size(), 5u); // 3, 10, 17, 24, 31
+}
+
+TEST_F(PoolResilienceTest, NonStandardExceptionsAreCaught)
+{
+    Pool pool(2);
+    const auto failures = pool.parallelForResilient(
+        2,
+        [](std::size_t i, int) {
+            if (i == 1)
+                throw 42;
+        },
+        {.maxRetries = 0, .failFast = false});
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].error, "non-standard exception");
+}
+
+} // namespace
+} // namespace dfault::par

@@ -106,7 +106,7 @@ TEST(CsvIoDeath, UnserializableLabelsAreFatal)
     EXPECT_EXIT(writeCsv(d, buffer), ::testing::ExitedWithCode(1),
                 "separator");
     EXPECT_EXIT(writeCsvFile(sample(), "/no/such/dir/file.csv"),
-                ::testing::ExitedWithCode(1), "cannot open");
+                ::testing::ExitedWithCode(1), "write to");
 }
 
 } // namespace

@@ -26,6 +26,14 @@
  *   --manifest-out=<path>  write the run provenance manifest here
  *                          (default <stats-out>.manifest.json)
  *   --progress             one-line progress updates on stderr
+ *
+ * Robustness overrides (see docs/robustness.md):
+ *   faults=<spec>    arm fault-injection points (fi/injector.hh)
+ *   checkpoint=<dir> journal sweep cells; resume from them on re-run
+ *   retries=<n>      per-cell retries before quarantine (default 2)
+ *   fail_fast=true   abort a sweep on an exhausted cell
+ *   --quarantine-out=<path>  quarantine report destination (default
+ *                          <stats-out>.quarantine.json)
  */
 
 #include <chrono>
@@ -47,6 +55,7 @@
 #include "core/error_model.hh"
 #include "core/trainer.hh"
 #include "features/extractor.hh"
+#include "fi/injector.hh"
 #include "ml/io.hh"
 #include "sys/platform.hh"
 
@@ -61,6 +70,7 @@ struct Cli
     std::string statsOut;
     std::string traceEvents;
     std::string manifestOut;
+    std::string quarantineOut;
     std::string commandLine;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
@@ -90,33 +100,50 @@ struct Cli
                 obs::SpanTracer::instance().enable();
             } else if (arg.starts_with("--manifest-out="))
                 manifestOut = arg.substr(15);
+            else if (arg.starts_with("--quarantine-out="))
+                quarantineOut = arg.substr(17);
             else if (arg == "--progress")
                 obs::setProgress(true);
             else if (i > 0 && arg.starts_with("--"))
                 DFAULT_FATAL("unknown flag '", std::string(arg),
                              "'; telemetry flags are --stats-out=, "
                              "--trace-out=, --trace-events=, "
-                             "--manifest-out=, --progress");
+                             "--manifest-out=, --quarantine-out=, "
+                             "--progress");
             else
                 args.push_back(argv[i]);
         }
         positional = config.parseArgs(static_cast<int>(args.size()),
                                       args.data());
 
+        // Touching the injector here validates a malformed
+        // DFAULT_FAULTS spec up front, even on runs that never reach a
+        // fault point.
+        const std::string faults = config.getString("faults", "");
+        if (!faults.empty())
+            fi::Injector::instance().arm(faults);
+        else
+            (void)fi::Injector::instance();
+
         sys::Platform::Params pp;
         const std::uint64_t footprint =
             static_cast<std::uint64_t>(
-                config.getInt("footprint_mib", 16))
+                config.getIntIn("footprint_mib", 16, 1, 1 << 20))
             << 20;
         pp.exec.timeDilation = sys::dilationForFootprint(footprint);
         platform = std::make_unique<sys::Platform>(pp);
 
         core::CharacterizationCampaign::Params cp;
         cp.workload.footprintBytes = footprint;
-        cp.workload.workScale = config.getDouble("work_scale", 1.0);
-        cp.integrator.epochs =
-            static_cast<int>(config.getInt("epochs", 120));
+        cp.workload.workScale =
+            config.getDoubleIn("work_scale", 1.0, 1e-6, 1000.0);
+        cp.integrator.epochs = static_cast<int>(
+            config.getIntIn("epochs", 120, 1, 1000000));
         cp.useThermalLoop = config.getBool("thermal_loop", true);
+        cp.taskRetries = static_cast<int>(
+            config.getIntIn("retries", cp.taskRetries, 0, 1000));
+        cp.failFast = config.getBool("fail_fast", cp.failFast);
+        cp.checkpointDir = config.getString("checkpoint", "");
         campaign = std::make_unique<core::CharacterizationCampaign>(
             *platform, cp);
     }
@@ -136,7 +163,7 @@ struct Cli
     workloadConfig(const std::string &kernel) const
     {
         const int threads =
-            static_cast<int>(config.getInt("threads", 8));
+            static_cast<int>(config.getIntIn("threads", 8, 1, 4096));
         return {kernel, threads,
                 threads == 1 ? kernel : kernel + "(par)"};
     }
@@ -230,7 +257,7 @@ cmdSweep(Cli &cli, const std::string &out_path)
     // Export the aggregate-WER dataset with the full feature schema.
     ml::Dataset data(features::FeatureCatalog::instance().names());
     for (const auto &m : measurements) {
-        if (m.run.crashed)
+        if (m.quarantined || m.run.crashed)
             continue;
         data.addSample(m.profile->features.values(), m.run.wer(),
                        m.label);
@@ -325,9 +352,10 @@ usage()
         "         bc lulesh_o2 lulesh_f random\n"
         "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
         "           vdd_v threads input_set model thermal_loop\n"
+        "           faults checkpoint retries fail_fast\n"
         "telemetry: --stats-out=<path> --trace-out=<path>\n"
         "           --trace-events=<path> --manifest-out=<path>\n"
-        "           --progress\n");
+        "           --quarantine-out=<path> --progress\n");
 }
 
 int
@@ -364,6 +392,29 @@ main(int argc, char **argv)
 {
     Cli cli(argc, argv);
     const int rc = dispatch(cli);
+
+    auto &inj = fi::Injector::instance();
+    if (inj.armed()) {
+        for (const auto &[point, fired] : inj.firedCounts())
+            obs::Registry::instance()
+                .gauge("fi.fired." + point,
+                       "times this fault point fired")
+                .set(static_cast<double>(fired));
+    }
+
+    const auto &quarantine = cli.campaign->lastQuarantine();
+    std::string quarantine_path = cli.quarantineOut;
+    if (quarantine_path.empty() && !cli.statsOut.empty())
+        quarantine_path = cli.statsOut + ".quarantine.json";
+    if (!quarantine.empty() && !quarantine_path.empty()) {
+        if (!core::writeQuarantineFile(quarantine, quarantine_path))
+            DFAULT_FATAL("cannot write quarantine report to '",
+                         quarantine_path, "'");
+        DFAULT_INFORM(quarantine.size(),
+                      " quarantined cell(s); report written to ",
+                      quarantine_path);
+    }
+
     if (!cli.statsOut.empty()) {
         obs::Registry::instance().writeFile(cli.statsOut);
         DFAULT_INFORM("stats written to ", cli.statsOut);
