@@ -27,10 +27,24 @@ main(int argc, char **argv)
     // A sweep (not a measure() loop) so the harness's checkpoint/
     // retry/quarantine machinery applies: fig04 doubles as the chaos
     // suite's kill-and-resume workload.
-    const auto measurements = harness.campaign().sweep(suite, {op});
+    std::vector<core::Measurement> measurements;
+    try {
+        measurements = harness.campaign().sweep(suite, {op});
+    } catch (const par::CancelledError &e) {
+        // fail_fast=true only: returning lets the harness destructor
+        // still write checkpoint-consistent partial artifacts.
+        DFAULT_WARN("run cancelled: ", e.what(),
+                    "; writing partial artifacts");
+        return bench::Harness::exitCode(1);
+    }
 
     double worst_tail = 0.0;
+    std::size_t n_cancelled = 0;
     for (const core::Measurement &m : measurements) {
+        if (m.cancelled) {
+            ++n_cancelled;
+            continue;
+        }
         if (m.quarantined) {
             std::printf("%-14s quarantined: %s\n", m.label.c_str(),
                         m.failure.c_str());
@@ -53,8 +67,12 @@ main(int argc, char **argv)
     }
 
     bench::rule();
+    if (n_cancelled > 0)
+        std::printf("%zu cell(s) cancelled before completion; rerun "
+                    "with the same checkpoint= dir to finish them\n",
+                    n_cancelled);
     std::printf("worst last-10-minute change: %.2f%% "
                 "(paper: < 3%% at 50C)\n",
                 worst_tail);
-    return 0;
+    return bench::Harness::exitCode();
 }

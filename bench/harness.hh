@@ -32,6 +32,15 @@
  *   quarantine_out=<path> quarantine report destination (default
  *                        <stats_out>.quarantine.json, only written
  *                        when cells were quarantined)
+ *   task_timeout=<s>     watchdog flags a task silent for this long;
+ *                        the task fails at its next heartbeat and is
+ *                        retried or quarantined like any failure
+ *   deadline=<s>         cancel the whole run after this much wall time
+ *
+ * SIGINT/SIGTERM cancel the run cooperatively: the bench's main should
+ * catch par::CancelledError, let the Harness destructor run (it still
+ * writes every artifact, marking the manifest "interrupted": true),
+ * and return exitCode(). A second signal exits immediately.
  *
  * A per-phase timing table and the total wall clock are printed at
  * exit regardless.
@@ -59,7 +68,9 @@
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 #include "obs/trace_writer.hh"
+#include "par/cancel.hh"
 #include "par/pool.hh"
+#include "par/shutdown.hh"
 #include "sys/platform.hh"
 #include "workloads/registry.hh"
 
@@ -72,6 +83,9 @@ class Harness
     Harness(int argc, char **argv)
         : start_(std::chrono::steady_clock::now())
     {
+        // Install before any work starts so an early ^C already
+        // drains cooperatively instead of killing the bench mid-write.
+        par::installSignalHandlers();
         tool_ = argc > 0 ? argv[0] : "bench";
         const std::size_t slash = tool_.find_last_of('/');
         if (slash != std::string::npos)
@@ -126,6 +140,16 @@ class Harness
         if (!traceEvents_.empty())
             obs::SpanTracer::instance().enable();
         obs::setProgress(config_.getBool("progress", false));
+
+        // Supervision: a watchdog for silent tasks and a wall-clock
+        // deadline for the whole run. 0 (the default) disables each.
+        par::WatchdogOptions wd;
+        wd.taskTimeoutSeconds =
+            config_.getDoubleIn("task_timeout", 0.0, 0.0, 86400.0);
+        wd.deadlineSeconds =
+            config_.getDoubleIn("deadline", 0.0, 0.0, 86400.0);
+        if (wd.taskTimeoutSeconds > 0.0 || wd.deadlineSeconds > 0.0)
+            par::Pool::global().enableWatchdog(wd);
     }
 
     /** Timing report + stats dump when the bench binary exits. */
@@ -168,6 +192,10 @@ class Harness
         // still digest-match a clean one.
         auto &inj = fi::Injector::instance();
         if (inj.armed()) {
+            // Chaos hook for the drain path itself: lets CI check
+            // that a single signal waits for the artifacts and a
+            // second one still exits immediately.
+            inj.maybeStall("shutdown.slow_drain", 0);
             for (const auto &[point, fired] : inj.firedCounts())
                 obs::Registry::instance()
                     .gauge("fi.fired." + point,
@@ -210,12 +238,19 @@ class Harness
             info.statsPath = statsOut_;
             info.tracePath = traceEvents_;
             info.wallSeconds = wall;
+            if (par::rootCancelToken().cancelled()) {
+                info.interrupted = true;
+                info.interruptReason =
+                    par::rootCancelToken().reason();
+            }
             if (!obs::writeManifestFile(manifest_path, info))
                 DFAULT_FATAL("cannot write manifest to '",
                              manifest_path, "'");
             DFAULT_INFORM("run manifest written to ", manifest_path);
         }
         obs::EventSink::instance().close();
+        par::Pool::global().disableWatchdog();
+        par::uninstallSignalHandlers();
     }
 
     Harness(const Harness &) = delete;
@@ -229,6 +264,16 @@ class Harness
     int repeats() const
     {
         return static_cast<int>(config_.getInt("repeats", 10));
+    }
+
+    /**
+     * What main should return: 128+signo after a signal-driven
+     * shutdown (130 for SIGINT, 143 for SIGTERM), else @p rc.
+     */
+    static int exitCode(int rc = 0)
+    {
+        const int sig = par::shutdownExitCode();
+        return sig != 0 ? sig : rc;
     }
 
   private:

@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+
+#include <unistd.h>
 
 namespace dfault {
 namespace detail {
@@ -72,4 +75,22 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+void
+rawWrite(int fd, const char *buf, std::size_t len)
+{
+    const int saved_errno = errno;
+    while (len > 0) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // Nothing safe to do about a failing fd here.
+        }
+        buf += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    errno = saved_errno;
+}
+
 } // namespace dfault

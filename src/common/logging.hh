@@ -7,6 +7,14 @@
  * error (bad configuration, invalid arguments) and exits cleanly with a
  * non-zero status; warn() and inform() report conditions that do not stop
  * the simulation.
+ *
+ * Async-signal-safety: every helper above formats through
+ * std::ostringstream and emits via stdio — both allocate and lock, so
+ * NONE of DFAULT_PANIC/FATAL/WARN/INFORM/ASSERT may be called from a
+ * signal handler. Code reachable from a handler (see par/shutdown.cc)
+ * must instead rawWrite() a buffer that was fully preformatted at
+ * install time; rawWrite is a bare write(2) loop with no allocation,
+ * no locks, and no errno clobbering.
  */
 
 #ifndef DFAULT_COMMON_LOGGING_HH
@@ -42,6 +50,15 @@ void setQuiet(bool quiet);
 bool quiet();
 
 } // namespace detail
+
+/**
+ * Write a preformatted buffer to a file descriptor with write(2),
+ * retrying on partial writes and EINTR. The ONLY output primitive that
+ * is async-signal-safe: no allocation, no locks, errno preserved.
+ * Callers in signal handlers must pass a buffer composed before the
+ * handler was installed (formatting is not handler-safe either).
+ */
+void rawWrite(int fd, const char *buf, std::size_t len);
 
 /**
  * Abort with a message: something happened that should never happen

@@ -47,6 +47,14 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
 {
     op.validate();
 
+    // Cooperative cancellation: bail before committing to the cell.
+    // A CancelledError here reaches the pool's Cancelled disposition,
+    // never the retry/quarantine path.
+    const par::CancelToken &token = params_.cancelToken.valid()
+                                        ? params_.cancelToken
+                                        : par::rootCancelToken();
+    token.throwIfCancelled();
+
     // The cell key is derived from labels, not indices, so the fault
     // schedule is identical whether the cell runs through measure()
     // or a sweep; the attempt re-rolls it so max_attempt-bounded
@@ -54,9 +62,18 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
     auto &inj = fi::Injector::instance();
     const std::uint64_t cell_key =
         hashCombine(fnv1a64(config.label), fnv1a64(op.label()));
+
+    // Heartbeat contract: annotate + beat before the first fault
+    // point, so a stall injected here is already under watchdog
+    // observation, and beat again right after — a flagged stall then
+    // raises TaskTimeoutError into the retry/quarantine machinery.
+    par::heartbeatAnnotate(config.label + " @ " + op.label());
+    par::heartbeat();
     if (inj.armed())
-        // Models a transient device hang before the thermal settle.
-        inj.maybeThrow("campaign.hang", cell_key, attempt);
+        // Models a stuck device before the thermal settle (named
+        // campaign.hang before it gained real stall semantics).
+        inj.maybeStall("task.stall", cell_key, attempt);
+    par::heartbeat();
 
     const features::WorkloadProfile &profile =
         features::ProfileCache::instance().get(platform, config,
@@ -105,6 +122,8 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
             achieved += thermal.temperature(d);
         m.achieved.temperature = achieved / thermal.dimms();
     }
+    token.throwIfCancelled();
+    par::heartbeat();
 
     double integrate_seconds = 0.0;
     {
@@ -215,10 +234,14 @@ CharacterizationCampaign::sweep(
     // exactly once per config either way; doing it up front keeps the
     // platform.* / profile.* stats independent of which cells are
     // measured fresh, restored from a checkpoint, or quarantined.
+    const par::CancelToken token = params_.cancelToken.valid()
+                                       ? params_.cancelToken
+                                       : par::rootCancelToken();
     {
         par::ResilienceOptions profile_opts;
         profile_opts.maxRetries = params_.taskRetries;
         profile_opts.failFast = true;
+        profile_opts.token = token;
         pool.parallelForResilient(
             suite.size(),
             [&](std::size_t w, int) {
@@ -249,6 +272,7 @@ CharacterizationCampaign::sweep(
     par::ResilienceOptions opts;
     opts.maxRetries = params_.taskRetries;
     opts.failFast = params_.failFast;
+    opts.token = token;
     const auto failures = pool.parallelForResilient(
         total,
         [&](std::size_t i, int attempt) {
@@ -276,8 +300,12 @@ CharacterizationCampaign::sweep(
         },
         opts);
 
-    // Quarantined cells (only reachable when !failFast): mark the
-    // slot as failed instead of aborting the sweep.
+    // Failed cells (only reachable when !failFast) are quarantined;
+    // cancelled cells are a distinct disposition — marked but never
+    // quarantined, reported or journaled, so a resumed sweep simply
+    // re-measures them.
+    std::size_t n_quarantined = 0;
+    std::size_t n_cancelled = 0;
     for (const par::TaskFailure &f : failures) {
         const auto &config = suite[f.index / points.size()];
         const auto &op = points[f.index % points.size()];
@@ -286,19 +314,34 @@ CharacterizationCampaign::sweep(
         m.threads = config.threads;
         m.requested = op;
         m.achieved = op;
-        m.quarantined = true;
         m.failure = f.error;
+        if (f.disposition == par::TaskDisposition::Cancelled) {
+            m.cancelled = true;
+            ++n_cancelled;
+            continue;
+        }
+        m.quarantined = true;
+        ++n_quarantined;
         lastQuarantine_.push_back(
             {f.index, config.label, op.label(), f.attempts, f.error});
         DFAULT_WARN("sweep: quarantined cell ", f.index, " (",
                     config.label, " at ", op.label(), ") after ",
                     f.attempts, " attempt(s): ", f.error);
     }
-    if (!failures.empty())
+    if (n_quarantined > 0)
         obs::Registry::instance()
             .counter("fi.quarantined_slots",
                      "sweep cells quarantined after exhausting retries")
-            .inc(failures.size());
+            .inc(n_quarantined);
+    if (n_cancelled > 0)
+        DFAULT_INFORM("sweep: ", n_cancelled, " cell(s) cancelled (",
+                      token.cancelled() ? token.reason()
+                                        : std::string("task token"),
+                      ")",
+                      journal.enabled()
+                          ? "; rerun with the same checkpoint dir to"
+                            " finish them"
+                          : "");
 
     // Restored cells: rebuild the measurement (profile pointer from
     // the cache warmed above) and queue their journaled stat ops.

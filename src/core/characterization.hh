@@ -17,6 +17,7 @@
 
 #include "core/error_integrator.hh"
 #include "features/extractor.hh"
+#include "par/cancel.hh"
 #include "sys/platform.hh"
 #include "workloads/registry.hh"
 
@@ -34,6 +35,11 @@ struct Measurement
     /** Slot failed every attempt of a degrade-and-report sweep; run
      *  is empty and failure holds the final error. */
     bool quarantined = false;
+    /** Slot was skipped (or stopped) by cooperative cancellation; run
+     *  is empty, failure holds the cancel reason. Unlike quarantine
+     *  this is not a failure: the cell is neither journaled nor
+     *  reported, so a resumed sweep re-measures it. */
+    bool cancelled = false;
     std::string failure;
 };
 
@@ -60,6 +66,10 @@ class CharacterizationCampaign
         /** Non-empty: journal completed sweep cells here and resume
          *  from any found on the next run (see core/checkpoint.hh). */
         std::string checkpointDir;
+        /** Cooperative cancellation source for sweeps and cells; an
+         *  invalid (default) token falls back to rootCancelToken(), so
+         *  signal-driven shutdown reaches every campaign unasked. */
+        par::CancelToken cancelToken;
     };
 
     /** One sweep cell that failed all its attempts. */
@@ -104,6 +114,13 @@ class CharacterizationCampaign
      * are unaffected. With params_.checkpointDir set, completed cells
      * are journaled and a re-run resumes from them (file comment of
      * core/checkpoint.hh).
+     *
+     * Cancellation (params_.cancelToken or the root token) drains the
+     * sweep gracefully: in-flight cells finish or stop at their next
+     * heartbeat, queued cells come back with Measurement.cancelled set
+     * (distinct from quarantined — not journaled, not reported), and
+     * a later resume re-measures exactly the missing cells, reaching a
+     * stats digest bit-identical to an uninterrupted sweep.
      */
     std::vector<Measurement>
     sweep(const std::vector<workloads::WorkloadConfig> &suite,

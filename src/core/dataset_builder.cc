@@ -83,6 +83,8 @@ makeWerDataset(const std::vector<Measurement> &measurements, int device,
                         m.label, " at ", m.requested.label());
             continue;
         }
+        if (m.cancelled)
+            continue; // interrupted, not failed: re-measured on resume
         if (m.run.crashed)
             continue;
         DFAULT_ASSERT(m.profile != nullptr, "measurement lost its profile");

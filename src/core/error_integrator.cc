@@ -8,6 +8,7 @@
 #include "common/rng.hh"
 #include "obs/deferral.hh"
 #include "obs/stats.hh"
+#include "par/pool.hh"
 
 namespace dfault::core {
 
@@ -312,6 +313,10 @@ ErrorIntegrator::run(const features::WorkloadProfile &profile,
     int logged = 0;
 
     for (int epoch = 1; epoch <= params_.epochs; ++epoch) {
+        // Heartbeat contract: one beat per simulated epoch keeps the
+        // watchdog's view of a healthy cell fresh even under sanitizer
+        // slowdowns (no-op outside a pool task).
+        par::heartbeat();
         const double first_act = vrt_.firstActivationProbability(
             static_cast<std::uint64_t>(epoch));
 

@@ -58,7 +58,8 @@ DramErrorModel::trainWer(const std::vector<Measurement> &measurements,
     }
 
     for (const auto &m : measurements) {
-        if (m.run.crashed)
+        // Quarantined and cancelled cells carry an empty run.
+        if (m.quarantined || m.cancelled || m.run.crashed)
             continue;
         for (int d = 0; d < device_count; ++d)
             device_words[d] += m.run.wordsPerDevice.at(d);

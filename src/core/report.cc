@@ -25,6 +25,8 @@ writeMeasurementsCsv(const std::vector<Measurement> &measurements,
                         m.failure);
             continue;
         }
+        if (m.cancelled)
+            continue; // interrupted run: the cell has no data yet
         for (int d = 0; d < geometry.deviceCount(); ++d) {
             out << m.label << ',' << m.threads << ','
                 << m.requested.trefp << ',' << m.requested.vdd << ','
@@ -86,6 +88,8 @@ printWerTable(const std::vector<Measurement> &measurements,
                 out << std::right << std::setw(30) << "-";
             } else if (it->second->quarantined) {
                 out << std::right << std::setw(30) << "FAIL";
+            } else if (it->second->cancelled) {
+                out << std::right << std::setw(30) << "CANCELLED";
             } else if (it->second->run.crashed) {
                 out << std::right << std::setw(30) << "UE";
             } else {

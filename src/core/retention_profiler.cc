@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "features/extractor.hh"
+#include "par/cancel.hh"
 
 namespace dfault::core {
 
@@ -64,6 +65,9 @@ RetentionProfiler::profileDevice(int device_index)
     DeviceRetentionProfile out;
     std::uint64_t touched_rows = 0;
     for (const Seconds trefp : params_.levels) {
+        // Each level is a full row-space analysis; honour shutdown/
+        // deadline cancellation at level boundaries.
+        par::rootCancelToken().throwIfCancelled();
         const auto rows = rowsUnder(micro, trefp, device_index);
         touched_rows = std::max<std::uint64_t>(touched_rows,
                                                rows.size());
@@ -83,6 +87,7 @@ RetentionProfiler::compare(const DeviceRetentionProfile &profile,
                            const workloads::WorkloadConfig &config,
                            Seconds trefp, int device_index)
 {
+    par::rootCancelToken().throwIfCancelled();
     ProfileMismatch mismatch;
     mismatch.flaggedRows = 0;
     for (const auto &[row, level] : profile.firstFailingTrefp)

@@ -93,6 +93,9 @@ evaluateModel(const ml::Dataset &data, ModelKind kind, bool log_target)
     // serial run.
     const auto outcomes = par::Pool::global().parallelMap<FoldOutcome>(
         folds.size(), [&](std::size_t f) {
+            // A fold is minutes of fitting at full scale: honour
+            // shutdown/deadline cancellation before starting one.
+            par::rootCancelToken().throwIfCancelled();
             const ml::Fold &fold = folds[f];
             const obs::ScopedTimer fold_timer("fold");
             // Name the fold in the trace by its held-out benchmark.

@@ -1,7 +1,9 @@
 #include "fi/injector.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -90,6 +92,13 @@ applyParam(const std::string &point, FaultSpec &spec, std::string_view key,
             DFAULT_FATAL("fault spec '", point, "': bad code '",
                          std::string(value), "'");
         spec.exitCode = static_cast<int>(u);
+    } else if (key == "ms") {
+        // Bounded by design: injected stalls must trip watchdogs, not
+        // recreate the unbounded hangs they stand in for.
+        if (!parseU64(value, u) || u > 600000)
+            DFAULT_FATAL("fault spec '", point, "': ms must be in "
+                         "[0, 600000], got '", std::string(value), "'");
+        spec.sleepMs = u;
     } else {
         DFAULT_FATAL("fault spec '", point, "': unknown parameter '",
                      std::string(key), "'");
@@ -216,6 +225,23 @@ Injector::maybeKill(std::string_view point, std::uint64_t key)
     DFAULT_WARN("injected kill at '", std::string(point), "' (key ", key,
                 "), exiting ", code);
     std::_Exit(code);
+}
+
+bool
+Injector::maybeStall(std::string_view point, std::uint64_t key, int attempt)
+{
+    if (!shouldFire(point, key, attempt))
+        return false;
+    std::uint64_t ms = 1000;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const Point *p = findLocked(point); p != nullptr)
+            ms = p->spec.sleepMs;
+    }
+    DFAULT_WARN("injected stall at '", std::string(point), "' (key ", key,
+                ", attempt ", attempt, "): sleeping ", ms, " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return true;
 }
 
 double

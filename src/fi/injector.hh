@@ -29,10 +29,14 @@
  *   after=N       first N checks of the point never fire (arrival order)
  *   seed=S        schedule seed (default 0xfau17)
  *   code=C        process exit code used by kill-style points (default 9)
+ *   ms=N          sleep length used by stall-style points (default 1000)
  *
- * Known points: task.throw (par::Pool task body), campaign.hang and
+ * Known points: task.throw (par::Pool task body), task.stall and
  * measure.nan (CharacterizationCampaign::measureOn), io.open / io.write
- * (fi::atomicWriteFile), sweep.kill (campaign checkpoint journal).
+ * (fi::atomicWriteFile), sweep.kill (campaign checkpoint journal),
+ * shutdown.slow_drain (dfault_cli shutdown epilogue). task.stall was
+ * named campaign.hang before it gained real stall semantics (it used
+ * to throw; see docs/robustness.md).
  */
 
 #ifndef DFAULT_FI_INJECTOR_HH
@@ -76,6 +80,7 @@ struct FaultSpec
     std::uint64_t after = 0;
     std::uint64_t seed = 0xfa517;
     int exitCode = 9;
+    std::uint64_t sleepMs = 1000;
 };
 
 /**
@@ -120,6 +125,17 @@ class Injector
      * cleanup — models a kill) when shouldFire(); no-op otherwise.
      */
     void maybeKill(std::string_view point, std::uint64_t key = 0);
+
+    /**
+     * Sleep for the point's ms= budget (models a stuck task / slow
+     * drain) when shouldFire(); no-op otherwise. The sleep is a plain
+     * bounded std::this_thread::sleep_for — long enough to trip the
+     * par::Pool watchdog deterministically when ms exceeds the armed
+     * task_timeout, short enough that chaos tests never rely on real
+     * unbounded hangs. Returns true when it slept.
+     */
+    bool maybeStall(std::string_view point, std::uint64_t key,
+                    int attempt = 0);
 
     /** @p value, or a quiet NaN when the point fires. */
     double corruptDouble(std::string_view point, std::uint64_t key,

@@ -35,6 +35,8 @@ gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
     const std::size_t n_folds = folds.size();
     const auto cells = par::Pool::global().parallelMap<Cell>(
         grid.size() * n_folds, [&](std::size_t i) {
+            // Honour shutdown/deadline cancellation between fits.
+            par::rootCancelToken().throwIfCancelled();
             const auto &candidate = grid[i / n_folds];
             const Fold &fold = folds[i % n_folds];
             // Name the cell in the trace by candidate and held-out

@@ -119,6 +119,11 @@ manifestJson(const ManifestInfo &info, const Registry *registry)
 
     w.fieldRaw("build", buildInfoJson());
     w.field("wall_seconds", info.wallSeconds);
+    if (info.interrupted) {
+        w.field("interrupted", true);
+        if (!info.interruptReason.empty())
+            w.field("interrupt_reason", info.interruptReason);
+    }
     if (!info.statsPath.empty())
         w.field("stats_out", info.statsPath);
     if (!info.tracePath.empty())

@@ -40,6 +40,11 @@ struct ManifestInfo
     std::string statsPath; ///< "" when no stats dump was written
     std::string tracePath; ///< "" when no trace export was written
     double wallSeconds = 0.0;
+    /** Run ended early but drained gracefully (SIGINT/SIGTERM,
+     *  deadline): artifacts are valid but partial, and a resume run
+     *  (same checkpoint dir) completes the work. */
+    bool interrupted = false;
+    std::string interruptReason; ///< e.g. "received SIGTERM" ("" = none)
 };
 
 /**

@@ -8,15 +8,42 @@
 
 #include "common/logging.hh"
 #include "fi/injector.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
 
 namespace dfault::par {
 
+/**
+ * Per-slot stall-detection state shared between the slot's task frame
+ * (writer) and the watchdog thread (reader). beatNs == 0 means "not
+ * monitored": boards activate at a task's first heartbeat and
+ * deactivate when the attempt ends, so tasks that never beat can be
+ * warned about but never failed.
+ */
+struct HeartbeatBoard
+{
+    std::atomic<std::uint64_t> beatNs{0};
+    std::atomic<std::uint64_t> attemptStartNs{0};
+    std::atomic<std::uint64_t> index{0};
+    std::atomic<int> attempt{0};
+    /** Set by the watchdog; the next heartbeat() throws and clears. */
+    std::atomic<bool> expired{false};
+    std::mutex noteMutex;
+    // Guarded by noteMutex.
+    std::string note;      ///< heartbeatAnnotate() label ("cell @ op")
+    std::string phasePath; ///< phase stack captured at annotate time
+};
+
 namespace {
 
 thread_local int t_slot = -1;
+thread_local HeartbeatBoard *t_board = nullptr;
+/** runIndex nesting depth: only the outermost frame (depth 1) owns the
+ *  slot's heartbeat board; nested batches must not clobber it. */
+thread_local int t_taskDepth = 0;
 
 std::mutex g_globalMutex;
 std::unique_ptr<Pool> g_globalPool;
@@ -27,6 +54,15 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+std::uint64_t
+steadyNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 } // namespace
@@ -43,6 +79,8 @@ struct Batch
      *  the dispatch boundary. 0 when tracing is disabled. */
     std::uint64_t parentSpan = 0;
     int maxRetries = 0;
+    /** Resolved cancellation source (opts.token or the root). */
+    CancelToken token;
     std::atomic<std::size_t> remaining{0};
     std::atomic<std::uint64_t> taskNanos{0};
     std::mutex mutex;
@@ -55,41 +93,98 @@ namespace {
 std::string
 batchErrorMessage(const std::vector<TaskFailure> &failures)
 {
-    std::string msg = "parallel batch: " +
-                      std::to_string(failures.size()) + " task(s) failed:";
+    std::size_t n_failed = 0;
+    std::size_t n_cancelled = 0;
+    for (const TaskFailure &f : failures)
+        (f.disposition == TaskDisposition::Cancelled ? n_cancelled
+                                                     : n_failed)++;
+    std::string msg =
+        "parallel batch: " + std::to_string(n_failed) + " task(s) failed";
+    if (n_cancelled > 0)
+        msg += ", " + std::to_string(n_cancelled) + " cancelled";
+    msg += ":";
     std::size_t shown = 0;
     for (const TaskFailure &f : failures) {
         if (shown++ == 8) {
             msg += " ...";
             break;
         }
-        msg += " [" + std::to_string(f.index) + "] " + f.error + ";";
+        msg += " [" + std::to_string(f.index) +
+               (f.disposition == TaskDisposition::Cancelled ? " cancelled]"
+                                                            : "]") +
+               " " + f.error + ";";
     }
     return msg;
 }
 
+/** RAII for the runIndex nesting depth (exceptions cannot happen, but
+ *  early returns abound). */
+struct DepthGuard
+{
+    DepthGuard() { ++t_taskDepth; }
+    ~DepthGuard() { --t_taskDepth; }
+};
+
 /**
  * Execute one index with the batch's retry budget. Never throws: a
  * fully failed index is recorded in batch.failures instead, so one bad
- * task cannot take its chunk siblings down with it.
+ * task cannot take its chunk siblings down with it, and a cancelled
+ * index is recorded with the Cancelled disposition (never retried).
  */
 void
 runIndex(Batch &batch, std::size_t i)
 {
     auto &inj = fi::Injector::instance();
+    // Only the outermost task frame owns the slot's heartbeat board.
+    HeartbeatBoard *board = t_taskDepth == 0 ? t_board : nullptr;
+    DepthGuard depth;
+    const auto deactivate = [board] {
+        if (board != nullptr)
+            board->beatNs.store(0, std::memory_order_relaxed);
+    };
     for (int attempt = 0;; ++attempt) {
+        // One relaxed load on the fast path; once the token fires,
+        // not-yet-started indices and would-be retries drain instantly
+        // with the Cancelled disposition.
+        if (batch.token.cancelled()) {
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            batch.failures.push_back(
+                {i, attempt,
+                 "cancelled (" + batch.token.origin() +
+                     "): " + batch.token.reason(),
+                 TaskDisposition::Cancelled});
+            return;
+        }
+        if (board != nullptr) {
+            board->index.store(i, std::memory_order_relaxed);
+            board->attempt.store(attempt, std::memory_order_relaxed);
+            board->attemptStartNs.store(steadyNanos(),
+                                        std::memory_order_relaxed);
+            board->expired.store(false, std::memory_order_relaxed);
+            board->beatNs.store(0, std::memory_order_relaxed);
+        }
         std::string error;
         try {
             if (inj.armed())
                 inj.maybeThrow("task.throw",
                                static_cast<std::uint64_t>(i), attempt);
             (*batch.body)(i, attempt);
+            deactivate();
+            return;
+        } catch (const CancelledError &e) {
+            // The body observed a token mid-run: same disposition as a
+            // never-started index, and never retried.
+            deactivate();
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            batch.failures.push_back(
+                {i, attempt + 1, e.what(), TaskDisposition::Cancelled});
             return;
         } catch (const std::exception &e) {
             error = e.what();
         } catch (...) {
             error = "non-standard exception";
         }
+        deactivate();
         if (attempt < batch.maxRetries) {
             obs::Registry::instance()
                 .counter("par.task_retries",
@@ -98,14 +193,18 @@ runIndex(Batch &batch, std::size_t i)
             continue;
         }
         std::lock_guard<std::mutex> lock(batch.mutex);
-        batch.failures.push_back({i, attempt + 1, std::move(error)});
+        batch.failures.push_back({i, attempt + 1, std::move(error),
+                                  TaskDisposition::Failed});
         return;
     }
 }
 
 /**
  * Post-drain bookkeeping shared by the inline and pooled paths:
- * deterministic failure order, failure stats, fail-fast throw.
+ * deterministic failure order, failure/cancellation stats, fail-fast
+ * throw. Pure cancellation (no real failures) surfaces as
+ * CancelledError so drivers can funnel every interrupt through one
+ * catch; any real failure keeps the aggregated BatchError.
  */
 std::vector<TaskFailure>
 finishBatch(Batch &batch, const ResilienceOptions &opts)
@@ -117,12 +216,29 @@ finishBatch(Batch &batch, const ResilienceOptions &opts)
               [](const TaskFailure &a, const TaskFailure &b) {
                   return a.index < b.index;
               });
-    obs::Registry::instance()
-        .counter("par.task_failures",
-                 "tasks quarantined after exhausting retries")
-        .inc(failures.size());
-    if (opts.failFast)
+    std::size_t n_failed = 0;
+    std::size_t n_cancelled = 0;
+    for (const TaskFailure &f : failures)
+        (f.disposition == TaskDisposition::Cancelled ? n_cancelled
+                                                     : n_failed)++;
+    auto &reg = obs::Registry::instance();
+    if (n_failed > 0)
+        reg.counter("par.task_failures",
+                    "tasks quarantined after exhausting retries")
+            .inc(n_failed);
+    if (n_cancelled > 0)
+        reg.counter("par.cancelled_tasks",
+                    "tasks skipped or stopped by cancellation")
+            .inc(n_cancelled);
+    if (opts.failFast) {
+        if (n_failed == 0) {
+            if (batch.token.cancelled())
+                throw CancelledError(batch.token.reason(),
+                                     batch.token.origin());
+            throw CancelledError("task cancelled", "task");
+        }
         throw BatchError(std::move(failures));
+    }
     return failures;
 }
 
@@ -156,6 +272,9 @@ Pool::Pool(int threads) : threads_(threads)
     slots_.reserve(threads_);
     for (int s = 0; s < threads_; ++s)
         slots_.push_back(std::make_unique<Slot>());
+    boards_.reserve(threads_);
+    for (int s = 0; s < threads_; ++s)
+        boards_.push_back(std::make_unique<HeartbeatBoard>());
     workers_.reserve(threads_ - 1);
     for (int s = 1; s < threads_; ++s)
         workers_.emplace_back([this, s] { workerLoop(s); });
@@ -163,6 +282,7 @@ Pool::Pool(int threads) : threads_(threads)
 
 Pool::~Pool()
 {
+    disableWatchdog();
     {
         std::lock_guard<std::mutex> lock(sleepMutex_);
         stop_.store(true, std::memory_order_relaxed);
@@ -220,12 +340,15 @@ Pool::parallelForResilient(std::size_t n,
     // recursive parallelism (forest training inside a fold) safe.
     if (t_slot >= 0 || threads_ == 1) {
         const bool adopt_slot = t_slot < 0;
-        if (adopt_slot)
+        if (adopt_slot) {
             t_slot = 0;
+            t_board = boards_[0].get();
+        }
         Batch batch;
         batch.body = &body;
         batch.phasePath = phase;
         batch.maxRetries = opts.maxRetries;
+        batch.token = opts.token.valid() ? opts.token : rootCancelToken();
         const auto start = std::chrono::steady_clock::now();
         {
             // The whole inline range counts as one executed task (it
@@ -240,6 +363,7 @@ Pool::parallelForResilient(std::size_t n,
         }
         if (adopt_slot) {
             t_slot = -1;
+            t_board = nullptr;
             const double wall = secondsSince(start);
             reg.counter("par.batches", "parallelFor batches submitted")
                 .inc();
@@ -252,6 +376,7 @@ Pool::parallelForResilient(std::size_t n,
 
     std::lock_guard<std::mutex> submit(submitMutex_);
     t_slot = 0;
+    t_board = boards_[0].get();
     const auto start = std::chrono::steady_clock::now();
 
     auto &tracer = obs::SpanTracer::instance();
@@ -259,6 +384,7 @@ Pool::parallelForResilient(std::size_t n,
     batch.body = &body;
     batch.phasePath = phase;
     batch.maxRetries = opts.maxRetries;
+    batch.token = opts.token.valid() ? opts.token : rootCancelToken();
     if (tracer.enabled())
         batch.parentSpan = obs::SpanTracer::currentSpan();
 
@@ -309,6 +435,7 @@ Pool::parallelForResilient(std::size_t n,
         });
     }
     t_slot = -1;
+    t_board = nullptr;
 
     const double wall = secondsSince(start);
     publishPhaseStats(
@@ -325,6 +452,7 @@ void
 Pool::workerLoop(int slot)
 {
     t_slot = slot;
+    t_board = boards_[static_cast<std::size_t>(slot)].get();
     for (;;) {
         if (tryRun(slot))
             continue;
@@ -436,6 +564,188 @@ Pool::runTask(const Task &task)
         if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
             batch.cv.notify_all();
     }
+}
+
+void
+Pool::enableWatchdog(const WatchdogOptions &opts)
+{
+    disableWatchdog();
+    if (opts.taskTimeoutSeconds < 0.0 || opts.deadlineSeconds < 0.0 ||
+        opts.pollSeconds < 0.0)
+        DFAULT_FATAL("watchdog durations must be >= 0");
+    if (opts.taskTimeoutSeconds == 0.0 && opts.deadlineSeconds == 0.0)
+        return; // nothing to watch
+    {
+        std::lock_guard<std::mutex> lock(watchdogMutex_);
+        watchdogStop_ = false;
+        watchdogOpts_ = opts;
+    }
+    watchdogThread_ = std::thread([this] { watchdogLoop(); });
+}
+
+void
+Pool::disableWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(watchdogMutex_);
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
+}
+
+void
+Pool::watchdogLoop()
+{
+    WatchdogOptions opts;
+    {
+        std::lock_guard<std::mutex> lock(watchdogMutex_);
+        opts = watchdogOpts_;
+    }
+    double poll = opts.pollSeconds;
+    if (poll <= 0.0) {
+        double base = opts.taskTimeoutSeconds;
+        if (opts.deadlineSeconds > 0.0)
+            base = base > 0.0 ? std::min(base, opts.deadlineSeconds)
+                              : opts.deadlineSeconds;
+        poll = std::clamp(base / 4.0, 0.01, 1.0);
+    }
+    const std::uint64_t started = steadyNanos();
+    const auto timeout_ns = static_cast<std::uint64_t>(
+        opts.taskTimeoutSeconds * 1e9);
+    const auto deadline_ns =
+        static_cast<std::uint64_t>(opts.deadlineSeconds * 1e9);
+    bool deadline_fired = false;
+
+    auto &reg = obs::Registry::instance();
+    auto &sink = obs::EventSink::instance();
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(watchdogMutex_);
+            watchdogCv_.wait_for(
+                lock, std::chrono::duration<double>(poll),
+                [&] { return watchdogStop_; });
+            if (watchdogStop_)
+                return;
+        }
+        const std::uint64_t now = steadyNanos();
+
+        if (deadline_ns > 0 && !deadline_fired && now - started >= deadline_ns) {
+            deadline_fired = true;
+            CancelToken token = opts.deadlineToken.valid()
+                                    ? opts.deadlineToken
+                                    : rootCancelToken();
+            token.cancel("run deadline of " +
+                             std::to_string(opts.deadlineSeconds) +
+                             " s exceeded",
+                         "deadline");
+            reg.counter("par.deadline_cancels",
+                        "runs cancelled by the watchdog deadline")
+                .inc();
+            DFAULT_WARN("watchdog: run deadline of ",
+                        opts.deadlineSeconds,
+                        " s exceeded - cancelling, draining in-flight"
+                        " work");
+            if (sink.enabled()) {
+                obs::JsonWriter fields;
+                fields.field("deadline_seconds", opts.deadlineSeconds);
+                sink.emit("watchdog_deadline", fields);
+            }
+        }
+
+        if (timeout_ns == 0)
+            continue;
+        for (int s = 0; s < threads_; ++s) {
+            HeartbeatBoard &board =
+                *boards_[static_cast<std::size_t>(s)];
+            const std::uint64_t beat =
+                board.beatNs.load(std::memory_order_acquire);
+            if (beat == 0 || now - beat < timeout_ns)
+                continue;
+            if (board.expired.exchange(true, std::memory_order_acq_rel))
+                continue; // already flagged, one diagnostic per stall
+            // Stack-of-spans diagnostic: everything the stalled worker
+            // last told us about itself. The task itself cannot be
+            // interrupted here; its next heartbeat() raises
+            // TaskTimeoutError into the retry/quarantine machinery.
+            std::string note;
+            std::string phase;
+            {
+                std::lock_guard<std::mutex> lock(board.noteMutex);
+                note = board.note;
+                phase = board.phasePath;
+            }
+            const auto idx = board.index.load(std::memory_order_relaxed);
+            const int att =
+                board.attempt.load(std::memory_order_relaxed);
+            const double stalled = static_cast<double>(now - beat) * 1e-9;
+            const double elapsed =
+                static_cast<double>(
+                    now - board.attemptStartNs.load(
+                              std::memory_order_relaxed)) *
+                1e-9;
+            reg.counter("par.watchdog_stalls",
+                        "tasks flagged as stalled by the watchdog")
+                .inc();
+            DFAULT_WARN("watchdog: slot ", s, " stalled in task ", idx,
+                        " attempt ", att + 1, ": no heartbeat for ",
+                        stalled, " s (task_timeout ",
+                        opts.taskTimeoutSeconds, " s); phase [",
+                        phase.empty() ? "<none>" : phase, "], cell [",
+                        note.empty() ? "<unlabelled>" : note,
+                        "], attempt elapsed ", elapsed, " s");
+            if (sink.enabled()) {
+                obs::JsonWriter fields;
+                fields.field("slot", s);
+                fields.field("index",
+                             static_cast<std::uint64_t>(idx));
+                fields.field("attempt", att + 1);
+                fields.field("phase", phase);
+                fields.field("cell", note);
+                fields.field("stalled_seconds", stalled);
+                fields.field("elapsed_seconds", elapsed);
+                fields.field("task_timeout_seconds",
+                             opts.taskTimeoutSeconds);
+                sink.emit("watchdog_stall", fields);
+            }
+        }
+    }
+}
+
+void
+heartbeat()
+{
+    HeartbeatBoard *board = t_board;
+    if (board == nullptr || t_taskDepth != 1)
+        return;
+    if (board->expired.load(std::memory_order_acquire)) {
+        board->expired.store(false, std::memory_order_relaxed);
+        board->beatNs.store(0, std::memory_order_relaxed);
+        std::string note;
+        {
+            std::lock_guard<std::mutex> lock(board->noteMutex);
+            note = board->note;
+        }
+        // No timing figures in the message: it lands in quarantine
+        // reports that must replay identically across runs.
+        throw TaskTimeoutError(
+            "watchdog: task exceeded task_timeout" +
+            (note.empty() ? std::string() : " (" + note + ")"));
+    }
+    board->beatNs.store(steadyNanos(), std::memory_order_release);
+}
+
+void
+heartbeatAnnotate(const std::string &note)
+{
+    HeartbeatBoard *board = t_board;
+    if (board == nullptr || t_taskDepth != 1)
+        return;
+    const std::string phase = obs::ScopedTimer::currentPath();
+    std::lock_guard<std::mutex> lock(board->noteMutex);
+    board->note = note;
+    board->phasePath = phase;
 }
 
 void

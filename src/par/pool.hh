@@ -45,27 +45,46 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "par/cancel.hh"
+
 namespace dfault::par {
 
-/** One task of a batch that failed every attempt it was given. */
+/**
+ * Why a task slot produced no result. Cancelled is deliberately
+ * distinct from Failed: cancelled tasks are never retried, never
+ * quarantined, and publish no stats, so a cancelled-then-resumed sweep
+ * digest-matches an uninterrupted one.
+ */
+enum class TaskDisposition
+{
+    Failed,   ///< exhausted its retry budget on real errors
+    Cancelled ///< skipped (or stopped) because a CancelToken fired
+};
+
+/** One task of a batch that produced no result. */
 struct TaskFailure
 {
     std::size_t index = 0; ///< index within the submitted [0, n) range
-    int attempts = 0;      ///< executions performed (1 + retries)
+    int attempts = 0;      ///< executions performed (0 = never started)
     std::string error;     ///< what() of the final attempt
+    TaskDisposition disposition = TaskDisposition::Failed;
 };
 
 /**
  * Thrown when a fail-fast batch had failing tasks. Unlike the old
  * first-exception-wins rethrow, every failed slot is reported: the
- * message lists each failing index with its error, and failures()
- * exposes them programmatically, sorted by index.
+ * message leads with the failed/cancelled counts and lists each
+ * affected index ([i] for failures, [i cancelled] for cancellations)
+ * with its error, and failures() exposes them programmatically,
+ * sorted by index. A batch whose only losses are cancellations throws
+ * CancelledError instead (drivers catch the interrupt in one place).
  */
 class BatchError : public std::runtime_error
 {
@@ -76,6 +95,20 @@ class BatchError : public std::runtime_error
 
   private:
     std::vector<TaskFailure> failures_;
+};
+
+/**
+ * Raised out of par::heartbeat() after the watchdog flagged the
+ * calling task as stalled. Travels the normal failure path: the task
+ * is retried per its budget, then quarantined like any other failure.
+ */
+class TaskTimeoutError : public std::runtime_error
+{
+  public:
+    explicit TaskTimeoutError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
 };
 
 /** Failure policy for parallelForResilient(). */
@@ -96,6 +129,44 @@ struct ResilienceOptions
      * the caller degrade gracefully.
      */
     bool failFast = true;
+
+    /**
+     * Cooperative cancellation source for this batch. Checked with one
+     * relaxed load before every index; an invalid (default) token
+     * falls back to rootCancelToken(). Once cancelled, not-yet-started
+     * indices are skipped with the Cancelled disposition and a body
+     * that throws CancelledError is recorded the same way (no retry).
+     */
+    CancelToken token;
+};
+
+/**
+ * Tuning for the pool watchdog thread (see enableWatchdog()). All
+ * durations in seconds; 0 disables the respective check.
+ */
+struct WatchdogOptions
+{
+    /**
+     * A monitored task whose last heartbeat is older than this is
+     * flagged: a phase-stack diagnostic goes to stderr and the event
+     * sink, and the task's next par::heartbeat() throws
+     * TaskTimeoutError (feeding the regular retry/quarantine path).
+     * Tasks are monitored between their heartbeats only, so code that
+     * never beats is never failed by the watchdog — at most warned
+     * about.
+     */
+    double taskTimeoutSeconds = 0.0;
+
+    /** Whole-run budget from enableWatchdog(); on expiry the watchdog
+     *  cancels deadlineToken (origin "deadline") exactly once. */
+    double deadlineSeconds = 0.0;
+
+    /** Poll cadence; 0 derives min(taskTimeout, deadline)/4, clamped
+     *  to [10 ms, 1 s]. */
+    double pollSeconds = 0.0;
+
+    /** Token the deadline cancels; invalid = rootCancelToken(). */
+    CancelToken deadlineToken;
 };
 
 /**
@@ -186,6 +257,18 @@ class Pool
         return out;
     }
 
+    /**
+     * Start (or retune) the watchdog thread. It samples every slot's
+     * heartbeat board each poll tick, dumps a diagnostic for stalled
+     * tasks, and enforces the run deadline (see WatchdogOptions).
+     * Watchdog state is advisory telemetry: it never appears in the
+     * stats digest (par.* is excluded).
+     */
+    void enableWatchdog(const WatchdogOptions &opts);
+
+    /** Stop and join the watchdog thread (idempotent). */
+    void disableWatchdog();
+
   private:
     struct Task
     {
@@ -207,11 +290,13 @@ class Pool
     void runTask(const Task &task);
     bool popOwn(int slot, Task &task);
     bool stealAny(int thief, Task &task);
+    void watchdogLoop();
     void publishPhaseStats(const std::string &phase, double task_seconds,
                            double wall_seconds);
 
     const int threads_;
     std::vector<std::unique_ptr<Slot>> slots_;
+    std::vector<std::unique_ptr<struct HeartbeatBoard>> boards_;
     std::vector<std::thread> workers_;
 
     std::mutex sleepMutex_;
@@ -221,7 +306,32 @@ class Pool
 
     /** Serializes top-level parallelFor calls (slot 0 is exclusive). */
     std::mutex submitMutex_;
+
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;   ///< guarded by watchdogMutex_
+    WatchdogOptions watchdogOpts_; ///< guarded by watchdogMutex_
+    std::thread watchdogThread_;
 };
+
+/**
+ * Heartbeat contract (docs/parallelism.md): long-running task bodies
+ * call heartbeat() at natural progress boundaries — campaign cells
+ * beat at fault points and per integrator epoch. The first beat of an
+ * attempt places the task under watchdog observation; if the watchdog
+ * then sees no beat for task_timeout seconds it flags the task, and
+ * the next heartbeat() throws TaskTimeoutError. Outside a pool task
+ * (or with no pool board) heartbeat() is a no-op, so instrumented code
+ * needs no caller-side guards.
+ */
+void heartbeat();
+
+/**
+ * Attach a human-readable label ("workload @ op") and the current
+ * phase stack to this slot's heartbeat board; the watchdog includes
+ * both in its stall diagnostic. No-op outside a pool task.
+ */
+void heartbeatAnnotate(const std::string &note);
 
 } // namespace dfault::par
 

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/characterization.hh"
@@ -20,6 +22,7 @@
 #include "fi/injector.hh"
 #include "obs/manifest.hh"
 #include "obs/stats.hh"
+#include "par/cancel.hh"
 #include "par/pool.hh"
 
 namespace dfault::core {
@@ -79,16 +82,20 @@ struct CampaignResilienceTest : ::testing::Test
     void TearDown() override
     {
         fi::Injector::instance().disarm();
+        par::Pool::global().disableWatchdog();
+        par::resetRootCancelToken();
         std::filesystem::remove_all(dir);
     }
 };
 
 TEST_F(CampaignResilienceTest, AllFailingCellsQuarantineWithoutAborting)
 {
-    // campaign.hang fires on every attempt of every cell; with all
+    // task.throw fires on every attempt of every cell; with all
     // retries exhausted the whole grid is quarantined — and the sweep
-    // still returns instead of throwing.
-    fi::Injector::instance().arm("campaign.hang");
+    // still returns instead of throwing. after=2 spares the profile
+    // batch (one check per suite workload, arriving before any cell)
+    // so the failure lands in the quarantine path, not profiling.
+    fi::Injector::instance().arm("task.throw:after=2");
     sys::Platform platform(smallPlatform());
     auto params = smallParams();
     params.taskRetries = 1;
@@ -98,7 +105,7 @@ TEST_F(CampaignResilienceTest, AllFailingCellsQuarantineWithoutAborting)
     ASSERT_EQ(measurements.size(), 4u);
     for (const auto &m : measurements) {
         EXPECT_TRUE(m.quarantined);
-        EXPECT_NE(m.failure.find("campaign.hang"), std::string::npos);
+        EXPECT_NE(m.failure.find("task.throw"), std::string::npos);
         EXPECT_FALSE(m.label.empty());
     }
     const auto &report = campaign.lastQuarantine();
@@ -114,9 +121,10 @@ TEST_F(CampaignResilienceTest, RetriedFaultsYieldBitIdenticalResults)
     CharacterizationCampaign clean(platform, smallParams());
     const auto reference = wers(clean.sweep(kSuite, kPoints));
 
-    // Every cell fails its first attempt; one retry recovers all of
-    // them and the recovered results match the clean run exactly.
-    fi::Injector::instance().arm("campaign.hang:max_attempt=1");
+    // Every task (profile extraction and measurement cells alike)
+    // fails its first attempt; one retry recovers all of them and the
+    // recovered results match the clean run exactly.
+    fi::Injector::instance().arm("task.throw:max_attempt=1");
     sys::Platform platform2(smallPlatform());
     auto params = smallParams();
     params.taskRetries = 1;
@@ -125,12 +133,12 @@ TEST_F(CampaignResilienceTest, RetriedFaultsYieldBitIdenticalResults)
 
     EXPECT_TRUE(faulted.lastQuarantine().empty());
     EXPECT_EQ(wers(measurements), reference);
-    EXPECT_GE(fi::Injector::instance().firedCount("campaign.hang"), 4u);
+    EXPECT_GE(fi::Injector::instance().firedCount("task.throw"), 4u);
 }
 
 TEST_F(CampaignResilienceTest, FailFastSweepThrowsBatchError)
 {
-    fi::Injector::instance().arm("campaign.hang");
+    fi::Injector::instance().arm("task.throw:after=2");
     sys::Platform platform(smallPlatform());
     auto params = smallParams();
     params.taskRetries = 0;
@@ -211,6 +219,80 @@ TEST_F(CampaignResilienceTest, DigestIsThreadCountIndependent)
 
     EXPECT_EQ(parallel_wers, serial_wers);
     EXPECT_EQ(parallel_digest, serial_digest);
+}
+
+TEST_F(CampaignResilienceTest, CancelledSweepResumesToCleanDigest)
+{
+    // A signal-style interrupt: a checkpointed sweep is cancelled once
+    // its first cell has been journaled. Completed cells stay in the
+    // journal, cancelled ones are a distinct (non-quarantined)
+    // disposition, and the resumed sweep reaches the exact digest of
+    // an uninterrupted run — at 1 and 8 threads.
+    for (const int threads : {1, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        par::Pool::setGlobalThreads(threads);
+        const std::string cdir = dir + "-t" + std::to_string(threads);
+
+        resetObservability();
+        sys::Platform clean_platform(smallPlatform());
+        CharacterizationCampaign clean(clean_platform, smallParams());
+        const auto reference = wers(clean.sweep(kSuite, kPoints));
+        const std::uint64_t clean_digest = obs::statsDigest();
+
+        resetObservability();
+        par::CancelToken token = par::CancelToken::make();
+        auto params = smallParams();
+        params.checkpointDir = cdir;
+        params.cancelToken = token;
+        sys::Platform platform(smallPlatform());
+        CharacterizationCampaign interrupted(platform, params);
+        // Cancel as soon as a cell lands in the journal, so the
+        // interrupt strikes after profiling, mid-cell-batch (or, on a
+        // fast box, after the sweep — the digest claim holds either
+        // way; which cells drain cancelled may vary, the outcome
+        // must not).
+        std::thread canceller([&token, &cdir] {
+            for (int i = 0; i < 2000; ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                std::error_code ec;
+                std::filesystem::directory_iterator it(cdir, ec), end;
+                if (ec)
+                    continue;
+                for (; it != end; ++it) {
+                    const auto name = it->path().filename().string();
+                    if (name.starts_with("cell-")) {
+                        token.cancel("test interrupt", "test");
+                        return;
+                    }
+                }
+            }
+            token.cancel("test interrupt", "test");
+        });
+        const auto partial = interrupted.sweep(kSuite, kPoints);
+        canceller.join();
+        ASSERT_EQ(partial.size(), 4u);
+        for (const auto &m : partial) {
+            EXPECT_FALSE(m.quarantined);
+            if (!m.cancelled) {
+                EXPECT_FALSE(m.run.werSeries.empty());
+            }
+        }
+        EXPECT_TRUE(interrupted.lastQuarantine().empty());
+
+        // Resume fault-free: journaled cells replay, cancelled cells
+        // are re-measured.
+        resetObservability();
+        auto resume_params = smallParams();
+        resume_params.checkpointDir = cdir;
+        sys::Platform platform2(smallPlatform());
+        CharacterizationCampaign resumed(platform2, resume_params);
+        EXPECT_EQ(wers(resumed.sweep(kSuite, kPoints)), reference);
+        EXPECT_EQ(obs::statsDigest(), clean_digest)
+            << "cancel-then-resume must reach the uninterrupted digest";
+        std::filesystem::remove_all(cdir);
+    }
+    par::Pool::setGlobalThreads(8);
 }
 
 TEST_F(CampaignResilienceTest, KillMidSweepThenResumeCompletes)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -45,13 +46,13 @@ TEST_F(InjectorTest, DefaultSpecFiresAlways)
 TEST_F(InjectorTest, FaultErrorCarriesThePointName)
 {
     auto &inj = Injector::instance();
-    inj.arm("campaign.hang");
+    inj.arm("task.throw");
     try {
-        inj.maybeThrow("campaign.hang", 7);
+        inj.maybeThrow("task.throw", 7);
         FAIL() << "expected FaultError";
     } catch (const FaultError &e) {
-        EXPECT_EQ(e.point(), "campaign.hang");
-        EXPECT_NE(std::string(e.what()).find("campaign.hang"),
+        EXPECT_EQ(e.point(), "task.throw");
+        EXPECT_NE(std::string(e.what()).find("task.throw"),
                   std::string::npos);
     }
 }
@@ -150,6 +151,25 @@ TEST_F(InjectorTest, CorruptDoubleYieldsNan)
     EXPECT_DOUBLE_EQ(inj.corruptDouble("measure.nan", 1, 2.0), 2.0);
 }
 
+TEST_F(InjectorTest, MaybeStallSleepsForTheConfiguredMs)
+{
+    auto &inj = Injector::instance();
+    inj.arm("task.stall:ms=50,count=1");
+    const auto before = std::chrono::steady_clock::now();
+    EXPECT_TRUE(inj.maybeStall("task.stall", 0));
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - before);
+    EXPECT_GE(elapsed.count(), 0.045);
+    // Budget exhausted: subsequent checks pass through instantly.
+    EXPECT_FALSE(inj.maybeStall("task.stall", 1));
+    EXPECT_EQ(inj.firedCount("task.stall"), 1u);
+}
+
+TEST_F(InjectorTest, MaybeStallIsANoOpWhenUnarmed)
+{
+    EXPECT_FALSE(Injector::instance().maybeStall("task.stall", 0));
+}
+
 TEST_F(InjectorTest, DisarmForgetsEverything)
 {
     auto &inj = Injector::instance();
@@ -183,6 +203,11 @@ TEST_F(InjectorDeath, MalformedSpecsAreFatal)
                 ::testing::ExitedWithCode(1), "bogus");
     EXPECT_EXIT(inj.arm("task.throw:every=x"),
                 ::testing::ExitedWithCode(1), "every");
+    // Stalls are bounded by design: 10 minutes is the ceiling.
+    EXPECT_EXIT(inj.arm("task.stall:ms=600001"),
+                ::testing::ExitedWithCode(1), "ms must be in");
+    EXPECT_EXIT(inj.arm("task.stall:ms=-1"),
+                ::testing::ExitedWithCode(1), "ms must be in");
 }
 
 } // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for par::CancelToken — hierarchy, propagation, first-cancel-
+ * wins — and for how cancellation flows through parallelForResilient:
+ * dispositions, BatchError aggregation when a cancellation races a
+ * real task failure, and the all-cancelled CancelledError fast path.
+ * Runs at 1, 2 and 8 threads; the 1-thread pool is the serial
+ * reference the parallel runs must agree with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "par/cancel.hh"
+#include "par/pool.hh"
+
+namespace dfault::par {
+namespace {
+
+struct CancelTest : ::testing::Test
+{
+    void TearDown() override { resetRootCancelToken(); }
+};
+
+TEST_F(CancelTest, DefaultTokenIsInvalid)
+{
+    const CancelToken token;
+    EXPECT_FALSE(token.valid());
+    EXPECT_FALSE(token.cancelled());
+    token.throwIfCancelled(); // invalid tokens never fire
+}
+
+TEST_F(CancelTest, CancelSetsReasonAndOrigin)
+{
+    CancelToken token = CancelToken::make();
+    EXPECT_TRUE(token.valid());
+    EXPECT_FALSE(token.cancelled());
+
+    token.cancel("user pressed ^C", "signal");
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), "user pressed ^C");
+    EXPECT_EQ(token.origin(), "signal");
+}
+
+TEST_F(CancelTest, FirstCancelWins)
+{
+    CancelToken token = CancelToken::make();
+    token.cancel("first", "a");
+    token.cancel("second", "b");
+    EXPECT_EQ(token.reason(), "first");
+    EXPECT_EQ(token.origin(), "a");
+}
+
+TEST_F(CancelTest, ThrowIfCancelledCarriesReasonAndOrigin)
+{
+    CancelToken token = CancelToken::make();
+    token.cancel("deadline of 2 s exceeded", "deadline");
+    try {
+        token.throwIfCancelled();
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        EXPECT_EQ(e.reason(), "deadline of 2 s exceeded");
+        EXPECT_EQ(e.origin(), "deadline");
+        EXPECT_NE(std::string(e.what()).find("deadline of 2 s"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CancelTest, CancelPropagatesToChildrenNotToParent)
+{
+    CancelToken parent = CancelToken::make();
+    CancelToken child = parent.child();
+    CancelToken grandchild = child.child();
+
+    // Child cancel stays local.
+    child.cancel("child stopped", "test");
+    EXPECT_FALSE(parent.cancelled());
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_TRUE(grandchild.cancelled());
+
+    // Parent cancel reaches every uncancelled descendant.
+    CancelToken other = parent.child();
+    parent.cancel("run stopped", "test");
+    EXPECT_TRUE(other.cancelled());
+    EXPECT_EQ(other.reason(), "run stopped");
+    // The already-cancelled child keeps its own first reason.
+    EXPECT_EQ(child.reason(), "child stopped");
+}
+
+TEST_F(CancelTest, ChildOfCancelledParentIsBornCancelled)
+{
+    CancelToken parent = CancelToken::make();
+    parent.cancel("too late", "test");
+    const CancelToken child = parent.child();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_EQ(child.reason(), "too late");
+}
+
+TEST_F(CancelTest, RootTokenResetsToAFreshToken)
+{
+    rootCancelToken().cancel("stale", "test");
+    ASSERT_TRUE(rootCancelToken().cancelled());
+    resetRootCancelToken();
+    EXPECT_FALSE(rootCancelToken().cancelled());
+}
+
+/**
+ * A cancellation racing a real failure inside one batch. Index 6
+ * exhausts its retries long before the cancel arrives; index 7 parks
+ * on the token and can only leave via CancelledError; the cancel
+ * comes from outside the batch, as a signal would. The pair sits at
+ * the tail of the range so the failing index runs first under both
+ * the inline path (ascending) and a worker's own-deque order
+ * (descending) — at every thread count the batch must aggregate
+ * exactly one Failed and one Cancelled index, sorted, with the other
+ * six completing, and never retry the cancelled one.
+ */
+TEST_F(CancelTest, FailureAndCancellationMixAggregatesByDisposition)
+{
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        Pool pool(threads);
+        CancelToken token = CancelToken::make();
+        ResilienceOptions opts;
+        opts.maxRetries = 2;
+        opts.failFast = false;
+        opts.token = token;
+
+        std::thread canceller([&token] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            token.cancel("stop now", "test");
+        });
+        std::atomic<int> completed{0};
+        const auto failures = pool.parallelForResilient(
+            8,
+            [&](std::size_t i, int) {
+                if (i == 6)
+                    throw std::runtime_error("boom 6");
+                if (i == 7) {
+                    // Park until the cancel: the token is the only
+                    // exit, so this index observes it mid-body.
+                    while (true) {
+                        token.throwIfCancelled();
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                }
+                ++completed;
+            },
+            opts);
+        canceller.join();
+
+        ASSERT_EQ(failures.size(), 2u);
+        EXPECT_EQ(completed.load(), 6);
+
+        EXPECT_EQ(failures[0].index, 6u); // finishBatch sorts by index
+        EXPECT_EQ(failures[0].disposition, TaskDisposition::Failed);
+        EXPECT_EQ(failures[0].attempts, 3); // 1 + maxRetries, µs-fast
+        EXPECT_EQ(failures[0].error, "boom 6");
+
+        EXPECT_EQ(failures[1].index, 7u);
+        EXPECT_EQ(failures[1].disposition, TaskDisposition::Cancelled);
+        // One running attempt observed the token; a cancelled index
+        // is never retried even with retry budget left.
+        EXPECT_EQ(failures[1].attempts, 1);
+        EXPECT_NE(failures[1].error.find("stop now"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CancelTest, MixedBatchErrorMessageCountsBothDispositions)
+{
+    // Serial pool so the failure set is exact: one real failure, the
+    // post-cancel tail cancelled.
+    Pool pool(1);
+    CancelToken token = CancelToken::make();
+    ResilienceOptions opts;
+    opts.maxRetries = 0;
+    opts.failFast = true;
+    opts.token = token;
+    try {
+        pool.parallelForResilient(
+            6,
+            [&](std::size_t i, int) {
+                if (i == 1)
+                    throw std::runtime_error("boom 1");
+                if (i == 3)
+                    token.cancel("stop", "test");
+            },
+            opts);
+        FAIL() << "expected BatchError";
+    } catch (const BatchError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("1 task(s) failed, 2 cancelled:"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("[1] boom 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("[4 cancelled]"), std::string::npos) << msg;
+        ASSERT_EQ(e.failures().size(), 3u);
+        EXPECT_EQ(e.failures()[0].disposition, TaskDisposition::Failed);
+        EXPECT_EQ(e.failures()[1].disposition,
+                  TaskDisposition::Cancelled);
+        EXPECT_EQ(e.failures()[2].disposition,
+                  TaskDisposition::Cancelled);
+    }
+}
+
+TEST_F(CancelTest, AllCancelledFailFastBatchThrowsCancelledError)
+{
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        Pool pool(threads);
+        CancelToken token = CancelToken::make();
+        token.cancel("cancelled before submit", "test");
+        ResilienceOptions opts;
+        opts.failFast = true;
+        opts.token = token;
+        bool body_ran = false;
+        try {
+            pool.parallelForResilient(
+                4, [&](std::size_t, int) { body_ran = true; }, opts);
+            FAIL() << "expected CancelledError";
+        } catch (const CancelledError &e) {
+            EXPECT_EQ(e.reason(), "cancelled before submit");
+            EXPECT_EQ(e.origin(), "test");
+        }
+        EXPECT_FALSE(body_ran);
+    }
+}
+
+TEST_F(CancelTest, AllCancelledNonFailFastBatchReturnsDispositions)
+{
+    Pool pool(2);
+    CancelToken token = CancelToken::make();
+    token.cancel("early", "test");
+    ResilienceOptions opts;
+    opts.failFast = false;
+    opts.token = token;
+    const auto failures =
+        pool.parallelForResilient(3, [](std::size_t, int) {}, opts);
+    ASSERT_EQ(failures.size(), 3u);
+    std::set<std::size_t> indices;
+    for (const auto &f : failures) {
+        EXPECT_EQ(f.disposition, TaskDisposition::Cancelled);
+        EXPECT_EQ(f.attempts, 0);
+        indices.insert(f.index);
+    }
+    EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST_F(CancelTest, BodyThrownCancelledErrorIsNotRetried)
+{
+    Pool pool(1);
+    int attempts = 0;
+    ResilienceOptions opts;
+    opts.maxRetries = 5;
+    opts.failFast = false;
+    const auto failures = pool.parallelForResilient(
+        1,
+        [&](std::size_t, int) {
+            ++attempts;
+            throw CancelledError("observed mid-task", "test");
+        },
+        opts);
+    EXPECT_EQ(attempts, 1); // retrying a cancellation is meaningless
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].disposition, TaskDisposition::Cancelled);
+    EXPECT_EQ(failures[0].attempts, 1);
+}
+
+TEST_F(CancelTest, UnspecifiedTokenFallsBackToRoot)
+{
+    Pool pool(2);
+    rootCancelToken().cancel("root stopped", "test");
+    ResilienceOptions opts;
+    opts.failFast = false;
+    const auto failures =
+        pool.parallelForResilient(2, [](std::size_t, int) {}, opts);
+    ASSERT_EQ(failures.size(), 2u);
+    EXPECT_EQ(failures[0].disposition, TaskDisposition::Cancelled);
+    EXPECT_NE(failures[0].error.find("root stopped"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dfault::par

@@ -32,8 +32,17 @@
  *   checkpoint=<dir> journal sweep cells; resume from them on re-run
  *   retries=<n>      per-cell retries before quarantine (default 2)
  *   fail_fast=true   abort a sweep on an exhausted cell
+ *   task_timeout=<s> watchdog flags a task silent for this long; the
+ *                    task is failed at its next heartbeat and retried
+ *                    or quarantined like any other failure
+ *   deadline=<s>     cancel the whole run after this much wall time
  *   --quarantine-out=<path>  quarantine report destination (default
  *                          <stats-out>.quarantine.json)
+ *
+ * SIGINT/SIGTERM cancel the run cooperatively: in-flight work drains,
+ * checkpoints flush, and all artifacts above are still written, with
+ * the manifest marked "interrupted": true. A second signal exits
+ * immediately. Exit code is 130 (SIGINT) / 143 (SIGTERM).
  */
 
 #include <chrono>
@@ -51,7 +60,9 @@
 #include "obs/trace_writer.hh"
 #include "core/dataset_builder.hh"
 #include "core/report.hh"
+#include "par/cancel.hh"
 #include "par/pool.hh"
+#include "par/shutdown.hh"
 #include "core/error_model.hh"
 #include "core/trainer.hh"
 #include "features/extractor.hh"
@@ -146,6 +157,16 @@ struct Cli
         cp.checkpointDir = config.getString("checkpoint", "");
         campaign = std::make_unique<core::CharacterizationCampaign>(
             *platform, cp);
+
+        // Supervision: a watchdog for silent tasks and a wall-clock
+        // deadline for the whole run. 0 (the default) disables each.
+        par::WatchdogOptions wd;
+        wd.taskTimeoutSeconds =
+            config.getDoubleIn("task_timeout", 0.0, 0.0, 86400.0);
+        wd.deadlineSeconds =
+            config.getDoubleIn("deadline", 0.0, 0.0, 86400.0);
+        if (wd.taskTimeoutSeconds > 0.0 || wd.deadlineSeconds > 0.0)
+            par::Pool::global().enableWatchdog(wd);
     }
 
     dram::OperatingPoint
@@ -257,7 +278,8 @@ cmdSweep(Cli &cli, const std::string &out_path)
     // Export the aggregate-WER dataset with the full feature schema.
     ml::Dataset data(features::FeatureCatalog::instance().names());
     for (const auto &m : measurements) {
-        if (m.quarantined || m.run.crashed)
+        // Cancelled cells never measured and carry no profile.
+        if (m.quarantined || m.cancelled || m.run.crashed)
             continue;
         data.addSample(m.profile->features.values(), m.run.wer(),
                        m.label);
@@ -353,6 +375,7 @@ usage()
         "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
         "           vdd_v threads input_set model thermal_loop\n"
         "           faults checkpoint retries fail_fast\n"
+        "           task_timeout deadline\n"
         "telemetry: --stats-out=<path> --trace-out=<path>\n"
         "           --trace-events=<path> --manifest-out=<path>\n"
         "           --quarantine-out=<path> --progress\n");
@@ -390,11 +413,29 @@ dispatch(Cli &cli)
 int
 main(int argc, char **argv)
 {
+    // Install before any work starts so an early ^C already drains
+    // cooperatively instead of killing the process mid-write.
+    par::installSignalHandlers();
     Cli cli(argc, argv);
-    const int rc = dispatch(cli);
+    int rc;
+    try {
+        rc = dispatch(cli);
+    } catch (const par::CancelledError &e) {
+        // Cooperative cancellation (signal or deadline) unwound the
+        // command. Fall through: in-flight tasks have drained and
+        // every artifact below is still written — partial but valid —
+        // with the manifest marked interrupted.
+        DFAULT_WARN("run cancelled: ", e.what(),
+                    "; writing partial artifacts");
+        rc = 1;
+    }
 
     auto &inj = fi::Injector::instance();
     if (inj.armed()) {
+        // Chaos hook for the drain path itself: lets CI check that a
+        // slow epilogue still survives a second signal (_Exit) and
+        // that a single signal waits for the artifacts.
+        inj.maybeStall("shutdown.slow_drain", 0);
         for (const auto &[point, fired] : inj.firedCounts())
             obs::Registry::instance()
                 .gauge("fi.fired." + point,
@@ -452,6 +493,10 @@ main(int argc, char **argv)
         info.threads = par::Pool::global().threads();
         info.statsPath = cli.statsOut;
         info.tracePath = cli.traceEvents;
+        if (par::rootCancelToken().cancelled()) {
+            info.interrupted = true;
+            info.interruptReason = par::rootCancelToken().reason();
+        }
         info.wallSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - cli.start)
@@ -462,5 +507,11 @@ main(int argc, char **argv)
         DFAULT_INFORM("run manifest written to ", manifest_path);
     }
     obs::EventSink::instance().close();
+    par::Pool::global().disableWatchdog();
+    par::uninstallSignalHandlers();
+    // Signal-driven runs exit with the conventional 128+signo so
+    // shells and CI can tell an interrupted run from a failed one.
+    if (par::shutdownExitCode() != 0)
+        return par::shutdownExitCode();
     return rc;
 }
