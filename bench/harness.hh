@@ -16,6 +16,12 @@
  *   manifest_out=<path>  write the run manifest here (default
  *                        <stats_out>.manifest.json)
  *   progress=true        one-line progress updates on stderr
+ *   perf_counters=true   per-phase hardware-counter attribution
+ *                        (perf.phase.<path>.*) plus a perf table at
+ *                        exit; degrades to zeros where
+ *                        perf_event_open is unavailable
+ *   alloc_track=true     per-phase heap allocation attribution
+ *                        (alloc.phase.<path>.bytes/.allocs)
  *
  * Parallelism (see docs/parallelism.md):
  *   threads=<n>        size the global pool (overrides DFAULT_THREADS);
@@ -62,8 +68,10 @@
 #include "core/report.hh"
 #include "core/trainer.hh"
 #include "fi/injector.hh"
+#include "obs/alloc_tracker.hh"
 #include "obs/events.hh"
 #include "obs/manifest.hh"
+#include "obs/perf_counters.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
@@ -140,6 +148,17 @@ class Harness
         if (!traceEvents_.empty())
             obs::SpanTracer::instance().enable();
         obs::setProgress(config_.getBool("progress", false));
+        perfCounters_ = config_.getBool("perf_counters", false);
+        if (perfCounters_) {
+            obs::PerfCounters::setPhaseProfiling(true);
+            const auto &pc = obs::PerfCounters::threadInstance();
+            if (!pc.available())
+                DFAULT_INFORM("perf counters unavailable (",
+                              pc.unavailableReason(),
+                              "); perf.* stats will read zero");
+        }
+        if (config_.getBool("alloc_track", false))
+            obs::AllocTracker::enable();
 
         // Supervision: a watchdog for silent tasks and a wall-clock
         // deadline for the whole run. 0 (the default) disables each.
@@ -169,6 +188,8 @@ class Harness
                             static_cast<unsigned long long>(p.calls));
         }
         std::printf("\ntotal wall clock %.3f s\n", wall);
+        if (perfCounters_)
+            obs::printPerfTable(stdout);
 
         auto &tracer = obs::SpanTracer::instance();
         if (tracer.enabled()) {
@@ -283,6 +304,7 @@ class Harness
     std::string statsOut_;
     std::string traceEvents_;
     std::string manifestOut_;
+    bool perfCounters_ = false;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<sys::Platform> platform_;
     std::unique_ptr<core::CharacterizationCampaign> campaign_;

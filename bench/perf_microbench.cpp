@@ -1,12 +1,35 @@
 /**
  * @file
  * google-benchmark micro-benchmarks of the library's hot paths: the
- * SECDED codec, the cache and MCU models, feature correlation, the
- * three ML models' prediction latency (the paper's "predict DRAM
- * errors within 300 ms" claim), and one full error-integration run.
+ * SECDED codec (encode plus the no-error / single-bit-correct /
+ * double-bit-detect decode paths), the cache and MCU models, feature
+ * correlation (full Spearman and the ranking kernel alone), the three
+ * ML models' prediction latency (the paper's "predict DRAM errors
+ * within 300 ms" claim), and one full error-integration run.
+ *
+ * Each kernel benchmark carries extra custom counters alongside
+ * google-benchmark's mean time:
+ *
+ *   p50_ns / p99_ns   per-operation latency quantiles, tail-sampled
+ *                     into an obs::Histogram. Sub-100ns kernels are
+ *                     sampled in batches (the quantile is then of the
+ *                     per-batch mean) so the clock reads don't distort
+ *                     the measured loop.
+ *   ipc, cache_miss_per_kinstr, branch_miss_per_kinstr
+ *                     hardware-counter rates over the benchmark loop
+ *                     via perf_event_open; omitted entirely on hosts
+ *                     where the syscall is unavailable (VMs,
+ *                     perf_event_paranoid), so downstream gates can
+ *                     tell "no counters" from "zero misses".
+ *
+ * tools/bench_compare gates on cpu_time and p99_ns and (advisorily)
+ * on the counter rates; refresh bench/BENCH_perf.json after any
+ * intentional change here.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "common/rng.hh"
 #include "core/error_integrator.hh"
@@ -17,6 +40,8 @@
 #include "ml/forest.hh"
 #include "ml/knn.hh"
 #include "ml/svr.hh"
+#include "obs/histogram.hh"
+#include "obs/perf_counters.hh"
 #include "stats/correlation.hh"
 #include "sys/platform.hh"
 
@@ -24,30 +49,121 @@ namespace {
 
 using namespace dfault;
 
+/**
+ * Per-benchmark latency quantiles + hardware-counter rates. Bracket
+ * every iteration with begin()/end(); construction-to-destruction
+ * spans the benchmark loop for the counter delta.
+ */
+class KernelProfile
+{
+  public:
+    /**
+     * @p batch iterations are timed as one histogram sample (their
+     * mean); use > 1 for kernels cheaper than ~2 clock reads.
+     */
+    explicit KernelProfile(benchmark::State &state, int batch = 1)
+        : state_(state), batch_(static_cast<std::uint64_t>(batch)),
+          perfStart_(obs::PerfCounters::threadInstance().sample())
+    {
+    }
+
+    void begin()
+    {
+        if (n_ % batch_ == 0)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    void end()
+    {
+        ++n_;
+        if (n_ % batch_ == 0) {
+            const double ns =
+                std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0_)
+                    .count();
+            hist_.record(ns / static_cast<double>(batch_));
+        }
+    }
+
+    ~KernelProfile()
+    {
+        const obs::PerfSample delta = obs::PerfCounters::threadInstance()
+                                          .sample()
+                                          .deltaSince(perfStart_);
+        if (delta.valid && delta.cycles > 0) {
+            const double instr =
+                static_cast<double>(delta.instructions);
+            state_.counters["ipc"] = benchmark::Counter(
+                instr / static_cast<double>(delta.cycles));
+            if (instr > 0) {
+                state_.counters["cache_miss_per_kinstr"] =
+                    benchmark::Counter(
+                        static_cast<double>(delta.cacheMisses) / instr *
+                        1e3);
+                state_.counters["branch_miss_per_kinstr"] =
+                    benchmark::Counter(
+                        static_cast<double>(delta.branchMisses) / instr *
+                        1e3);
+            }
+        }
+        const obs::HistogramSnapshot snap = hist_.snapshot();
+        if (snap.count > 0) {
+            state_.counters["p50_ns"] = benchmark::Counter(snap.p50());
+            state_.counters["p99_ns"] = benchmark::Counter(snap.p99());
+        }
+    }
+
+  private:
+    benchmark::State &state_;
+    obs::Histogram hist_;
+    std::uint64_t batch_;
+    std::uint64_t n_ = 0;
+    std::chrono::steady_clock::time_point t0_;
+    obs::PerfSample perfStart_;
+};
+
+/** Batch size for kernels in the few-ns range. */
+constexpr int kTightBatch = 256;
+
 void
 BM_EccEncode(benchmark::State &state)
 {
     dram::EccSecded ecc;
     Rng rng(1);
     std::uint64_t data = rng.next();
+    KernelProfile prof(state, kTightBatch);
     for (auto _ : state) {
+        prof.begin();
         benchmark::DoNotOptimize(ecc.encode(data));
         data += 0x9e3779b97f4a7c15ULL;
+        prof.end();
     }
 }
 BENCHMARK(BM_EccEncode);
 
+/**
+ * Decode latency across the three SECDED paths the integrator
+ * exercises: arg = number of flipped bits (0 = clean syndrome, 1 =
+ * single-bit correct, 2 = double-bit detect).
+ */
 void
-BM_EccDecodeCorrupted(benchmark::State &state)
+BM_EccDecode(benchmark::State &state)
 {
     dram::EccSecded ecc;
     Rng rng(2);
     dram::Codeword word = ecc.encode(rng.next());
-    dram::EccSecded::flipBit(word, 17);
-    for (auto _ : state)
+    if (state.range(0) >= 1)
+        dram::EccSecded::flipBit(word, 17);
+    if (state.range(0) >= 2)
+        dram::EccSecded::flipBit(word, 41);
+    KernelProfile prof(state, kTightBatch);
+    for (auto _ : state) {
+        prof.begin();
         benchmark::DoNotOptimize(ecc.decode(word));
+        prof.end();
+    }
 }
-BENCHMARK(BM_EccDecodeCorrupted);
+BENCHMARK(BM_EccDecode)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -56,10 +172,14 @@ BM_CacheAccess(benchmark::State &state)
     params.sizeBytes = 32 * 1024;
     mem::Cache cache(params);
     Rng rng(3);
-    for (auto _ : state)
+    KernelProfile prof(state, kTightBatch);
+    for (auto _ : state) {
+        prof.begin();
         benchmark::DoNotOptimize(
             cache.access(rng.uniformInt(std::uint64_t{1} << 20) * 8,
                          false));
+        prof.end();
+    }
 }
 BENCHMARK(BM_CacheAccess);
 
@@ -70,12 +190,15 @@ BM_McuAccess(benchmark::State &state)
     dram::Mcu mcu(geometry, 0);
     Rng rng(4);
     Cycles cycle = 0;
+    KernelProfile prof(state, kTightBatch);
     for (auto _ : state) {
+        prof.begin();
         dram::WordCoord coord = geometry.decode(
             rng.uniformInt(geometry.capacityBytes() / 8) * 8);
         coord.channel = 0;
         benchmark::DoNotOptimize(mcu.access(coord, false, cycle));
         cycle += 50;
+        prof.end();
     }
 }
 BENCHMARK(BM_McuAccess);
@@ -89,11 +212,32 @@ BM_Spearman249(benchmark::State &state)
         x.push_back(rng.uniform());
         y.push_back(rng.uniform());
     }
-    for (auto _ : state)
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
         for (int f = 0; f < 249; ++f)
             benchmark::DoNotOptimize(stats::spearman(x, y));
+        prof.end();
+    }
 }
 BENCHMARK(BM_Spearman249);
+
+/** The ranking kernel alone (the sort inside every Spearman call). */
+void
+BM_SpearmanRanks(benchmark::State &state)
+{
+    Rng rng(8);
+    std::vector<double> x;
+    for (int i = 0; i < 140; ++i)
+        x.push_back(rng.uniform());
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
+        benchmark::DoNotOptimize(stats::ranks(x));
+        prof.end();
+    }
+}
+BENCHMARK(BM_SpearmanRanks);
 
 /** Training data shaped like one device's WER dataset. */
 ml::Matrix
@@ -129,8 +273,12 @@ predictLatency(benchmark::State &state, std::size_t features)
     Model model;
     model.fit(x, y);
     const auto query = campaignX(1, features)[0];
-    for (auto _ : state)
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
         benchmark::DoNotOptimize(model.predict(query));
+        prof.end();
+    }
 }
 
 void
@@ -161,15 +309,26 @@ BM_RdfPredict_Set1(benchmark::State &state)
 }
 BENCHMARK(BM_RdfPredict_Set1);
 
+/** Forest traversal with deep feature vectors (all 252 features). */
+void
+BM_RdfPredict_AllFeatures(benchmark::State &state)
+{
+    predictLatency<ml::RandomForestRegressor>(state, 252);
+}
+BENCHMARK(BM_RdfPredict_AllFeatures);
+
 void
 BM_KnnFit_Set1(benchmark::State &state)
 {
     const auto x = campaignX(140, 7);
     const auto y = campaignY(140);
+    KernelProfile prof(state);
     for (auto _ : state) {
+        prof.begin();
         ml::KnnRegressor model;
         model.fit(x, y);
         benchmark::DoNotOptimize(&model);
+        prof.end();
     }
 }
 BENCHMARK(BM_KnnFit_Set1);
@@ -191,10 +350,14 @@ BM_ErrorIntegratorRun(benchmark::State &state)
     core::ErrorIntegrator integrator;
     const dram::OperatingPoint op{2.283, dram::kMinVdd, 60.0};
     std::uint64_t seed = 0;
-    for (auto _ : state)
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
         benchmark::DoNotOptimize(
             integrator.run(profile, op, platform.geometry(),
                            platform.devices(), seed++));
+        prof.end();
+    }
 }
 BENCHMARK(BM_ErrorIntegratorRun)->Unit(benchmark::kMillisecond);
 

@@ -1,6 +1,7 @@
 #include "core/characterization.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -46,6 +47,8 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
                                     dram::ErrorLog *log, int attempt)
 {
     op.validate();
+
+    const auto cell_start = std::chrono::steady_clock::now();
 
     // Cooperative cancellation: bail before committing to the cell.
     // A CancelledError here reaches the pool's Cancelled disposition,
@@ -161,10 +164,18 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
         obs::publishCounter("campaign.crashes",
                             "experiments ended by a UE");
     const double wer = m.run.wer();
-    if (wer > 0.0)
+    if (wer > 0.0) {
         obs::publishDistribution("campaign.wer_log10", -14.0, 0.0, 28,
                                  "log10 of measured aggregate WER",
                                  std::log10(wer));
+        // Log-bucketed companion with streaming quantiles: WER spans
+        // ~10 decades across the grid, exactly the log-bucket sweet
+        // spot. Deferral-aware so checkpoint replay reproduces
+        // bit-identical quantiles.
+        obs::publishHistogram("campaign.wer",
+                              "measured aggregate WER per experiment",
+                              wer);
+    }
 
     auto &sink = obs::EventSink::instance();
     if (sink.enabled()) {
@@ -193,6 +204,15 @@ CharacterizationCampaign::measureOn(sys::Platform &platform,
         (m.run.crashed
              ? " UE@min" + std::to_string(m.run.crashEpoch)
              : ""));
+    // Cell latency goes straight to the registry, not through the
+    // deferral: wall time is nondeterministic, so replaying a stale
+    // duration on checkpoint resume would be worse than dropping it.
+    obs::Registry::instance()
+        .histogram("campaign.cell_ns",
+                   "characterization cell wall-clock (nanoseconds)")
+        .record(std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - cell_start)
+                    .count());
     return m;
 }
 

@@ -1,0 +1,215 @@
+#include "obs/alloc_tracker.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace dfault::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Plain trivially-constructed/destructed thread_locals: the operator
+// new replacement below must never allocate on its own path, and a
+// POD thread_local needs no dynamic init that could recurse into it.
+thread_local std::uint64_t t_bytes = 0;
+thread_local std::uint64_t t_allocs = 0;
+
+inline void
+tally(std::size_t size)
+{
+    if (g_enabled.load(std::memory_order_relaxed)) {
+        t_bytes += size;
+        ++t_allocs;
+    }
+}
+
+void *
+trackedAlloc(std::size_t size)
+{
+    // malloc(0) may return nullptr legitimately; operator new must
+    // return a unique pointer instead.
+    void *p = std::malloc(size != 0 ? size : 1);
+    if (p != nullptr)
+        tally(size);
+    return p;
+}
+
+void *
+trackedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    void *p = nullptr;
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    if (posix_memalign(&p, align, size != 0 ? size : align) != 0)
+        return nullptr;
+    tally(size);
+    return p;
+}
+
+} // namespace
+
+void
+AllocTracker::enable()
+{
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+AllocTracker::disable()
+{
+    g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool
+AllocTracker::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+AllocTracker::Totals
+AllocTracker::threadTotals()
+{
+    return {t_bytes, t_allocs};
+}
+
+void
+AllocTracker::resetThread()
+{
+    t_bytes = 0;
+    t_allocs = 0;
+}
+
+} // namespace dfault::obs
+
+// Replaceable global allocation functions. The full family is
+// replaced together so new/delete stay a matched malloc/free pair.
+// Sanitizer builds intercept malloc/free underneath these, so ASan
+// and TSan diagnostics keep working through the hook.
+
+void *
+operator new(std::size_t size)
+{
+    void *p = dfault::obs::trackedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = dfault::obs::trackedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return dfault::obs::trackedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return dfault::obs::trackedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = dfault::obs::trackedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = dfault::obs::trackedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return dfault::obs::trackedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return dfault::obs::trackedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

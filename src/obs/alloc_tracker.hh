@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Opt-in per-phase heap allocation attribution.
+ *
+ * Global operator new/delete replacements (alloc_tracker.cc) tally
+ * allocation count and bytes into thread-local counters whenever the
+ * tracker is enabled; disabled, the hook costs one relaxed atomic
+ * load per allocation and touches nothing else. The tally counts
+ * *allocation volume* (bytes requested over time), not live bytes —
+ * frees are not subtracted, so a phase's number answers "how much did
+ * this phase allocate", which is the question when hunting allocation
+ * churn in hot loops.
+ *
+ * ScopedTimer brackets each phase with two threadTotals() snapshots
+ * when the tracker is enabled and accumulates the delta under
+ *
+ *   alloc.phase.<path>.bytes    (Gauge)    bytes allocated inside
+ *   alloc.phase.<path>.allocs   (Counter)  allocations inside
+ *
+ * Totals are per-thread: a parallel phase's stats sum each worker's
+ * own allocations (workers adopt the submitter's phase path), so the
+ * attribution is complete without any cross-thread synchronization on
+ * the allocation path.
+ *
+ * All alloc.* stats are excluded from manifest digests and stats_diff
+ * comparisons: allocator behavior is build- and libc-dependent.
+ */
+
+#ifndef DFAULT_OBS_ALLOC_TRACKER_HH
+#define DFAULT_OBS_ALLOC_TRACKER_HH
+
+#include <cstdint>
+
+namespace dfault::obs {
+
+/** See file comment. */
+class AllocTracker
+{
+  public:
+    struct Totals
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t allocs = 0;
+    };
+
+    /** Start tallying on every thread (one relaxed store). */
+    static void enable();
+
+    /** Stop tallying; existing totals are kept until resetThread(). */
+    static void disable();
+
+    /** True when allocations are being tallied. */
+    static bool enabled();
+
+    /** The calling thread's cumulative totals since thread start. */
+    static Totals threadTotals();
+
+    /** Zero the calling thread's totals (test isolation). */
+    static void resetThread();
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_ALLOC_TRACKER_HH

@@ -24,6 +24,8 @@ opKindTag(StatOp::Kind kind)
         return "gs";
       case StatOp::Kind::DistRecord:
         return "d";
+      case StatOp::Kind::HistRecord:
+        return "h";
     }
     DFAULT_PANIC("unreachable stat-op kind");
 }
@@ -39,6 +41,8 @@ opKindFromTag(const std::string &tag, StatOp::Kind &out)
         out = StatOp::Kind::GaugeSet;
     else if (tag == "d")
         out = StatOp::Kind::DistRecord;
+    else if (tag == "h")
+        out = StatOp::Kind::HistRecord;
     else
         return false;
     return true;
@@ -137,6 +141,18 @@ publishDistribution(const std::string &name, double lo, double hi,
 }
 
 void
+publishHistogram(const std::string &name, const std::string &description,
+                 double sample)
+{
+    if (t_active != nullptr) {
+        deferralCapture({StatOp::Kind::HistRecord, name, description,
+                         sample, 0.0, 0.0, 0});
+        return;
+    }
+    Registry::instance().histogram(name, description).record(sample);
+}
+
+void
 applyStatOps(const std::vector<StatOp> &ops, Registry *registry)
 {
     Registry &reg = registry != nullptr ? *registry : Registry::instance();
@@ -156,6 +172,9 @@ applyStatOps(const std::vector<StatOp> &ops, Registry *registry)
             reg.distribution(op.name, op.lo, op.hi, op.buckets,
                              op.description)
                 .record(op.value);
+            break;
+          case StatOp::Kind::HistRecord:
+            reg.histogram(op.name, op.description).record(op.value);
             break;
         }
     }

@@ -43,6 +43,7 @@ struct StatOp
         GaugeAdd,
         GaugeSet,
         DistRecord,
+        HistRecord,
     };
 
     Kind kind = Kind::CounterInc;
@@ -95,6 +96,13 @@ void publishGaugeSet(const std::string &name, const std::string &description,
 void publishDistribution(const std::string &name, double lo, double hi,
                          int buckets, const std::string &description,
                          double sample);
+
+/**
+ * Record into a log-bucketed histogram (obs/histogram.hh), or buffer
+ * the sample under a deferral.
+ */
+void publishHistogram(const std::string &name,
+                      const std::string &description, double sample);
 
 /** Apply @p ops to @p registry (default: the global registry), in order. */
 void applyStatOps(const std::vector<StatOp> &ops,

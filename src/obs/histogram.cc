@@ -1,0 +1,216 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dfault::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_nextHistogramId{1};
+
+} // namespace
+
+/**
+ * One thread's private tally. The owning thread is the only writer
+ * (plain stores would do; relaxed atomics keep the concurrent
+ * snapshot() reader well-defined without ordering cost).
+ */
+struct Histogram::Shard
+{
+    Shard()
+    {
+        for (auto &c : counts)
+            c.store(0, std::memory_order_relaxed);
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBucketCount> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> zeros{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+Histogram::Histogram()
+    : id_(g_nextHistogramId.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Histogram::~Histogram() = default;
+
+Histogram::Shard &
+Histogram::localShard()
+{
+    // Keyed by the process-unique histogram id, not the address: a
+    // short-lived histogram (test-local registry) whose address is
+    // reused can never alias another histogram's cached shard. Stale
+    // entries for dead histograms are never looked up again.
+    thread_local std::unordered_map<std::uint64_t, Shard *> t_shards;
+    auto it = t_shards.find(id_);
+    if (it != t_shards.end())
+        return *it->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard *shard = shards_.back().get();
+    t_shards.emplace(id_, shard);
+    return *shard;
+}
+
+int
+Histogram::bucketIndex(double value)
+{
+    DFAULT_ASSERT(value > 0.0, "bucketIndex needs a positive value");
+    int exp = 0;
+    const double mantissa = std::frexp(value, &exp); // [0.5, 1)
+    const int octave = exp - 1;                      // value in [2^o, 2^o+1)
+    if (octave < -kMinExp2)
+        return 0;
+    if (octave >= kMinExp2)
+        return kBucketCount - 1;
+    const int sub = static_cast<int>((mantissa * 2.0 - 1.0) *
+                                     static_cast<double>(kSubBuckets));
+    return (octave + kMinExp2) * kSubBuckets +
+           std::min(sub, kSubBuckets - 1);
+}
+
+double
+Histogram::bucketLowerEdge(int index)
+{
+    DFAULT_ASSERT(index >= 0 && index < kBucketCount,
+                  "histogram bucket index out of range");
+    const int octave = index / kSubBuckets - kMinExp2;
+    const int sub = index % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                      octave);
+}
+
+double
+Histogram::bucketValue(int index)
+{
+    DFAULT_ASSERT(index >= 0 && index < kBucketCount,
+                  "histogram bucket index out of range");
+    const int octave = index / kSubBuckets - kMinExp2;
+    const int sub = index % kSubBuckets;
+    const double lo = 1.0 + static_cast<double>(sub) / kSubBuckets;
+    const double hi = 1.0 + static_cast<double>(sub + 1) / kSubBuckets;
+    return std::ldexp(std::sqrt(lo * hi), octave);
+}
+
+void
+Histogram::record(double value)
+{
+    Shard &s = localShard();
+    s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    if (std::isnan(value)) {
+        s.zeros.store(s.zeros.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+        return;
+    }
+    s.sum.store(s.sum.load(std::memory_order_relaxed) + value,
+                std::memory_order_relaxed);
+    if (value < s.min.load(std::memory_order_relaxed))
+        s.min.store(value, std::memory_order_relaxed);
+    if (value > s.max.load(std::memory_order_relaxed))
+        s.max.store(value, std::memory_order_relaxed);
+    if (value <= 0.0) {
+        s.zeros.store(s.zeros.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+        return;
+    }
+    auto &bucket = s.counts[static_cast<std::size_t>(bucketIndex(value))];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    std::vector<std::uint64_t> merged(
+        static_cast<std::size_t>(kBucketCount), 0);
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Shard creation order is the one merge order, so repeated
+        // snapshots of an idle histogram are identical; bucket counts
+        // are integer adds and do not depend on the order at all.
+        for (const auto &shard : shards_) {
+            snap.count += shard->count.load(std::memory_order_relaxed);
+            snap.zeros += shard->zeros.load(std::memory_order_relaxed);
+            snap.sum += shard->sum.load(std::memory_order_relaxed);
+            min = std::min(min,
+                           shard->min.load(std::memory_order_relaxed));
+            max = std::max(max,
+                           shard->max.load(std::memory_order_relaxed));
+            for (int i = 0; i < kBucketCount; ++i) {
+                const std::uint64_t c = shard->counts[
+                    static_cast<std::size_t>(i)]
+                        .load(std::memory_order_relaxed);
+                merged[static_cast<std::size_t>(i)] += c;
+            }
+        }
+    }
+    snap.min = std::isinf(min) ? 0.0 : min;
+    snap.max = std::isinf(max) ? 0.0 : max;
+    for (int i = 0; i < kBucketCount; ++i)
+        if (merged[static_cast<std::size_t>(i)] > 0)
+            snap.buckets.emplace_back(
+                i, merged[static_cast<std::size_t>(i)]);
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &shard : shards_) {
+        for (auto &c : shard->counts)
+            c.store(0, std::memory_order_relaxed);
+        shard->count.store(0, std::memory_order_relaxed);
+        shard->zeros.store(0, std::memory_order_relaxed);
+        shard->sum.store(0.0, std::memory_order_relaxed);
+        shard->min.store(std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+        shard->max.store(-std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+    }
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    if (q == 0.0)
+        return min;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    // Non-positive (and NaN) records rank below every log bucket.
+    if (target <= zeros)
+        return min < 0.0 ? min : 0.0;
+    std::uint64_t cumulative = zeros;
+    for (const auto &[index, n] : buckets) {
+        cumulative += n;
+        if (cumulative >= target)
+            return Histogram::bucketValue(index);
+    }
+    return max; // rounding fell past the last bucket
+}
+
+} // namespace dfault::obs

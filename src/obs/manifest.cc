@@ -38,11 +38,16 @@ digestExcludes(const std::string &name)
     // counts, per-phase seconds); fi.* records fault-injection and
     // recovery activity (retries, quarantines, checkpoint restores),
     // which varies between a faulted and a clean run of the same
-    // config; anything measured in seconds is host-speed-dependent
-    // wherever it lives; last_* gauges are last-writer-wins snapshots,
-    // so their final value depends on which task published last.
+    // config; perf.* hardware-counter readings and alloc.* heap
+    // attribution are host- and build-dependent (and zero where
+    // perf_event_open is unavailable); anything measured in seconds is
+    // host-speed-dependent wherever it lives; last_* gauges are
+    // last-writer-wins snapshots, so their final value depends on
+    // which task published last. Histogram-kind stats are excluded by
+    // kind in statsDigest() regardless of name.
     return name.starts_with("time.") || name.starts_with("par.") ||
-           name.starts_with("fi.") ||
+           name.starts_with("fi.") || name.starts_with("perf.") ||
+           name.starts_with("alloc.") ||
            name.find("seconds") != std::string::npos ||
            name.find("last_") != std::string::npos;
 }
@@ -55,6 +60,10 @@ statsDigest(const Registry *registry)
     std::uint64_t hash = kFnvOffset64;
     for (const std::string &name : reg.names()) {
         if (digestExcludes(name))
+            continue;
+        // Latency histograms vary run to run; even over deterministic
+        // values their mean is a shard-partition-dependent float sum.
+        if (reg.kindOf(name) == StatKind::Histogram)
             continue;
         hash = fnv1a64(name, hash);
         hash = fnv1a64("=", hash);
@@ -133,7 +142,8 @@ manifestJson(const ManifestInfo &info, const Registry *registry)
     stats.field("total", static_cast<std::uint64_t>(reg.size()));
     std::uint64_t digested = 0;
     for (const std::string &name : reg.names())
-        if (!digestExcludes(name))
+        if (!digestExcludes(name) &&
+            reg.kindOf(name) != StatKind::Histogram)
             ++digested;
     stats.field("digested", digested);
     char digest[24];

@@ -1,0 +1,355 @@
+#include "obs/perf_counters.hh"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/span.hh"
+#include "obs/stats.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace dfault::obs {
+
+namespace {
+
+std::atomic<bool> g_phaseProfiling{false};
+
+#if defined(__linux__)
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+std::vector<PerfCounters::EventSpec>
+defaultEvents()
+{
+    return {
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "cache_misses"},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch_misses"},
+    };
+}
+
+#else
+
+std::vector<PerfCounters::EventSpec>
+defaultEvents()
+{
+    return {};
+}
+
+#endif
+
+/** Default-field slot for publishing (0 cycles .. 3 branch_misses). */
+int
+defaultFieldIndex(const std::string &name)
+{
+    if (name == "cycles")
+        return 0;
+    if (name == "instructions")
+        return 1;
+    if (name == "cache_misses")
+        return 2;
+    if (name == "branch_misses")
+        return 3;
+    return -1;
+}
+
+std::uint64_t
+saturatingSub(std::uint64_t a, std::uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+} // namespace
+
+PerfSample
+PerfSample::deltaSince(const PerfSample &start) const
+{
+    PerfSample d;
+    d.valid = valid && start.valid;
+    d.cycles = saturatingSub(cycles, start.cycles);
+    d.instructions = saturatingSub(instructions, start.instructions);
+    d.cacheMisses = saturatingSub(cacheMisses, start.cacheMisses);
+    d.branchMisses = saturatingSub(branchMisses, start.branchMisses);
+    return d;
+}
+
+PerfCounters::PerfCounters()
+{
+    openGroup(defaultEvents());
+}
+
+PerfCounters::PerfCounters(const std::vector<EventSpec> &events)
+{
+    openGroup(events);
+}
+
+void
+PerfCounters::openGroup(const std::vector<EventSpec> &events)
+{
+    if (forcedOff()) {
+        reason_ = "disabled by DFAULT_PERF_DISABLE";
+        return;
+    }
+    if (events.empty()) {
+        reason_ = "perf_event_open unsupported on this platform";
+        return;
+    }
+#if defined(__linux__)
+    for (const EventSpec &ev : events) {
+        perf_event_attr attr{};
+        attr.size = sizeof(attr);
+        attr.type = ev.type;
+        attr.config = ev.config;
+        attr.read_format = PERF_FORMAT_GROUP;
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.disabled = leaderFd_ < 0 ? 1 : 0;
+        const long fd = perfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                                      /*group_fd=*/leaderFd_,
+                                      PERF_FLAG_FD_CLOEXEC);
+        if (fd < 0) {
+            if (leaderFd_ < 0) {
+                // No leader, no group: the whole instance degrades.
+                reason_ = std::string("perf_event_open(") + ev.name +
+                          ") failed: " + std::strerror(errno);
+                return;
+            }
+            // A sibling the host lacks (e.g. cache-misses behind a
+            // partial PMU) just reads as zero; keep the rest.
+            continue;
+        }
+        fds_.push_back(static_cast<int>(fd));
+        names_.push_back(ev.name);
+        fieldIndex_.push_back(defaultFieldIndex(ev.name));
+        if (leaderFd_ < 0)
+            leaderFd_ = static_cast<int>(fd);
+    }
+    ioctl(leaderFd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leaderFd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#else
+    (void)events;
+    reason_ = "perf_event_open unsupported on this platform";
+#endif
+}
+
+PerfCounters::~PerfCounters()
+{
+#if defined(__linux__)
+    for (int fd : fds_)
+        close(fd);
+#endif
+}
+
+std::vector<std::string>
+PerfCounters::liveEvents() const
+{
+    return names_;
+}
+
+bool
+PerfCounters::readValues(std::vector<std::uint64_t> &out) const
+{
+    out.clear();
+    if (!available())
+        return false;
+#if defined(__linux__)
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in the
+    // order the events were attached to the group.
+    std::vector<std::uint64_t> buf(1 + fds_.size());
+    const ssize_t want =
+        static_cast<ssize_t>(buf.size() * sizeof(std::uint64_t));
+    const ssize_t got = ::read(leaderFd_, buf.data(), want);
+    if (got < static_cast<ssize_t>(sizeof(std::uint64_t)) ||
+        buf[0] != fds_.size())
+        return false;
+    out.assign(buf.begin() + 1, buf.begin() + 1 + fds_.size());
+    return true;
+#else
+    return false;
+#endif
+}
+
+PerfSample
+PerfCounters::sample() const
+{
+    PerfSample s;
+    std::vector<std::uint64_t> values;
+    if (!readValues(values))
+        return s;
+    s.valid = true;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        switch (i < fieldIndex_.size() ? fieldIndex_[i] : -1) {
+          case 0:
+            s.cycles = values[i];
+            break;
+          case 1:
+            s.instructions = values[i];
+            break;
+          case 2:
+            s.cacheMisses = values[i];
+            break;
+          case 3:
+            s.branchMisses = values[i];
+            break;
+          default:
+            break; // custom event outside the named fields
+        }
+    }
+    return s;
+}
+
+PerfCounters &
+PerfCounters::threadInstance()
+{
+    thread_local PerfCounters t_counters;
+    return t_counters;
+}
+
+bool
+PerfCounters::forcedOff()
+{
+    const char *env = std::getenv("DFAULT_PERF_DISABLE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+void
+PerfCounters::setPhaseProfiling(bool on)
+{
+    g_phaseProfiling.store(on, std::memory_order_relaxed);
+}
+
+bool
+PerfCounters::phaseProfiling()
+{
+    return g_phaseProfiling.load(std::memory_order_relaxed);
+}
+
+ScopedCounters::ScopedCounters(std::string_view scope, Registry *registry)
+    : registry_(registry != nullptr ? *registry : Registry::instance()),
+      scope_(scope),
+      start_(PerfCounters::threadInstance().sample())
+{
+}
+
+ScopedCounters::~ScopedCounters()
+{
+    const PerfSample delta =
+        PerfCounters::threadInstance().sample().deltaSince(start_);
+    publishPerfDelta(registry_, "perf." + scope_, delta);
+    if (delta.valid && SpanTracer::instance().enabled()) {
+        char note[160];
+        std::snprintf(note, sizeof(note),
+                      "cycles=%" PRIu64 " instr=%" PRIu64
+                      " cache_miss=%" PRIu64 " branch_miss=%" PRIu64,
+                      delta.cycles, delta.instructions, delta.cacheMisses,
+                      delta.branchMisses);
+        SpanTracer::instance().annotateCurrent(note);
+    }
+}
+
+void
+publishPerfDelta(Registry &registry, const std::string &prefix,
+                 const PerfSample &delta)
+{
+    // Zeros are published even when invalid so the fallback path still
+    // registers every stat a counter-enabled host would.
+    Gauge &cycles =
+        registry.gauge(prefix + ".cycles", "CPU cycles inside " + prefix);
+    cycles.add(static_cast<double>(delta.cycles));
+    Gauge &instructions =
+        registry.gauge(prefix + ".instructions",
+                       "instructions retired inside " + prefix);
+    instructions.add(static_cast<double>(delta.instructions));
+    Gauge &cacheMisses = registry.gauge(
+        prefix + ".cache_misses", "cache misses inside " + prefix);
+    cacheMisses.add(static_cast<double>(delta.cacheMisses));
+    Gauge &branchMisses = registry.gauge(
+        prefix + ".branch_misses", "branch misses inside " + prefix);
+    branchMisses.add(static_cast<double>(delta.branchMisses));
+    registry.gauge("perf.available",
+                   "1 when perf_event_open counters are live")
+        .set(PerfCounters::threadInstance().available() ? 1.0 : 0.0);
+
+    // Formulas capture the gauges, not the registry: Registry::value()
+    // evaluates a formula under the registry mutex, so a lambda that
+    // called back into the registry would self-deadlock.
+    registry.formula(
+        prefix + ".ipc",
+        [&cycles, &instructions]() {
+            const double c = cycles.value();
+            return c > 0.0 ? instructions.value() / c : 0.0;
+        },
+        "instructions per cycle inside " + prefix);
+    registry.formula(
+        prefix + ".cache_miss_per_kinstr",
+        [&instructions, &cacheMisses]() {
+            const double i = instructions.value();
+            return i > 0.0 ? cacheMisses.value() / i * 1e3 : 0.0;
+        },
+        "cache misses per 1000 instructions inside " + prefix);
+    registry.formula(
+        prefix + ".branch_miss_per_kinstr",
+        [&instructions, &branchMisses]() {
+            const double i = instructions.value();
+            return i > 0.0 ? branchMisses.value() / i * 1e3 : 0.0;
+        },
+        "branch misses per 1000 instructions inside " + prefix);
+}
+
+void
+printPerfTable(std::FILE *out, const Registry *registry)
+{
+    const Registry &reg =
+        registry != nullptr ? *registry : Registry::instance();
+    constexpr std::string_view prefix = "perf.";
+    constexpr std::string_view suffix = ".cycles";
+    std::vector<std::string> scopes;
+    for (const std::string &name : reg.names())
+        if (name.starts_with(prefix) && name.ends_with(suffix))
+            scopes.push_back(name.substr(
+                prefix.size(), name.size() - prefix.size() - suffix.size()));
+    if (scopes.empty())
+        return;
+    std::fprintf(out, "\nPerformance counters\n");
+    if (reg.has("perf.available") && reg.value("perf.available") == 0.0) {
+        std::fprintf(out,
+                     "  (perf_event_open unavailable on this host; all "
+                     "counts read as zero)\n");
+    }
+    std::fprintf(out, "  %-32s %14s %14s %7s %10s %10s\n", "scope",
+                 "cycles", "instructions", "ipc", "cm/kinstr",
+                 "bm/kinstr");
+    for (const std::string &scope : scopes) {
+        const std::string base = std::string(prefix) + scope;
+        std::fprintf(out,
+                     "  %-32s %14.0f %14.0f %7.2f %10.3f %10.3f\n",
+                     scope.c_str(), reg.value(base + ".cycles"),
+                     reg.value(base + ".instructions"),
+                     reg.has(base + ".ipc") ? reg.value(base + ".ipc")
+                                            : 0.0,
+                     reg.has(base + ".cache_miss_per_kinstr")
+                         ? reg.value(base + ".cache_miss_per_kinstr")
+                         : 0.0,
+                     reg.has(base + ".branch_miss_per_kinstr")
+                         ? reg.value(base + ".branch_miss_per_kinstr")
+                         : 0.0);
+    }
+}
+
+} // namespace dfault::obs

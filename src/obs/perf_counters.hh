@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Hardware performance-counter sampling via perf_event_open(2).
+ *
+ * A PerfCounters instance opens one perf event *group* — a leader
+ * (cycles) plus siblings (instructions, cache-misses, branch-misses) —
+ * scoped to the calling thread, so a single read(2) returns a
+ * consistent snapshot of all four counts taken at the same instant.
+ * ScopedCounters brackets a region with two such snapshots and
+ * publishes the delta under "perf.<scope>.*" gauges, together with
+ * derived formulas:
+ *
+ *   perf.<scope>.cycles / .instructions / .cache_misses / .branch_misses
+ *   perf.<scope>.ipc                    instructions per cycle
+ *   perf.<scope>.cache_miss_per_kinstr  cache misses per 1000 instrs
+ *   perf.<scope>.branch_miss_per_kinstr
+ *
+ * Availability is probed once per thread. perf_event_open commonly
+ * fails — ENOENT (no PMU: VMs, containers), EACCES/EPERM
+ * (perf_event_paranoid), ENOSYS (seccomp) — and every failure mode
+ * degrades to the same graceful no-op: samples come back with
+ * valid == false and zero counts, ScopedCounters still registers its
+ * stats (so consumers see zeros, not absent names), and nothing
+ * throws. DFAULT_PERF_DISABLE=1 in the environment forces this
+ * fallback, which is how tests pin down the unavailable path on hosts
+ * that do have a PMU.
+ *
+ * Counters are per-thread (pid == 0, cpu == -1, inherit off): a
+ * ScopedCounters around a parallel region measures only the calling
+ * thread's share. Per-phase attribution across pool workers instead
+ * rides on ScopedTimer, which brackets each worker-side phase when
+ * PerfCounters::setPhaseProfiling(true) is set and accumulates into
+ * "perf.phase.<path>.*".
+ *
+ * All perf.* stats are excluded from manifest digests and stats_diff
+ * comparisons by name prefix: readings are host- and build-dependent,
+ * and zero where the syscall is unavailable.
+ */
+
+#ifndef DFAULT_OBS_PERF_COUNTERS_HH
+#define DFAULT_OBS_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfault::obs {
+
+class Registry;
+
+/** One consistent snapshot of the default counter group. */
+struct PerfSample
+{
+    bool valid = false; ///< false: syscall unavailable, counts all zero
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+
+    /** Per-field saturating difference; valid only if both sides are. */
+    PerfSample deltaSince(const PerfSample &start) const;
+};
+
+/** See file comment. */
+class PerfCounters
+{
+  public:
+    /** One event to place in the group (perf_event_attr type/config). */
+    struct EventSpec
+    {
+        std::uint32_t type = 0;
+        std::uint64_t config = 0;
+        std::string name;
+    };
+
+    /** Open the default hardware group (cycles leader + 3 siblings). */
+    PerfCounters();
+
+    /**
+     * Open an explicit event group — the test seam: software events
+     * (e.g. PERF_TYPE_SOFTWARE/PERF_COUNT_SW_TASK_CLOCK) work on hosts
+     * whose PMU is hidden, so the group-read machinery can be
+     * exercised even where the hardware group cannot open.
+     */
+    explicit PerfCounters(const std::vector<EventSpec> &events);
+
+    ~PerfCounters();
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** True when at least the group leader opened. */
+    bool available() const { return leaderFd_ >= 0; }
+
+    /** Human-readable reason when !available() ("" otherwise). */
+    const std::string &unavailableReason() const { return reason_; }
+
+    /** Event names that actually opened, in group-read order. */
+    std::vector<std::string> liveEvents() const;
+
+    /**
+     * Read the group in one syscall into @p out (group-read order,
+     * live events only). Returns false — leaving @p out empty — when
+     * unavailable or the read fails.
+     */
+    bool readValues(std::vector<std::uint64_t> &out) const;
+
+    /**
+     * Snapshot mapped onto the default group's named fields. Events
+     * that failed to open individually read as zero; an unavailable
+     * instance returns an all-zero sample with valid == false.
+     */
+    PerfSample sample() const;
+
+    /** Lazily-opened per-thread instance of the default group. */
+    static PerfCounters &threadInstance();
+
+    /** True when DFAULT_PERF_DISABLE forces the unavailable path. */
+    static bool forcedOff();
+
+    /**
+     * Globally request per-phase counter attribution: every
+     * ScopedTimer brackets its phase and accumulates the delta under
+     * "perf.phase.<path>.*". Off by default (two extra read(2) calls
+     * per phase).
+     */
+    static void setPhaseProfiling(bool on);
+    static bool phaseProfiling();
+
+  private:
+    void openGroup(const std::vector<EventSpec> &events);
+
+    int leaderFd_ = -1;
+    std::vector<int> fds_;          ///< leader + open siblings
+    std::vector<std::string> names_; ///< parallel to fds_
+    std::vector<int> fieldIndex_;    ///< fds_ slot -> default-field index
+    std::string reason_;
+};
+
+/**
+ * RAII region bracket: snapshots the calling thread's counters at
+ * construction and publishes the delta under "perf.<scope>.*" on
+ * destruction (zeros when the syscall is unavailable, so the stats
+ * are registered either way). Also annotates the current span with
+ * the delta when tracing is enabled.
+ */
+class ScopedCounters
+{
+  public:
+    explicit ScopedCounters(std::string_view scope,
+                            Registry *registry = nullptr);
+    ~ScopedCounters();
+
+    ScopedCounters(const ScopedCounters &) = delete;
+    ScopedCounters &operator=(const ScopedCounters &) = delete;
+
+  private:
+    Registry &registry_;
+    std::string scope_;
+    PerfSample start_;
+};
+
+/**
+ * Accumulate @p delta under "<prefix>.*" gauges in @p registry and
+ * register the derived ipc / miss-rate formulas (idempotent). Used by
+ * ScopedCounters ("perf.<scope>") and the ScopedTimer phase-profiling
+ * hook ("perf.phase.<path>").
+ */
+void publishPerfDelta(Registry &registry, const std::string &prefix,
+                      const PerfSample &delta);
+
+/**
+ * Print an aligned per-scope table of every "perf.<scope>.cycles"
+ * family in @p registry (default: the global registry) to @p out:
+ * scope, cycles, instructions, IPC, cache/branch misses per kinstr.
+ * Prints a one-line availability note instead when every scope is
+ * zero because the syscall is unavailable.
+ */
+void printPerfTable(std::FILE *out, const Registry *registry = nullptr);
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_PERF_COUNTERS_HH

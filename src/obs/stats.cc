@@ -46,6 +46,8 @@ statKindName(StatKind kind)
         return "distribution";
       case StatKind::Formula:
         return "formula";
+      case StatKind::Histogram:
+        return "histogram";
     }
     DFAULT_PANIC("unreachable stat kind");
 }
@@ -219,6 +221,17 @@ Registry::formula(const std::string &name, std::function<double()> fn,
     return *e.formula;
 }
 
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::string &description)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = findOrCreate(name, StatKind::Histogram, description);
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>();
+    return *e.histogram;
+}
+
 bool
 Registry::has(const std::string &name) const
 {
@@ -271,6 +284,8 @@ Registry::value(const std::string &name) const
         return e.distribution->mean();
       case StatKind::Formula:
         return e.formula->value();
+      case StatKind::Histogram:
+        return e.histogram->snapshot().mean();
     }
     DFAULT_PANIC("unreachable stat kind");
 }
@@ -293,6 +308,9 @@ Registry::resetAll()
             break;
           case StatKind::Formula:
             break; // derived; re-evaluates from its inputs
+          case StatKind::Histogram:
+            e.histogram->reset();
+            break;
         }
     }
 }
@@ -362,6 +380,30 @@ Registry::dumpText(std::FILE *out) const
                              d.hi());
             break;
           }
+          case StatKind::Histogram: {
+            const HistogramSnapshot snap = e.histogram->snapshot();
+            std::fprintf(out, "%-44s %20llu  # %s (count)\n",
+                         (name + ".count").c_str(),
+                         static_cast<unsigned long long>(snap.count),
+                         desc);
+            if (snap.count == 0)
+                break;
+            std::fprintf(out, "%-44s %20.6g  # mean\n",
+                         (name + ".mean").c_str(), snap.mean());
+            std::fprintf(out, "%-44s %20.6g  # min\n",
+                         (name + ".min").c_str(), snap.min);
+            std::fprintf(out, "%-44s %20.6g  # p50\n",
+                         (name + ".p50").c_str(), snap.p50());
+            std::fprintf(out, "%-44s %20.6g  # p90\n",
+                         (name + ".p90").c_str(), snap.p90());
+            std::fprintf(out, "%-44s %20.6g  # p99\n",
+                         (name + ".p99").c_str(), snap.p99());
+            std::fprintf(out, "%-44s %20.6g  # p999\n",
+                         (name + ".p999").c_str(), snap.p999());
+            std::fprintf(out, "%-44s %20.6g  # max\n",
+                         (name + ".max").c_str(), snap.max);
+            break;
+          }
         }
     }
 }
@@ -404,6 +446,39 @@ Registry::toJson() const
             sub.fieldRaw("buckets", buckets);
             sub.field("underflow", d.underflow());
             sub.field("overflow", d.overflow());
+            root.fieldRaw(kv.first, sub.str());
+            break;
+          }
+          case StatKind::Histogram: {
+            // The "kind" marker lets consumers (tools/stats_diff, CI
+            // validators) recognize and exclude histograms without a
+            // name convention: quantiles of latency streams are
+            // host-dependent by nature.
+            const HistogramSnapshot snap = e.histogram->snapshot();
+            JsonWriter sub;
+            sub.field("kind", "histogram");
+            sub.field("count", snap.count);
+            sub.field("zeros", snap.zeros);
+            if (snap.count > 0) {
+                sub.field("mean", snap.mean());
+                sub.field("min", snap.min);
+                sub.field("max", snap.max);
+                sub.field("p50", snap.p50());
+                sub.field("p90", snap.p90());
+                sub.field("p99", snap.p99());
+                sub.field("p999", snap.p999());
+            }
+            std::string buckets = "[";
+            bool first = true;
+            for (const auto &[index, n] : snap.buckets) {
+                if (!first)
+                    buckets += ',';
+                first = false;
+                buckets += "[" + std::to_string(index) + "," +
+                           std::to_string(n) + "]";
+            }
+            buckets += ']';
+            sub.fieldRaw("buckets", buckets);
             root.fieldRaw(kv.first, sub.str());
             break;
           }

@@ -10,7 +10,11 @@
  *  - Distribution  fixed-width linear histogram with under/overflow
  *                  bins plus count/sum/min/max moments;
  *  - Formula       value derived from other stats at dump time
- *                  (ratios, rates), evaluated lazily.
+ *                  (ratios, rates), evaluated lazily;
+ *  - Histogram     log-bucketed mergeable latency/value histogram with
+ *                  streaming quantiles (obs/histogram.hh), recorded
+ *                  via thread-local shards and always excluded from
+ *                  manifest digests and stats_diff comparisons.
  *
  * Instrumented components resolve their stats once (construction or
  * first publish) and then touch plain atomics, so the steady-state cost
@@ -36,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
+
 namespace dfault::obs {
 
 /** Discriminates the stat kinds a Registry can hold. */
@@ -45,9 +51,10 @@ enum class StatKind
     Gauge,
     Distribution,
     Formula,
+    Histogram,
 };
 
-/** "counter" / "gauge" / "distribution" / "formula". */
+/** "counter" / "gauge" / "distribution" / "formula" / "histogram". */
 std::string statKindName(StatKind kind);
 
 /** Monotonic event counter. */
@@ -182,6 +189,8 @@ class Registry
                                const std::string &description = "");
     Formula &formula(const std::string &name, std::function<double()> fn,
                      const std::string &description = "");
+    Histogram &histogram(const std::string &name,
+                         const std::string &description = "");
 
     bool has(const std::string &name) const;
     StatKind kindOf(const std::string &name) const; ///< panics if absent
@@ -222,6 +231,7 @@ class Registry
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Distribution> distribution;
         std::unique_ptr<Formula> formula;
+        std::unique_ptr<Histogram> histogram;
     };
 
     Entry &findOrCreate(const std::string &name, StatKind kind,

@@ -369,6 +369,9 @@ Pool::parallelForResilient(std::size_t n,
                 .inc();
             reg.counter("par.tasks_executed", "pool tasks executed")
                 .inc();
+            reg.histogram("par.task_ns",
+                          "pool task wall-clock latency (nanoseconds)")
+                .record(wall * 1e9);
             publishPhaseStats(phase, wall, wall);
         }
         return finishBatch(batch, opts);
@@ -548,12 +551,16 @@ Pool::runTask(const Task &task)
     span_parent.reset();
     adopted.reset();
 
-    batch.taskNanos.fetch_add(
-        static_cast<std::uint64_t>(secondsSince(start) * 1e9),
-        std::memory_order_relaxed);
+    const double task_ns = secondsSince(start) * 1e9;
+    batch.taskNanos.fetch_add(static_cast<std::uint64_t>(task_ns),
+                              std::memory_order_relaxed);
     obs::Registry::instance()
         .counter("par.tasks_executed", "pool tasks executed")
         .inc();
+    obs::Registry::instance()
+        .histogram("par.task_ns",
+                   "pool task wall-clock latency (nanoseconds)")
+        .record(task_ns);
 
     // Decrement and notify under batch.mutex. The submitter only
     // concludes the batch is done while holding the same mutex, so by

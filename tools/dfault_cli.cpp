@@ -26,6 +26,12 @@
  *   --manifest-out=<path>  write the run provenance manifest here
  *                          (default <stats-out>.manifest.json)
  *   --progress             one-line progress updates on stderr
+ *   --perf-counters        per-phase hardware-counter attribution
+ *                          (perf.phase.<path>.*) and a perf table at
+ *                          exit; reads zero where perf_event_open is
+ *                          unavailable (VMs, perf_event_paranoid)
+ *   --alloc-track          per-phase heap allocation attribution
+ *                          (alloc.phase.<path>.bytes/.allocs)
  *
  * Robustness overrides (see docs/robustness.md):
  *   faults=<spec>    arm fault-injection points (fi/injector.hh)
@@ -53,7 +59,9 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "obs/alloc_tracker.hh"
 #include "obs/events.hh"
+#include "obs/perf_counters.hh"
 #include "obs/manifest.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
@@ -83,6 +91,7 @@ struct Cli
     std::string manifestOut;
     std::string quarantineOut;
     std::string commandLine;
+    bool perfCounters = false;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
     std::unique_ptr<sys::Platform> platform;
@@ -115,12 +124,23 @@ struct Cli
                 quarantineOut = arg.substr(17);
             else if (arg == "--progress")
                 obs::setProgress(true);
+            else if (arg == "--perf-counters") {
+                perfCounters = true;
+                obs::PerfCounters::setPhaseProfiling(true);
+                const auto &pc = obs::PerfCounters::threadInstance();
+                if (!pc.available())
+                    DFAULT_INFORM("perf counters unavailable (",
+                                  pc.unavailableReason(),
+                                  "); perf.* stats will read zero");
+            } else if (arg == "--alloc-track")
+                obs::AllocTracker::enable();
             else if (i > 0 && arg.starts_with("--"))
                 DFAULT_FATAL("unknown flag '", std::string(arg),
                              "'; telemetry flags are --stats-out=, "
                              "--trace-out=, --trace-events=, "
                              "--manifest-out=, --quarantine-out=, "
-                             "--progress");
+                             "--progress, --perf-counters, "
+                             "--alloc-track");
             else
                 args.push_back(argv[i]);
         }
@@ -378,7 +398,8 @@ usage()
         "           task_timeout deadline\n"
         "telemetry: --stats-out=<path> --trace-out=<path>\n"
         "           --trace-events=<path> --manifest-out=<path>\n"
-        "           --quarantine-out=<path> --progress\n");
+        "           --quarantine-out=<path> --progress\n"
+        "           --perf-counters --alloc-track\n");
 }
 
 int
@@ -455,6 +476,9 @@ main(int argc, char **argv)
                       " quarantined cell(s); report written to ",
                       quarantine_path);
     }
+
+    if (cli.perfCounters)
+        obs::printPerfTable(stdout);
 
     if (!cli.statsOut.empty()) {
         obs::Registry::instance().writeFile(cli.statsOut);
