@@ -30,6 +30,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
+#include <string>
 
 #include "common/rng.hh"
 #include "core/error_integrator.hh"
@@ -39,6 +41,7 @@
 #include "mem/cache.hh"
 #include "ml/forest.hh"
 #include "ml/knn.hh"
+#include "ml/selection.hh"
 #include "ml/svr.hh"
 #include "obs/histogram.hh"
 #include "obs/perf_counters.hh"
@@ -222,22 +225,64 @@ BM_Spearman249(benchmark::State &state)
 }
 BENCHMARK(BM_Spearman249);
 
-/** The ranking kernel alone (the sort inside every Spearman call). */
+/**
+ * The ranking kernel alone (the argsort inside every Spearman call),
+ * swept across sample sizes so the O(n log n) scaling is visible in
+ * the per-size times; the allocation-free ranksInto is the form the
+ * selection path uses.
+ */
 void
 BM_SpearmanRanks(benchmark::State &state)
 {
     Rng rng(8);
     std::vector<double> x;
-    for (int i = 0; i < 140; ++i)
+    for (std::int64_t i = 0; i < state.range(0); ++i)
         x.push_back(rng.uniform());
+    std::vector<std::size_t> order;
+    std::vector<double> out;
     KernelProfile prof(state);
     for (auto _ : state) {
         prof.begin();
-        benchmark::DoNotOptimize(stats::ranks(x));
+        stats::ranksInto(x, order, out);
+        benchmark::DoNotOptimize(out.data());
+        prof.end();
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpearmanRanks)
+    ->Arg(140)
+    ->Arg(1120)
+    ->Arg(8960)
+    ->Complexity(benchmark::oNLogN);
+
+/**
+ * Full feature-selection pass over a campaign-shaped dataset: the
+ * target is ranked once and every column is gathered and ranked once
+ * (no per-pair copies), which is what replaced 249 independent
+ * spearman() calls.
+ */
+void
+BM_CorrelateFeatures(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<std::string> names;
+    for (int j = 0; j < 249; ++j)
+        names.push_back("f" + std::to_string(j));
+    ml::Dataset data(names);
+    for (int i = 0; i < 140; ++i) {
+        std::vector<double> row;
+        for (int j = 0; j < 249; ++j)
+            row.push_back(rng.uniform());
+        data.addSample(std::move(row), rng.uniform(), "g");
+    }
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
+        benchmark::DoNotOptimize(ml::correlateFeatures(data));
         prof.end();
     }
 }
-BENCHMARK(BM_SpearmanRanks);
+BENCHMARK(BM_CorrelateFeatures);
 
 /** Training data shaped like one device's WER dataset. */
 ml::Matrix
@@ -316,6 +361,31 @@ BM_RdfPredict_AllFeatures(benchmark::State &state)
     predictLatency<ml::RandomForestRegressor>(state, 252);
 }
 BENCHMARK(BM_RdfPredict_AllFeatures);
+
+/**
+ * Batched forest scoring of one campaign's worth of rows — the shape
+ * grid-search folds and permutation importance evaluate. One pass per
+ * tree over the whole batch keeps its packed nodes cache-hot, unlike
+ * 140 independent predict() calls.
+ */
+void
+BM_RdfPredictMany_AllFeatures(benchmark::State &state)
+{
+    const auto x = campaignX(140, 252);
+    const auto y = campaignY(140);
+    ml::RandomForestRegressor model;
+    model.fit(x, y);
+    const auto queries = campaignX(140, 252);
+    std::vector<double> out;
+    KernelProfile prof(state);
+    for (auto _ : state) {
+        prof.begin();
+        model.predictMany(queries, out);
+        benchmark::DoNotOptimize(out.data());
+        prof.end();
+    }
+}
+BENCHMARK(BM_RdfPredictMany_AllFeatures);
 
 void
 BM_KnnFit_Set1(benchmark::State &state)

@@ -21,18 +21,31 @@ isPowerOfTwo(int v)
 
 EccSecded::EccSecded()
 {
-    posToData_.fill(-1);
+    // Walk codeword positions 1..71 as the naive implementation did:
+    // powers of two are Hamming check positions, everything else hosts
+    // the next data bit. Fold each data bit's position index into the
+    // per-check parity masks and record, per possible syndrome, which
+    // codeword bit a decode must flip.
+    parityMask_.fill(0);
     int data_bit = 0;
     int check_bit = 0;
     for (int pos = 1; pos <= 71; ++pos) {
         if (isPowerOfTwo(pos)) {
-            checkPos_[check_bit++] = pos;
+            syndrome_[pos].correctedBit =
+                static_cast<std::int16_t>(kFirstCheckBit + check_bit);
+            ++check_bit;
         } else {
-            dataPos_[data_bit] = pos;
-            posToData_[pos] = data_bit;
+            for (int j = 0; j < 7; ++j)
+                if (pos & (1 << j))
+                    parityMask_[j] |= std::uint64_t{1} << data_bit;
+            syndrome_[pos].dataXor = std::uint64_t{1} << data_bit;
+            syndrome_[pos].correctedBit =
+                static_cast<std::int16_t>(data_bit);
             ++data_bit;
         }
     }
+    // Syndromes 72..127 point beyond the codeword; their actions stay
+    // at the default correctedBit = -1 (uncorrectable).
     DFAULT_ASSERT(data_bit == 64 && check_bit == 7,
                   "SECDED position table construction broken");
 }
@@ -41,14 +54,9 @@ std::uint8_t
 EccSecded::computeCheck(std::uint64_t data) const
 {
     std::uint8_t check = 0;
-    for (int j = 0; j < 7; ++j) {
-        int parity = 0;
-        for (int i = 0; i < 64; ++i) {
-            if ((dataPos_[i] & (1 << j)) && ((data >> i) & 1))
-                parity ^= 1;
-        }
-        check |= static_cast<std::uint8_t>(parity << j);
-    }
+    for (int j = 0; j < 7; ++j)
+        check |= static_cast<std::uint8_t>(
+            (std::popcount(data & parityMask_[j]) & 1) << j);
     // Overall parity covers all 72 bits: data + 7 Hamming bits + itself.
     int overall = std::popcount(data) & 1;
     overall ^= std::popcount(static_cast<unsigned>(check & 0x7f)) & 1;
@@ -89,24 +97,18 @@ EccSecded::decode(const Codeword &received) const
     }
     if (parity != 0) {
         // Odd flip count with a non-zero syndrome: treat as single-bit
-        // error at Hamming position `syndrome`.
-        if (syndrome <= 71) {
-            const int data_bit = posToData_[syndrome];
-            if (data_bit >= 0) {
-                res.data ^= (1ULL << data_bit);
-                res.correctedBit = data_bit;
-            } else {
-                // A check bit flipped; data already correct.
-                for (int j = 0; j < 7; ++j) {
-                    if (checkPos_[j] == syndrome)
-                        res.correctedBit = kFirstCheckBit + j;
-                }
-            }
+        // error at Hamming position `syndrome`. The table holds the
+        // data-word correction (zero for check-bit flips) and the bit
+        // index to report, or -1 when the syndrome points beyond the
+        // codeword — not a possible single-bit error; real controllers
+        // flag that as uncorrectable.
+        const SyndromeAction &action = syndrome_[syndrome];
+        if (action.correctedBit >= 0) {
+            res.data ^= action.dataXor;
+            res.correctedBit = action.correctedBit;
             res.outcome = EccOutcome::Corrected;
             return res;
         }
-        // Syndrome points beyond the codeword: cannot be a single-bit
-        // error; real controllers flag this as uncorrectable.
         res.outcome = EccOutcome::Uncorrectable;
         return res;
     }

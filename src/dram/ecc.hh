@@ -51,8 +51,12 @@ struct DecodeResult
 /**
  * SECDED (72,64) encoder/decoder.
  *
- * Stateless apart from precomputed position tables; cheap to construct
- * and copy.
+ * Bit-parallel implementation: the seven Hamming checks are evaluated
+ * as popcount folds over precomputed 64-bit parity masks (one AND plus
+ * one POPCNT per check instead of a 64-iteration bit probe), and
+ * decoding resolves the 7-bit syndrome through a 128-entry lookup
+ * table instead of searching the position maps. Stateless apart from
+ * those precomputed tables; cheap to construct and copy.
  */
 class EccSecded
 {
@@ -86,12 +90,27 @@ class EccSecded
     static void flipBit(Codeword &word, int bit);
 
   private:
-    /** Hamming codeword position (1..71) of data bit i. */
-    std::array<int, 64> dataPos_;
-    /** Hamming codeword position of check bit j (powers of two). */
-    std::array<int, 7> checkPos_;
-    /** Reverse map: Hamming position -> data bit index or -1. */
-    std::array<int, 72> posToData_;
+    /** Decode action for one non-zero Hamming syndrome. */
+    struct SyndromeAction
+    {
+        /** XOR applied to the data word (0 for check-bit flips). */
+        std::uint64_t dataXor = 0;
+        /**
+         * DecodeResult::correctedBit to report: the data bit index for
+         * data positions, 64+j for check bit j, or -1 when the
+         * syndrome points beyond the codeword (uncorrectable).
+         */
+        std::int16_t correctedBit = -1;
+    };
+
+    /**
+     * Parity mask of Hamming check j: bit i is set when data bit i
+     * sits at a codeword position whose index has bit j set, so check
+     * j is popcount(data & parityMask_[j]) mod 2.
+     */
+    std::array<std::uint64_t, 7> parityMask_;
+    /** Syndrome (1..127) -> correction; entry 0 is unused. */
+    std::array<SyndromeAction, 128> syndrome_;
 
     std::uint8_t computeCheck(std::uint64_t data) const;
 };

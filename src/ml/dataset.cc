@@ -35,12 +35,19 @@ Dataset::addSample(std::vector<double> features, double target,
 std::vector<double>
 Dataset::column(std::size_t j) const
 {
-    DFAULT_ASSERT(j < featureCount(), "column index out of range");
     std::vector<double> out;
+    columnInto(j, out);
+    return out;
+}
+
+void
+Dataset::columnInto(std::size_t j, std::vector<double> &out) const
+{
+    DFAULT_ASSERT(j < featureCount(), "column index out of range");
+    out.clear();
     out.reserve(size());
     for (const auto &row : features_)
         out.push_back(row[j]);
-    return out;
 }
 
 std::vector<std::string>

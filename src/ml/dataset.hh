@@ -55,6 +55,14 @@ class Dataset
     /** Column @p j as a contiguous vector. */
     std::vector<double> column(std::size_t j) const;
 
+    /**
+     * Gather column @p j into @p out, reusing its capacity. Loops that
+     * visit every column (feature selection) call this with one
+     * persistent buffer instead of allocating a fresh vector per
+     * column via column().
+     */
+    void columnInto(std::size_t j, std::vector<double> &out) const;
+
     /** Distinct group labels in first-appearance order. */
     std::vector<std::string> distinctGroups() const;
 

@@ -10,17 +10,20 @@
 
 namespace dfault::ml {
 
-double
-RandomForestRegressor::Tree::predict(std::span<const double> row) const
+namespace {
+
+/** AoS node used only while growing a tree; flattened to SoA after. */
+struct Node
 {
-    int node = 0;
-    for (;;) {
-        const Node &n = nodes[node];
-        if (n.feature < 0)
-            return n.value;
-        node = row[n.feature] <= n.threshold ? n.left : n.right;
-    }
-}
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+    int left = -1;
+    int right = -1;
+};
+
+} // namespace
 
 RandomForestRegressor::RandomForestRegressor()
     : RandomForestRegressor(Params{})
@@ -49,16 +52,15 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
             ? std::min(params_.maxFeatures, p)
             : std::max<std::size_t>(1, p / 3);
 
-    trees_.clear();
-    trees_.resize(params_.trees);
+    std::vector<std::vector<Node>> grown(params_.trees);
 
     // Each tree draws from its own RNG stream, derived from the forest
     // seed and the tree index — not from one generator shared across
     // the loop. That makes every tree's randomness independent of how
     // work is scheduled, so trees can be grown in parallel (or in any
     // order) and the fitted forest is identical.
-    par::Pool::global().parallelFor(trees_.size(), [&](std::size_t t) {
-        Tree &tree = trees_[t];
+    par::Pool::global().parallelFor(grown.size(), [&](std::size_t t) {
+        std::vector<Node> &nodes = grown[t];
         Rng rng(hashCombine(params_.seed,
                             static_cast<std::uint64_t>(t)));
 
@@ -77,14 +79,14 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
             int depth;
             int nodeIndex;
         };
-        tree.nodes.push_back(Node{});
+        nodes.push_back(Node{});
         std::vector<Item> stack;
         stack.push_back({std::move(rows), 0, 0});
 
         while (!stack.empty()) {
             Item item = std::move(stack.back());
             stack.pop_back();
-            Node &node = tree.nodes[item.nodeIndex];
+            Node &node = nodes[item.nodeIndex];
 
             double sum = 0.0, sq = 0.0;
             for (const std::size_t r : item.rows) {
@@ -166,12 +168,12 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
                     right_rows.push_back(r);
             }
 
-            const int left_index = static_cast<int>(tree.nodes.size());
-            tree.nodes.push_back(Node{});
-            const int right_index = static_cast<int>(tree.nodes.size());
-            tree.nodes.push_back(Node{});
+            const int left_index = static_cast<int>(nodes.size());
+            nodes.push_back(Node{});
+            const int right_index = static_cast<int>(nodes.size());
+            nodes.push_back(Node{});
             // `node` may be dangling after push_back; reindex.
-            Node &parent = tree.nodes[item.nodeIndex];
+            Node &parent = nodes[item.nodeIndex];
             parent.feature = best_feature;
             parent.threshold = best_threshold;
             parent.left = left_index;
@@ -183,16 +185,120 @@ RandomForestRegressor::fit(const Matrix &x, std::span<const double> y)
                              right_index});
         }
     });
+
+    // Flatten every grown tree into one contiguous packed-node array,
+    // rebasing child indices by the tree's offset. Growth pushes each
+    // split's children back to back, so right == left + 1 always
+    // holds and only the left index is stored; leaves park their
+    // value in the threshold slot.
+    std::size_t total = 0;
+    for (const auto &nodes : grown)
+        total += nodes.size();
+    nodes_.clear();
+    nodes_.reserve(total);
+    treeRoots_.clear();
+    treeRoots_.reserve(grown.size());
+    for (const auto &nodes : grown) {
+        const auto base = static_cast<std::int32_t>(nodes_.size());
+        treeRoots_.push_back(base);
+        for (const Node &node : nodes) {
+            PackedNode packed;
+            packed.feature = node.feature;
+            if (node.feature < 0) {
+                packed.threshold = node.value;
+            } else {
+                DFAULT_ASSERT(node.right == node.left + 1,
+                              "forest: split children not adjacent");
+                packed.threshold = node.threshold;
+                packed.child = base + node.left;
+            }
+            nodes_.push_back(packed);
+        }
+    }
+}
+
+double
+RandomForestRegressor::predictTree(std::int32_t root,
+                                   std::span<const double> row) const
+{
+    const PackedNode *nodes = nodes_.data();
+    const PackedNode *node = nodes + root;
+    while (node->feature >= 0)
+        node = nodes + node->child +
+               (row[node->feature] <= node->threshold ? 0 : 1);
+    return node->threshold;
 }
 
 double
 RandomForestRegressor::predict(std::span<const double> row) const
 {
-    DFAULT_ASSERT(!trees_.empty(), "forest: predict before fit");
+    DFAULT_ASSERT(!treeRoots_.empty(), "forest: predict before fit");
     double acc = 0.0;
-    for (const auto &tree : trees_)
-        acc += tree.predict(row);
-    return acc / static_cast<double>(trees_.size());
+    for (const std::int32_t root : treeRoots_)
+        acc += predictTree(root, row);
+    return acc / static_cast<double>(treeRoots_.size());
+}
+
+void
+RandomForestRegressor::predictMany(const Matrix &rows,
+                                   std::vector<double> &out) const
+{
+    DFAULT_ASSERT(!treeRoots_.empty(), "forest: predict before fit");
+    out.assign(rows.size(), 0.0);
+    // Trees outer, rows inner: each tree's nodes are walked once per
+    // batch, and four rows descend a tree together. A single
+    // traversal is a chain of dependent loads, but different rows of
+    // the same tree are independent, so interleaving them keeps four
+    // loads in flight instead of one. Per-row sums still accumulate
+    // in tree order, so every entry matches predict() bit for bit.
+    const PackedNode *nodes = nodes_.data();
+    for (const std::int32_t root : treeRoots_) {
+        std::size_t i = 0;
+        for (; i + 4 <= rows.size(); i += 4) {
+            const PackedNode *n0 = nodes + root;
+            const PackedNode *n1 = n0;
+            const PackedNode *n2 = n0;
+            const PackedNode *n3 = n0;
+            std::span<const double> r0 = rows[i];
+            std::span<const double> r1 = rows[i + 1];
+            std::span<const double> r2 = rows[i + 2];
+            std::span<const double> r3 = rows[i + 3];
+            for (;;) {
+                bool active = false;
+                if (n0->feature >= 0) {
+                    n0 = nodes + n0->child +
+                         (r0[n0->feature] <= n0->threshold ? 0 : 1);
+                    active = true;
+                }
+                if (n1->feature >= 0) {
+                    n1 = nodes + n1->child +
+                         (r1[n1->feature] <= n1->threshold ? 0 : 1);
+                    active = true;
+                }
+                if (n2->feature >= 0) {
+                    n2 = nodes + n2->child +
+                         (r2[n2->feature] <= n2->threshold ? 0 : 1);
+                    active = true;
+                }
+                if (n3->feature >= 0) {
+                    n3 = nodes + n3->child +
+                         (r3[n3->feature] <= n3->threshold ? 0 : 1);
+                    active = true;
+                }
+                if (!active)
+                    break;
+            }
+            out[i] += n0->threshold;
+            out[i + 1] += n1->threshold;
+            out[i + 2] += n2->threshold;
+            out[i + 3] += n3->threshold;
+        }
+        for (; i < rows.size(); ++i)
+            out[i] += predictTree(root, rows[i]);
+    }
+    const double scale = static_cast<double>(treeRoots_.size());
+    for (double &v : out)
+        v /= scale;
 }
 
 } // namespace dfault::ml

@@ -32,27 +32,41 @@ class RandomForestRegressor : public Regressor
 
     void fit(const Matrix &x, std::span<const double> y) override;
     double predict(std::span<const double> row) const override;
+    /**
+     * Batched traversal over the SoA node arrays: one pass per tree
+     * over all rows, so the tree's nodes stay hot in cache across the
+     * batch. Bit-identical to predict() row by row (per-row tree sums
+     * accumulate in the same tree order).
+     */
+    void predictMany(const Matrix &rows,
+                     std::vector<double> &out) const override;
     std::string name() const override { return "RDF"; }
 
   private:
-    struct Node
+    /**
+     * One traversal node packed to 16 bytes — half the growth node —
+     * so twice as many fit per cache line and a tree hop touches one
+     * line. Children are allocated in pairs during growth, so only
+     * the left child index is stored; the right child is always
+     * child + 1. Leaves have feature -1 and keep their value in the
+     * threshold slot.
+     */
+    struct PackedNode
     {
-        // Leaf when feature < 0.
-        int feature = -1;
+        std::int32_t feature = -1;
+        std::int32_t child = -1;
         double threshold = 0.0;
-        double value = 0.0;
-        int left = -1;
-        int right = -1;
     };
 
-    struct Tree
-    {
-        std::vector<Node> nodes;
-        double predict(std::span<const double> row) const;
-    };
+    /** All trees' nodes flattened into one contiguous array. */
+    std::vector<PackedNode> nodes_;
+    /** Root node index of each tree within nodes_. */
+    std::vector<std::int32_t> treeRoots_;
+
+    double predictTree(std::int32_t root,
+                       std::span<const double> row) const;
 
     Params params_;
-    std::vector<Tree> trees_;
 };
 
 } // namespace dfault::ml

@@ -55,10 +55,7 @@ gridSearch(const Dataset &data, const std::vector<GridCandidate> &grid)
             model->fit(scaler.transform(train.x()), train.y());
 
             std::vector<double> predicted;
-            predicted.reserve(test.size());
-            for (const auto &row : test.x())
-                predicted.push_back(
-                    model->predict(scaler.transform(row)));
+            model->predictMany(scaler.transform(test.x()), predicted);
             return Cell{rmse(test.y(), predicted), 1};
         });
 

@@ -15,9 +15,7 @@ evalRmse(const Regressor &model, const Matrix &x,
          std::span<const double> y)
 {
     std::vector<double> predicted;
-    predicted.reserve(x.size());
-    for (const auto &row : x)
-        predicted.push_back(model.predict(row));
+    model.predictMany(x, predicted);
     return rmse(y, predicted);
 }
 

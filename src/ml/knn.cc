@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <numeric>
 
 #include "common/logging.hh"
 
@@ -20,36 +22,84 @@ KnnRegressor::fit(const Matrix &x, std::span<const double> y)
 {
     DFAULT_ASSERT(x.size() == y.size(), "knn: x/y size mismatch");
     DFAULT_ASSERT(!x.empty(), "knn: empty training set");
-    x_ = x;
+    rows_ = x.size();
+    cols_ = x[0].size();
+    flat_.clear();
+    flat_.reserve(rows_ * cols_);
+    for (const auto &sample : x) {
+        DFAULT_ASSERT(sample.size() == cols_,
+                      "knn: feature width mismatch");
+        flat_.insert(flat_.end(), sample.begin(), sample.end());
+    }
     y_.assign(y.begin(), y.end());
 }
 
 double
 KnnRegressor::predict(std::span<const double> row) const
 {
-    DFAULT_ASSERT(!x_.empty(), "knn: predict before fit");
+    DFAULT_ASSERT(rows_ > 0, "knn: predict before fit");
+    DFAULT_ASSERT(row.size() == cols_, "knn: feature width mismatch");
 
-    // Squared Euclidean distance to every training row.
-    std::vector<std::pair<double, std::size_t>> dist;
-    dist.reserve(x_.size());
-    for (std::size_t i = 0; i < x_.size(); ++i) {
-        DFAULT_ASSERT(x_[i].size() == row.size(),
-                      "knn: feature width mismatch");
-        double d2 = 0.0;
-        for (std::size_t j = 0; j < row.size(); ++j) {
-            const double d = x_[i][j] - row[j];
-            d2 += d * d;
+    // Squared Euclidean distance to every training row. Four rows
+    // advance together with independent accumulators, so the compiler
+    // vectorizes across rows; each row's feature sum still runs in
+    // plain j order, keeping results bit-identical to the scalar scan.
+    std::vector<double> d2(rows_);
+    const double *flat = flat_.data();
+    const double *q = row.data();
+    std::size_t i = 0;
+    for (; i + 4 <= rows_; i += 4) {
+        const double *r0 = flat + i * cols_;
+        const double *r1 = r0 + cols_;
+        const double *r2 = r1 + cols_;
+        const double *r3 = r2 + cols_;
+        double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const double v = q[j];
+            const double t0 = r0[j] - v;
+            const double t1 = r1[j] - v;
+            const double t2 = r2[j] - v;
+            const double t3 = r3[j] - v;
+            a0 += t0 * t0;
+            a1 += t1 * t1;
+            a2 += t2 * t2;
+            a3 += t3 * t3;
         }
-        dist.emplace_back(d2, i);
+        d2[i] = a0;
+        d2[i + 1] = a1;
+        d2[i + 2] = a2;
+        d2[i + 3] = a3;
+    }
+    for (; i < rows_; ++i) {
+        const double *r = flat + i * cols_;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const double t = r[j] - q[j];
+            acc += t * t;
+        }
+        d2[i] = acc;
     }
 
-    const auto k = std::min<std::size_t>(params_.k, dist.size());
-    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    // Select the k nearest with nth_element + a partial sort of the
+    // winners (O(n + k log k), not O(n log k) over all rows). Exact
+    // distance ties break deterministically toward the lower training
+    // index, matching the lexicographic (distance, index) order the
+    // full sort produced.
+    std::vector<std::uint32_t> idx(rows_);
+    std::iota(idx.begin(), idx.end(), 0);
+    const auto closer = [&](std::uint32_t a, std::uint32_t b) {
+        return d2[a] != d2[b] ? d2[a] < d2[b] : a < b;
+    };
+    const auto k = std::min<std::size_t>(params_.k, rows_);
+    if (k < rows_)
+        std::nth_element(idx.begin(), idx.begin() + k, idx.end(),
+                         closer);
+    std::sort(idx.begin(), idx.begin() + k, closer);
 
     if (!params_.distanceWeighted) {
         double sum = 0.0;
         for (std::size_t n = 0; n < k; ++n)
-            sum += y_[dist[n].second];
+            sum += y_[idx[n]];
         return sum / static_cast<double>(k);
     }
 
@@ -57,12 +107,12 @@ KnnRegressor::predict(std::span<const double> row) const
     constexpr double eps = 1e-12;
     double wsum = 0.0, acc = 0.0;
     for (std::size_t n = 0; n < k; ++n) {
-        const double d = std::sqrt(dist[n].first);
+        const double d = std::sqrt(d2[idx[n]]);
         if (d < eps)
-            return y_[dist[n].second];
+            return y_[idx[n]];
         const double w = 1.0 / d;
         wsum += w;
-        acc += w * y_[dist[n].second];
+        acc += w * y_[idx[n]];
     }
     return acc / wsum;
 }

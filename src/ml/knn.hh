@@ -34,7 +34,14 @@ class KnnRegressor : public Regressor
 
   private:
     Params params_;
-    Matrix x_;
+    /**
+     * Training rows flattened row-major into one contiguous buffer
+     * (rows_ x cols_): the distance scan walks it linearly, and the
+     * blocked inner loop vectorizes across rows.
+     */
+    std::vector<double> flat_;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
     std::vector<double> y_;
 };
 

@@ -27,6 +27,20 @@ class Regressor
     /** Predict the target for one feature row. @pre fitted. */
     virtual double predict(std::span<const double> row) const = 0;
 
+    /**
+     * Predict every row of @p rows into @p out (resized to match).
+     * Results equal predict() applied row by row; models with batched
+     * kernels (the forest's SoA traversal) override this to amortize
+     * per-call overhead across the batch.
+     */
+    virtual void predictMany(const Matrix &rows,
+                             std::vector<double> &out) const
+    {
+        out.resize(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            out[i] = predict(rows[i]);
+    }
+
     /** Short model name ("KNN", "SVM", "RDF"). */
     virtual std::string name() const = 0;
 };

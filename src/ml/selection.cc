@@ -10,13 +10,24 @@ namespace dfault::ml {
 std::vector<FeatureCorrelation>
 correlateFeatures(const Dataset &data)
 {
+    // Spearman rs is the Pearson correlation of midranks, so the
+    // target is ranked exactly once per dataset — not re-ranked inside
+    // every (feature, target) pair as spearman() would — and every
+    // column reuses one gather buffer and one argsort scratch instead
+    // of allocating per pair.
+    const std::vector<double> target_ranks = stats::ranks(data.y());
+    std::vector<double> col, col_ranks;
+    std::vector<std::size_t> order;
+
     std::vector<FeatureCorrelation> out;
     out.reserve(data.featureCount());
     for (std::size_t j = 0; j < data.featureCount(); ++j) {
+        data.columnInto(j, col);
+        stats::ranksInto(col, order, col_ranks);
         FeatureCorrelation fc;
         fc.featureIndex = j;
         fc.name = data.featureNames()[j];
-        fc.rs = stats::spearman(data.column(j), data.y());
+        fc.rs = stats::pearson(col_ranks, target_ranks);
         out.push_back(std::move(fc));
     }
     return out;

@@ -33,16 +33,17 @@ pearson(std::span<const double> x, std::span<const double> y)
     return sxy / std::sqrt(sxx * syy);
 }
 
-std::vector<double>
-ranks(std::span<const double> x)
+void
+ranksInto(std::span<const double> x, std::vector<std::size_t> &order,
+          std::vector<double> &out)
 {
     const std::size_t n = x.size();
-    std::vector<std::size_t> order(n);
+    order.resize(n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
 
-    std::vector<double> out(n, 0.0);
+    out.assign(n, 0.0);
     std::size_t i = 0;
     while (i < n) {
         // Find the extent of the tie group starting at i.
@@ -56,6 +57,14 @@ ranks(std::span<const double> x)
             out[order[k]] = avg_rank;
         i = j;
     }
+}
+
+std::vector<double>
+ranks(std::span<const double> x)
+{
+    std::vector<std::size_t> order;
+    std::vector<double> out;
+    ranksInto(x, order, out);
     return out;
 }
 

@@ -10,6 +10,7 @@
 #ifndef DFAULT_STATS_CORRELATION_HH
 #define DFAULT_STATS_CORRELATION_HH
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,16 @@ double pearson(std::span<const double> x, std::span<const double> y);
  * (midrank method), 1-based as in conventional rank statistics.
  */
 std::vector<double> ranks(std::span<const double> x);
+
+/**
+ * Allocation-free variant of ranks() for hot loops that rank many
+ * columns: one O(n log n) argsort into the caller-owned @p order
+ * scratch buffer, midranks written to @p out. Both vectors are
+ * resized to x.size(); reusing them across calls amortizes the
+ * allocations that dominate ranks() on short samples.
+ */
+void ranksInto(std::span<const double> x,
+               std::vector<std::size_t> &order, std::vector<double> &out);
 
 /**
  * Spearman's rank correlation: Pearson correlation of the midranks.

@@ -40,6 +40,18 @@ TEST(Dataset, ColumnExtraction)
     EXPECT_DOUBLE_EQ(col[2], 30.0);
 }
 
+TEST(Dataset, ColumnIntoMatchesColumn)
+{
+    // columnInto is the copy-free gather used once per feature by the
+    // selection loop; reused buffers must not leak previous contents.
+    const Dataset d = sample();
+    std::vector<double> col{99.0, 99.0, 99.0, 99.0, 99.0};
+    d.columnInto(1, col);
+    EXPECT_EQ(col, d.column(1));
+    d.columnInto(0, col);
+    EXPECT_EQ(col, d.column(0));
+}
+
 TEST(Dataset, DistinctGroupsInAppearanceOrder)
 {
     const Dataset d = sample();

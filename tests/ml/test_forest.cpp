@@ -117,6 +117,45 @@ TEST(Forest, MinSamplesLeafRespected)
     EXPECT_NEAR(rf.predict(std::vector<double>{59.0}), 5.0, 2.0);
 }
 
+TEST(Forest, PredictManyMatchesPredictBitForBit)
+{
+    // predictMany's batched, interleaved traversal must reproduce the
+    // per-row predict() exactly — same per-row tree sum order — or
+    // campaign prediction and bootstrap scoring would drift from the
+    // golden stats.
+    RandomForestRegressor::Params p;
+    p.trees = 40;
+    RandomForestRegressor rf(p);
+    Rng rng(6);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        y.push_back(x.back()[0] + 2.0 * x.back()[1] + rng.uniform());
+    }
+    rf.fit(x, y);
+
+    // An odd batch size exercises the 4-wide interleave plus the
+    // scalar remainder lanes.
+    Matrix queries;
+    for (int i = 0; i < 11; ++i)
+        queries.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    std::vector<double> batched;
+    rf.predictMany(queries, batched);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i)
+        EXPECT_DOUBLE_EQ(batched[i], rf.predict(queries[i])) << "row " << i;
+}
+
+TEST(Forest, PredictManyEmptyBatch)
+{
+    RandomForestRegressor rf;
+    rf.fit(Matrix{{0.0}, {1.0}}, std::vector<double>{1.0, 2.0});
+    std::vector<double> out{99.0};
+    rf.predictMany(Matrix{}, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(Forest, Name)
 {
     EXPECT_EQ(RandomForestRegressor().name(), "RDF");

@@ -76,6 +76,38 @@ TEST(Knn, RecoversSmoothFunction)
     }
 }
 
+TEST(Knn, ExactDistanceTiesBreakByLowestIndex)
+{
+    // Four training points all exactly distance 1 from the query, but
+    // k = 2: the selection must keep the two with the lowest training
+    // indices, not whichever pair nth_element happens to leave in
+    // place. This pins the (distance, index) tiebreak the campaign
+    // stats depend on for bit-identical outputs.
+    KnnRegressor::Params p;
+    p.k = 2;
+    p.distanceWeighted = false;
+    KnnRegressor knn(p);
+    const Matrix x{{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+    const std::vector<double> y{10.0, 20.0, 40.0, 80.0};
+    knn.fit(x, y);
+    // Neighbours must be rows 0 and 1 -> mean(10, 20).
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.0, 0.0}), 15.0);
+}
+
+TEST(Knn, PartialTiesStillPreferStrictlyCloser)
+{
+    // Row 2 is strictly closer than the tied pair at distance 1; with
+    // k = 2 the pick is row 2 plus the lower-indexed tied row (row 0).
+    KnnRegressor::Params p;
+    p.k = 2;
+    p.distanceWeighted = false;
+    KnnRegressor knn(p);
+    const Matrix x{{1.0, 0.0}, {-1.0, 0.0}, {0.2, 0.0}};
+    const std::vector<double> y{10.0, 100.0, 30.0};
+    knn.fit(x, y);
+    EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.0, 0.0}), 20.0);
+}
+
 TEST(Knn, RefitReplacesModel)
 {
     KnnRegressor knn;

@@ -58,6 +58,23 @@ TEST(Ranks, AllEqual)
         EXPECT_DOUBLE_EQ(v, 2.0);
 }
 
+TEST(Ranks, RanksIntoMatchesRanksAndReusesBuffers)
+{
+    // ranksInto is the allocation-free path the feature-selection loop
+    // uses once per column; it must produce exactly what ranks() does
+    // even when its scratch buffers carry stale state from a previous
+    // (longer) column.
+    const std::vector<double> a{3.0, 1.0, 2.0, 2.0, 9.0, 1.0, 4.0};
+    const std::vector<double> b{10.0, 20.0, 20.0, 30.0};
+    std::vector<std::size_t> order(100, 77); // deliberately stale
+    std::vector<double> out(100, -1.0);
+    ranksInto(a, order, out);
+    EXPECT_EQ(out, ranks(a));
+    ranksInto(b, order, out);
+    EXPECT_EQ(out, ranks(b));
+    EXPECT_EQ(out.size(), b.size());
+}
+
 TEST(Spearman, MonotonicNonlinearIsPerfect)
 {
     // Spearman detects any monotonic relation, unlike Pearson; this is
