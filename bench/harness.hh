@@ -22,6 +22,14 @@
  *                        perf_event_open is unavailable
  *   alloc_track=true     per-phase heap allocation attribution
  *                        (alloc.phase.<path>.bytes/.allocs)
+ *   metrics_out=<path>   background sampler atomically rewrites this
+ *                        OpenMetrics snapshot every tick
+ *   metrics_port=<port>  serve GET /metrics on 127.0.0.1:<port>
+ *                        (0 picks a free port)
+ *   sample_interval=<d>  sampler cadence, e.g. 100ms (the default)
+ *   slo=<spec>[,...]     SLO targets, e.g. slo=campaign.cell_ns:p99<5ms
+ *                        (see docs/observability.md); verdicts land in
+ *                        the manifest "slo" section
  *
  * Parallelism (see docs/parallelism.md):
  *   threads=<n>        size the global pool (overrides DFAULT_THREADS);
@@ -72,6 +80,7 @@
 #include "obs/events.hh"
 #include "obs/manifest.hh"
 #include "obs/perf_counters.hh"
+#include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/timer.hh"
@@ -169,6 +178,53 @@ class Harness
             config_.getDoubleIn("deadline", 0.0, 0.0, 86400.0);
         if (wd.taskTimeoutSeconds > 0.0 || wd.deadlineSeconds > 0.0)
             par::Pool::global().enableWatchdog(wd);
+
+        // Live telemetry: any sampler knob switches the background
+        // sampler on (mirrors the dfault CLI's --metrics-* flags).
+        metricsOut_ = config_.getString("metrics_out", "");
+        const std::string interval =
+            config_.getString("sample_interval", "");
+        const std::string slo_specs = config_.getString("slo", "");
+        const int metrics_port = static_cast<int>(
+            config_.getIntIn("metrics_port", -1, -1, 65535));
+        if (!metricsOut_.empty() || metrics_port >= 0 ||
+            !slo_specs.empty() || !interval.empty()) {
+            obs::SamplerOptions so;
+            if (!interval.empty()) {
+                const auto seconds =
+                    obs::parseDurationSeconds(interval);
+                if (!seconds || *seconds <= 0.0)
+                    DFAULT_FATAL("malformed sample_interval '",
+                                 interval, "' (want e.g. 100ms, 2s)");
+                so.intervalSeconds = *seconds;
+            }
+            so.metricsOutPath = metricsOut_;
+            so.metricsPort = metrics_port;
+            std::string::size_type begin = 0;
+            while (begin <= slo_specs.size() && !slo_specs.empty()) {
+                auto end = slo_specs.find(',', begin);
+                if (end == std::string::npos)
+                    end = slo_specs.size();
+                const std::string spec =
+                    slo_specs.substr(begin, end - begin);
+                if (!spec.empty()) {
+                    std::string error;
+                    const auto target =
+                        obs::parseSloTarget(spec, &error);
+                    if (!target)
+                        DFAULT_FATAL("bad slo spec '", spec, "': ",
+                                     error);
+                    so.sloTargets.push_back(*target);
+                }
+                begin = end + 1;
+            }
+            obs::Sampler::instance().start(so);
+            const auto &server = obs::Sampler::instance().server();
+            if (server.running())
+                DFAULT_INFORM("serving OpenMetrics on "
+                              "http://127.0.0.1:",
+                              server.port(), "/metrics");
+        }
     }
 
     /** Timing report + stats dump when the bench binary exits. */
@@ -238,6 +294,17 @@ class Harness
                           quarantine_path);
         }
 
+        // Stop the sampler before the stats/manifest epilogue: stop()
+        // runs the final flush tick (last metrics snapshot, final SLO
+        // verdicts) and emits closing slo_breach events while the
+        // event sink is still open.
+        auto &sampler = obs::Sampler::instance();
+        const bool sampled = sampler.running() || sampler.ticks() > 0;
+        sampler.stop();
+        if (sampled && !metricsOut_.empty())
+            DFAULT_INFORM("OpenMetrics snapshot written to ",
+                          metricsOut_);
+
         if (!statsOut_.empty()) {
             obs::Registry::instance().writeFile(statsOut_);
             DFAULT_INFORM("stats written to ", statsOut_);
@@ -263,6 +330,11 @@ class Harness
                 info.interrupted = true;
                 info.interruptReason =
                     par::rootCancelToken().reason();
+            }
+            if (sampled) {
+                info.metricsPath = metricsOut_;
+                info.samplerTicks = sampler.ticks();
+                info.sloSummaryJson = sampler.sloSummaryJson();
             }
             if (!obs::writeManifestFile(manifest_path, info))
                 DFAULT_FATAL("cannot write manifest to '",
@@ -304,6 +376,7 @@ class Harness
     std::string statsOut_;
     std::string traceEvents_;
     std::string manifestOut_;
+    std::string metricsOut_;
     bool perfCounters_ = false;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<sys::Platform> platform_;

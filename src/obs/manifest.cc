@@ -43,11 +43,17 @@ digestExcludes(const std::string &name)
     // perf_event_open is unavailable); anything measured in seconds is
     // host-speed-dependent wherever it lives; last_* gauges are
     // last-writer-wins snapshots, so their final value depends on
-    // which task published last. Histogram-kind stats are excluded by
-    // kind in statsDigest() regardless of name.
+    // which task published last. ts.* / slo.* are the telemetry
+    // sampler's own bookkeeping and live.* are the immediate
+    // (non-deferred) campaign progress stats — all three exist only
+    // for streaming consumers and depend on sampling cadence, so the
+    // digest must not see them (the sampler-on/off digest-stability
+    // tests enforce this). Histogram-kind stats are excluded by kind
+    // in statsDigest() regardless of name.
     return name.starts_with("time.") || name.starts_with("par.") ||
            name.starts_with("fi.") || name.starts_with("perf.") ||
-           name.starts_with("alloc.") ||
+           name.starts_with("alloc.") || name.starts_with("ts.") ||
+           name.starts_with("slo.") || name.starts_with("live.") ||
            name.find("seconds") != std::string::npos ||
            name.find("last_") != std::string::npos;
 }
@@ -137,6 +143,14 @@ manifestJson(const ManifestInfo &info, const Registry *registry)
         w.field("stats_out", info.statsPath);
     if (!info.tracePath.empty())
         w.field("trace_events", info.tracePath);
+    if (!info.metricsPath.empty()) {
+        JsonWriter telemetry;
+        telemetry.field("metrics_out", info.metricsPath);
+        telemetry.field("sampler_ticks", info.samplerTicks);
+        w.fieldRaw("telemetry", telemetry.str());
+    }
+    if (!info.sloSummaryJson.empty())
+        w.fieldRaw("slo", info.sloSummaryJson);
 
     JsonWriter stats;
     stats.field("total", static_cast<std::uint64_t>(reg.size()));

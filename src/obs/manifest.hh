@@ -45,6 +45,12 @@ struct ManifestInfo
      *  (same checkpoint dir) completes the work. */
     bool interrupted = false;
     std::string interruptReason; ///< e.g. "received SIGTERM" ("" = none)
+    /** Telemetry sampler summary ("" when the sampler never ran). */
+    std::string metricsPath;     ///< final OpenMetrics snapshot path
+    std::uint64_t samplerTicks = 0;
+    /** SLO verdict array from SloTracker::summaryJson() ("" = no
+     *  targets configured; omitted from the manifest). */
+    std::string sloSummaryJson;
 };
 
 /**

@@ -1,0 +1,184 @@
+#include "obs/sampler.hh"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "fi/durable.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
+
+namespace dfault::obs {
+
+std::optional<double>
+parseDurationSeconds(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || !std::isfinite(value) || value < 0.0)
+        return std::nullopt;
+    const std::string unit(end);
+    if (unit.empty() || unit == "s")
+        return value;
+    if (unit == "ms")
+        return value * 1e-3;
+    if (unit == "us")
+        return value * 1e-6;
+    if (unit == "ns")
+        return value * 1e-9;
+    return std::nullopt;
+}
+
+Sampler &
+Sampler::instance()
+{
+    static Sampler sampler;
+    return sampler;
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+bool
+Sampler::start(const SamplerOptions &opts)
+{
+    if (running())
+        return false;
+    if (opts.intervalSeconds <= 0.0)
+        DFAULT_FATAL("sample interval must be > 0, got ",
+                     opts.intervalSeconds);
+
+    opts_ = opts;
+    store_ = TimeSeriesStore(opts.ringCapacity);
+    slo_ = SloTracker();
+    for (const SloTarget &t : opts.sloTargets)
+        slo_.addTarget(t);
+    ticks_ = 0;
+
+    if (opts_.metricsPort >= 0) {
+        const Registry *reg = opts_.registry;
+        server_.start(opts_.metricsPort,
+                      [reg] { return openMetricsText(reg); });
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = false;
+    }
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+Sampler::stop()
+{
+    if (running()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopRequested_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        // Final flush tick on the caller's thread: the run's last
+        // stats always reach the metrics file and the SLO verdicts,
+        // even when the run was cut short before the next cadence.
+        tick();
+    }
+    server_.stop();
+}
+
+void
+Sampler::loop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double>(opts_.intervalSeconds),
+                [&] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+        }
+        tick();
+    }
+}
+
+void
+Sampler::tick()
+{
+    const Registry &reg =
+        opts_.registry != nullptr ? *opts_.registry : Registry::instance();
+    auto &global = Registry::instance();
+    const std::uint64_t tick_index = ticks_++;
+
+    const std::vector<StatSample> samples = reg.sample();
+
+    // Feed the rings. The sampler's own ts.*/slo.* bookkeeping is not
+    // fed back in, so sampling the sampler cannot oscillate.
+    for (const StatSample &s : samples) {
+        if (s.name.rfind("ts.", 0) == 0 || s.name.rfind("slo.", 0) == 0)
+            continue;
+        store_.series(s.name).push(tick_index, s.value);
+    }
+
+    const std::vector<SloBreach> breaches = slo_.evaluate(
+        tick_index, samples, store_, opts_.intervalSeconds,
+        opts_.sloWindow);
+    if (!breaches.empty()) {
+        auto &sink = EventSink::instance();
+        for (const SloBreach &b : breaches) {
+            global.counter("slo.breaches",
+                           "SLO evaluations that violated their target")
+                .inc();
+            if (b.entered)
+                global.counter("slo.breach_episodes",
+                               "transitions from meeting an SLO to "
+                               "breaching it")
+                    .inc();
+            if (sink.enabled()) {
+                JsonWriter fields;
+                fields.field("spec", b.spec);
+                fields.field("stat", b.stat);
+                fields.field("agg", b.agg);
+                fields.field("observed", b.observed);
+                fields.field("threshold", b.threshold);
+                fields.field("tick", b.tick);
+                fields.field("entered", b.entered);
+                sink.emit("slo_breach", fields);
+            }
+        }
+    }
+
+    global.counter("ts.sampler.ticks", "telemetry sampler ticks").inc();
+    global.gauge("ts.sampler.series",
+                 "stat series held in the sampler rings")
+        .set(static_cast<double>(store_.size()));
+    if (server_.running())
+        global.gauge("ts.sampler.scrapes",
+                     "GET /metrics requests served")
+            .set(static_cast<double>(server_.requestsServed()));
+
+    if (!opts_.metricsOutPath.empty()) {
+        if (!fi::atomicWriteFile(opts_.metricsOutPath,
+                                 openMetricsText(samples)))
+            DFAULT_WARN("sampler: cannot write metrics snapshot to ",
+                        opts_.metricsOutPath);
+    }
+}
+
+std::string
+Sampler::sloSummaryJson() const
+{
+    if (slo_.empty())
+        return "";
+    return slo_.summaryJson();
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Background telemetry sampler: registry snapshots on a cadence.
+ *
+ * Every other producer in the observability layer reports at run exit;
+ * the sampler turns the registry into a *stream*. A dedicated thread —
+ * built on the pool-watchdog pattern: condition-variable wait with a
+ * stop predicate, joined on stop() — wakes every --sample-interval
+ * and, per tick:
+ *
+ *  1. takes one consistent Registry::sample();
+ *  2. pushes each stat's scalar into the per-stat TimeSeries rings,
+ *     keyed by the tick counter (never wall clock — see
+ *     obs/timeseries.hh for the determinism contract);
+ *  3. evaluates the configured SLO targets against the new window,
+ *     bumping the slo.* breach counters and emitting one `slo_breach`
+ *     JSONL event per violation through the EventSink (whose
+ *     single-fwrite-under-lock discipline makes concurrent emission
+ *     from this thread safe);
+ *  4. atomically rewrites --metrics-out with the OpenMetrics rendering
+ *     of the snapshot, so external scrapers always read a complete
+ *     document.
+ *
+ * stop() joins the thread and then runs one final tick inline, so even
+ * a run cut short by SIGTERM (the shutdown path drains through the
+ * normal epilogue) leaves a fresh, lint-clean metrics snapshot and a
+ * final SLO verdict behind. The sampler's own bookkeeping lands under
+ * ts.* / slo.*, which — like live.* — are digest-excluded and ignored
+ * by stats_diff, so sampling never perturbs provenance digests.
+ *
+ * An optional MetricsServer (--metrics-port) serves live scrapes on
+ * localhost; it renders directly from the registry on its own thread
+ * and does not touch the sampler's single-threaded state.
+ */
+
+#ifndef DFAULT_OBS_SAMPLER_HH
+#define DFAULT_OBS_SAMPLER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/openmetrics.hh"
+#include "obs/slo.hh"
+#include "obs/timeseries.hh"
+
+namespace dfault::obs {
+
+/**
+ * Parse a duration like "100ms", "2s", "500us", "250000ns" or a plain
+ * number of seconds ("0.1"). Returns seconds, or nullopt on malformed
+ * input.
+ */
+std::optional<double> parseDurationSeconds(const std::string &text);
+
+struct SamplerOptions
+{
+    /** Tick cadence; also the per-tick seconds assumed by rate SLOs. */
+    double intervalSeconds = 0.1;
+    /** OpenMetrics snapshot path; empty disables file exposition. */
+    std::string metricsOutPath;
+    /** Localhost scrape port (0 = ephemeral); negative disables. */
+    int metricsPort = -1;
+    std::vector<SloTarget> sloTargets;
+    /** Retained samples per series. */
+    std::size_t ringCapacity = 512;
+    /** Ticks a rate/min/max SLO aggregation looks back over. */
+    std::size_t sloWindow = 32;
+    /** Registry to sample; nullptr = the process-wide instance. */
+    const Registry *registry = nullptr;
+};
+
+/** See file comment. */
+class Sampler
+{
+  public:
+    /** The process-wide sampler wired up by the CLI / bench harness. */
+    static Sampler &instance();
+
+    Sampler() = default;
+    ~Sampler();
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Start the sampling thread (no-op returning false when already
+     *  running). Fatal on a non-positive interval. */
+    bool start(const SamplerOptions &opts);
+
+    /** Join the thread, run the final flush tick, stop the scrape
+     *  server. Idempotent; keeps the collected series, SLO verdicts
+     *  and tick count readable afterwards. */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    std::uint64_t ticks() const { return ticks_; }
+
+    /** Single-threaded state: read only while stopped (tests) or from
+     *  the sampler thread itself. */
+    const TimeSeriesStore &store() const { return store_; }
+    const SloTracker &slo() const { return slo_; }
+
+    /** True when start() was given at least one SLO target (stays true
+     *  after stop, for the manifest). */
+    bool sloConfigured() const { return !slo_.empty(); }
+
+    /** Manifest payload: the SLO verdict array, or "" when no targets
+     *  were configured. */
+    std::string sloSummaryJson() const;
+
+    const MetricsServer &server() const { return server_; }
+
+  private:
+    void loop();
+    void tick();
+
+    SamplerOptions opts_;
+    TimeSeriesStore store_{512};
+    SloTracker slo_;
+    MetricsServer server_;
+    std::uint64_t ticks_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    std::thread thread_;
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_SAMPLER_HH

@@ -1,0 +1,277 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json.hh"
+
+namespace dfault::obs {
+
+std::string
+sloAggName(SloAgg agg)
+{
+    switch (agg) {
+      case SloAgg::P50:
+        return "p50";
+      case SloAgg::P90:
+        return "p90";
+      case SloAgg::P99:
+        return "p99";
+      case SloAgg::P999:
+        return "p999";
+      case SloAgg::Rate:
+        return "rate";
+      case SloAgg::Value:
+        return "value";
+      case SloAgg::Min:
+        return "min";
+      case SloAgg::Max:
+        return "max";
+    }
+    return "value";
+}
+
+namespace {
+
+bool
+parseAgg(const std::string &name, SloAgg &out)
+{
+    if (name == "p50")
+        out = SloAgg::P50;
+    else if (name == "p90")
+        out = SloAgg::P90;
+    else if (name == "p99")
+        out = SloAgg::P99;
+    else if (name == "p999")
+        out = SloAgg::P999;
+    else if (name == "rate")
+        out = SloAgg::Rate;
+    else if (name == "value")
+        out = SloAgg::Value;
+    else if (name == "min")
+        out = SloAgg::Min;
+    else if (name == "max")
+        out = SloAgg::Max;
+    else
+        return false;
+    return true;
+}
+
+/** Threshold suffix -> multiplier; durations scale to nanoseconds. */
+bool
+unitMultiplier(const std::string &unit, double &out)
+{
+    if (unit.empty() || unit == "ns" || unit == "/s")
+        out = 1.0;
+    else if (unit == "us")
+        out = 1e3;
+    else if (unit == "ms")
+        out = 1e6;
+    else if (unit == "s")
+        out = 1e9;
+    else
+        return false;
+    return true;
+}
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+}
+
+} // namespace
+
+std::optional<SloTarget>
+parseSloTarget(const std::string &spec, std::string *error)
+{
+    SloTarget target;
+    target.spec = spec;
+
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+        setError(error, "expected '<stat>:<agg><op><threshold>'");
+        return std::nullopt;
+    }
+    target.stat = spec.substr(0, colon);
+
+    const std::string rest = spec.substr(colon + 1);
+    const std::size_t op_pos = rest.find_first_of("<>");
+    if (op_pos == std::string::npos || op_pos == 0 ||
+        op_pos + 1 >= rest.size()) {
+        setError(error, "expected '<' or '>' between aggregation and "
+                        "threshold in '" + spec + "'");
+        return std::nullopt;
+    }
+    if (!parseAgg(rest.substr(0, op_pos), target.agg)) {
+        setError(error, "unknown aggregation '" + rest.substr(0, op_pos) +
+                        "' (want p50/p90/p99/p999/rate/value/min/max)");
+        return std::nullopt;
+    }
+    target.op = rest[op_pos] == '<' ? SloOp::Below : SloOp::Above;
+
+    const std::string number = rest.substr(op_pos + 1);
+    char *end = nullptr;
+    const double value = std::strtod(number.c_str(), &end);
+    if (end == number.c_str() || !std::isfinite(value)) {
+        setError(error, "malformed threshold in '" + spec + "'");
+        return std::nullopt;
+    }
+    double scale = 1.0;
+    if (!unitMultiplier(std::string(end), scale)) {
+        setError(error, "unknown threshold unit '" + std::string(end) +
+                        "' (want ns/us/ms/s or /s)");
+        return std::nullopt;
+    }
+    target.threshold = value * scale;
+    return target;
+}
+
+void
+SloTracker::addTarget(SloTarget target)
+{
+    SloState state;
+    state.target = std::move(target);
+    states_.push_back(std::move(state));
+}
+
+std::vector<SloBreach>
+SloTracker::evaluate(std::uint64_t tick,
+                     const std::vector<StatSample> &samples,
+                     const TimeSeriesStore &store,
+                     double interval_seconds, std::size_t window)
+{
+    std::vector<SloBreach> out;
+    for (SloState &state : states_) {
+        const SloTarget &t = state.target;
+
+        // Locate this tick's sample of the targeted stat.
+        const StatSample *sample = nullptr;
+        for (const StatSample &s : samples) {
+            if (s.name == t.stat) {
+                sample = &s;
+                break;
+            }
+        }
+
+        double observed = 0.0;
+        bool have = false;
+        switch (t.agg) {
+          case SloAgg::P50:
+          case SloAgg::P90:
+          case SloAgg::P99:
+          case SloAgg::P999:
+            if (sample != nullptr && sample->hist &&
+                sample->hist->count > 0) {
+                const double q = t.agg == SloAgg::P50    ? 0.50
+                                 : t.agg == SloAgg::P90  ? 0.90
+                                 : t.agg == SloAgg::P99  ? 0.99
+                                                         : 0.999;
+                observed = sample->hist->quantile(q);
+                have = true;
+            }
+            break;
+          case SloAgg::Rate:
+            if (const TimeSeries *ts = store.find(t.stat)) {
+                if (ts->size() >= 2) {
+                    observed =
+                        ts->ratePerSecond(window, interval_seconds);
+                    have = true;
+                }
+            }
+            break;
+          case SloAgg::Value:
+            if (sample != nullptr) {
+                observed = sample->value;
+                have = true;
+            }
+            break;
+          case SloAgg::Min:
+          case SloAgg::Max:
+            if (const TimeSeries *ts = store.find(t.stat)) {
+                if (ts->size() > 0) {
+                    observed = t.agg == SloAgg::Min
+                                   ? ts->windowMin(window)
+                                   : ts->windowMax(window);
+                    have = true;
+                }
+            }
+            break;
+        }
+        if (!have)
+            continue;
+
+        ++state.evaluations;
+        state.lastObserved = observed;
+        const bool breached = t.op == SloOp::Below
+                                  ? observed > t.threshold
+                                  : observed < t.threshold;
+        if (breached) {
+            if (state.breaches == 0)
+                state.firstBreachTick = tick;
+            SloBreach breach;
+            breach.spec = t.spec;
+            breach.stat = t.stat;
+            breach.agg = sloAggName(t.agg);
+            breach.observed = observed;
+            breach.threshold = t.threshold;
+            breach.tick = tick;
+            breach.entered = !state.breachedNow;
+            out.push_back(std::move(breach));
+            ++state.breaches;
+            state.lastBreachTick = tick;
+        }
+        state.breachedNow = breached;
+    }
+    return out;
+}
+
+std::uint64_t
+SloTracker::totalBreaches() const
+{
+    std::uint64_t out = 0;
+    for (const SloState &s : states_)
+        out += s.breaches;
+    return out;
+}
+
+std::size_t
+SloTracker::breachedTargets() const
+{
+    std::size_t out = 0;
+    for (const SloState &s : states_)
+        out += s.breachedNow ? 1 : 0;
+    return out;
+}
+
+std::string
+SloTracker::summaryJson() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const SloState &s = states_[i];
+        if (i > 0)
+            out += ',';
+        JsonWriter w;
+        w.field("spec", s.target.spec);
+        w.field("stat", s.target.stat);
+        w.field("agg", sloAggName(s.target.agg));
+        w.field("op", s.target.op == SloOp::Below ? "<" : ">");
+        w.field("threshold", s.target.threshold);
+        w.field("evaluations", s.evaluations);
+        w.field("breaches", s.breaches);
+        w.field("breached", s.breachedNow || s.breaches > 0);
+        w.field("last_observed", s.lastObserved);
+        if (s.breaches > 0) {
+            w.field("first_breach_tick", s.firstBreachTick);
+            w.field("last_breach_tick", s.lastBreachTick);
+        }
+        out += w.str();
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace dfault::obs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Declarative service-level objectives over live telemetry.
+ *
+ * An SLO target is a one-line spec evaluated by the sampler once per
+ * tick against the freshly pushed time-series window:
+ *
+ *     <stat>:<agg><op><threshold>[unit]
+ *
+ *     campaign.cell_ns:p99<5ms      per-cell p99 latency under 5 ms
+ *     par.task_failures:rate<0.01/s failure rate under 0.01 per second
+ *     live.campaign.cells_done:rate>1000/s  sustained throughput floor
+ *
+ * Aggregations: p50/p90/p99/p999 (log-histogram streaming quantiles),
+ * rate (per-second counter growth over the evaluation window), value
+ * (latest sample), min/max (window extrema). Operators: `<` means the
+ * observation must stay below the threshold (breach when it exceeds
+ * it), `>` the mirror image. Thresholds accept duration suffixes
+ * ns/us/ms/s — scaled to nanoseconds to match the *_ns histograms —
+ * and a cosmetic `/s` for rates.
+ *
+ * SloTracker holds one SloState per target: evaluation and breach
+ * counts, the current breach flag, first/last breach tick and the last
+ * observation. evaluate() returns the tick's *new* breach records so
+ * the caller (the sampler) can emit one JSONL event per breach
+ * transition and bump the slo.* breach counters; summaryJson() renders
+ * the end-of-run verdicts embedded in the manifest's `slo` section.
+ *
+ * Like the time-series store, the tracker is single-threaded by
+ * contract: only the sampler thread evaluates, and summary readers run
+ * after the sampler has joined. Evaluations key off sampler ticks, so
+ * verdicts are deterministic for a deterministic sample stream.
+ */
+
+#ifndef DFAULT_OBS_SLO_HH
+#define DFAULT_OBS_SLO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "obs/timeseries.hh"
+
+namespace dfault::obs {
+
+/** How one SLO condenses a stat's window into a scalar. */
+enum class SloAgg
+{
+    P50,
+    P90,
+    P99,
+    P999,
+    Rate,
+    Value,
+    Min,
+    Max,
+};
+
+std::string sloAggName(SloAgg agg);
+
+/** Direction of the bound: Below = stay under, Above = stay over. */
+enum class SloOp
+{
+    Below,
+    Above,
+};
+
+/** One parsed target. */
+struct SloTarget
+{
+    std::string spec;      ///< original spec text, verbatim
+    std::string stat;      ///< dotted stat path
+    SloAgg agg = SloAgg::Value;
+    SloOp op = SloOp::Below;
+    double threshold = 0.0; ///< unit-scaled (durations in ns)
+};
+
+/**
+ * Parse one spec; on failure returns nullopt and, when @p error is
+ * non-null, a human-readable reason.
+ */
+std::optional<SloTarget> parseSloTarget(const std::string &spec,
+                                        std::string *error = nullptr);
+
+/** Live evaluation state of one target. */
+struct SloState
+{
+    SloTarget target;
+    std::uint64_t evaluations = 0; ///< ticks where the stat existed
+    std::uint64_t breaches = 0;    ///< evaluations that violated
+    bool breachedNow = false;      ///< verdict of the latest evaluation
+    double lastObserved = 0.0;
+    std::uint64_t firstBreachTick = 0;
+    std::uint64_t lastBreachTick = 0;
+};
+
+/** One violation observed at one tick (returned per evaluate()). */
+struct SloBreach
+{
+    std::string spec;
+    std::string stat;
+    std::string agg;
+    double observed = 0.0;
+    double threshold = 0.0;
+    std::uint64_t tick = 0;
+    bool entered = false; ///< first breached tick of a breach episode
+};
+
+/** See file comment. */
+class SloTracker
+{
+  public:
+    void addTarget(SloTarget target);
+
+    bool empty() const { return states_.empty(); }
+    std::size_t size() const { return states_.size(); }
+    const std::vector<SloState> &states() const { return states_; }
+
+    /**
+     * Evaluate every target against this tick's registry sample and
+     * the time-series windows (which the sampler has already pushed
+     * this tick's values into). @p interval_seconds is the configured
+     * sampling interval, @p window the number of ticks a rate/extrema
+     * aggregation looks back over. Returns this tick's violations.
+     * Targets whose stat (or required histogram) is absent are skipped
+     * without counting an evaluation.
+     */
+    std::vector<SloBreach> evaluate(std::uint64_t tick,
+                                    const std::vector<StatSample> &samples,
+                                    const TimeSeriesStore &store,
+                                    double interval_seconds,
+                                    std::size_t window);
+
+    /** Breaching evaluations summed over every target. */
+    std::uint64_t totalBreaches() const;
+
+    /** Targets currently in breach. */
+    std::size_t breachedTargets() const;
+
+    /** JSON array of per-target verdicts, for the manifest. */
+    std::string summaryJson() const;
+
+  private:
+    std::vector<SloState> states_;
+};
+
+} // namespace dfault::obs
+
+#endif // DFAULT_OBS_SLO_HH

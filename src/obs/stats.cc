@@ -140,6 +140,23 @@ Distribution::overflow() const
     return overflow_;
 }
 
+DistributionSnapshot
+Distribution::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DistributionSnapshot snap;
+    snap.lo = lo_;
+    snap.hi = hi_;
+    snap.buckets = buckets_;
+    snap.underflow = underflow_;
+    snap.overflow = overflow_;
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = count_ > 0 ? min_ : 0.0;
+    snap.max = count_ > 0 ? max_ : 0.0;
+    return snap;
+}
+
 void
 Distribution::reset()
 {
@@ -288,6 +305,44 @@ Registry::value(const std::string &name) const
         return e.histogram->snapshot().mean();
     }
     DFAULT_PANIC("unreachable stat kind");
+}
+
+std::vector<StatSample>
+Registry::sample() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<StatSample> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        StatSample s;
+        s.name = name;
+        s.kind = e.kind;
+        s.description = e.description;
+        switch (e.kind) {
+          case StatKind::Counter:
+            s.value = static_cast<double>(e.counter->value());
+            break;
+          case StatKind::Gauge:
+            s.value = e.gauge->value();
+            break;
+          case StatKind::Distribution:
+            s.dist = e.distribution->snapshot();
+            s.value = s.dist->count > 0
+                          ? s.dist->sum /
+                                static_cast<double>(s.dist->count)
+                          : 0.0;
+            break;
+          case StatKind::Formula:
+            s.value = e.formula->value();
+            break;
+          case StatKind::Histogram:
+            s.hist = e.histogram->snapshot();
+            s.value = s.hist->mean();
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
 }
 
 void

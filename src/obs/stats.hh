@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,20 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
+/** Consistent point-in-time view of one Distribution (one lock). */
+struct DistributionSnapshot
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0; ///< 0 when empty
+    double max = 0.0; ///< 0 when empty
+};
+
 /**
  * Linear fixed-width histogram over [lo, hi) with @p buckets bins plus
  * dedicated underflow/overflow bins, and running count/sum/min/max.
@@ -123,6 +138,11 @@ class Distribution
     Distribution(double lo, double hi, int buckets);
 
     void record(double x);
+
+    /** All moments and buckets under one lock acquisition, so the
+     *  counts are mutually consistent even under concurrent record()
+     *  (count always equals underflow + buckets + overflow). */
+    DistributionSnapshot snapshot() const;
 
     double lo() const { return lo_; }
     double hi() const { return hi_; }
@@ -150,6 +170,23 @@ class Distribution
     double sum_ = 0.0;
     double min_;
     double max_;
+};
+
+/**
+ * One stat as seen by a telemetry consumer (the sampler, the
+ * OpenMetrics writer): name, kind, description and a scalar view,
+ * plus the full snapshot for distribution/histogram kinds. Produced
+ * by Registry::sample().
+ */
+struct StatSample
+{
+    std::string name;
+    StatKind kind = StatKind::Counter;
+    std::string description;
+    /** Counter/gauge/formula value; distribution and histogram mean. */
+    double value = 0.0;
+    std::optional<DistributionSnapshot> dist;
+    std::optional<HistogramSnapshot> hist;
 };
 
 /** Value derived from other stats; evaluated on read. */
@@ -201,6 +238,16 @@ class Registry
 
     /** Scalar value of a stat (a Distribution reports its mean). */
     double value(const std::string &name) const;
+
+    /**
+     * One StatSample per registered stat, in name order. The whole
+     * pass holds the registry mutex (like dumpText), so the *set* of
+     * stats is consistent; individual values are the usual relaxed
+     * reads. Formulas must not touch the registry from their
+     * callbacks (they capture stat references instead — see
+     * perf_counters.cc), or this would self-deadlock.
+     */
+    std::vector<StatSample> sample() const;
 
     /** Zero every counter/gauge/distribution; formulas re-derive. */
     void resetAll();

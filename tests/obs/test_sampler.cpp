@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Sampler-thread tests: tick/flush lifecycle, time-series capture,
+ * SLO breach events through the EventSink, and the PR's headline
+ * guarantee — manifest stats digests are bit-identical with the
+ * sampler on or off, at 1, 2 and 8 pool threads, because everything
+ * the sampler writes lives under digest-excluded prefixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/characterization.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/sampler.hh"
+#include "obs/stats.hh"
+#include "par/pool.hh"
+
+namespace dfault {
+namespace {
+
+using obs::Sampler;
+using obs::SamplerOptions;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(ParseDuration, UnitsAndRejects)
+{
+    EXPECT_DOUBLE_EQ(*obs::parseDurationSeconds("100ms"), 0.1);
+    EXPECT_DOUBLE_EQ(*obs::parseDurationSeconds("2s"), 2.0);
+    EXPECT_DOUBLE_EQ(*obs::parseDurationSeconds("500us"), 5e-4);
+    EXPECT_DOUBLE_EQ(*obs::parseDurationSeconds("250000ns"), 2.5e-4);
+    EXPECT_DOUBLE_EQ(*obs::parseDurationSeconds("0.25"), 0.25);
+    EXPECT_FALSE(obs::parseDurationSeconds("").has_value());
+    EXPECT_FALSE(obs::parseDurationSeconds("fast").has_value());
+    EXPECT_FALSE(obs::parseDurationSeconds("10fortnights").has_value());
+    EXPECT_FALSE(obs::parseDurationSeconds("-1s").has_value());
+}
+
+TEST(Sampler, TicksCaptureSeriesAndFlushMetrics)
+{
+    obs::Registry reg;
+    obs::Counter &work = reg.counter("demo.work", "demo counter");
+    const std::string metrics = tempPath("sampler_metrics.txt");
+
+    Sampler sampler;
+    SamplerOptions so;
+    so.intervalSeconds = 0.002;
+    so.metricsOutPath = metrics;
+    so.registry = &reg;
+    ASSERT_TRUE(sampler.start(so));
+    EXPECT_TRUE(sampler.running());
+    EXPECT_FALSE(sampler.start(so)); // already running: no-op
+
+    for (int i = 0; i < 20; ++i) {
+        work.inc(5);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    sampler.stop(); // idempotent
+
+    // stop() always runs the final flush tick, so even a run shorter
+    // than one interval leaves at least one tick and a snapshot.
+    EXPECT_GE(sampler.ticks(), 1u);
+    const obs::TimeSeries *series = sampler.store().find("demo.work");
+    ASSERT_NE(series, nullptr);
+    EXPECT_GE(series->size(), 1u);
+    EXPECT_DOUBLE_EQ(series->latest().value, 100.0);
+
+    const std::string text = readFile(metrics);
+    ASSERT_FALSE(text.empty());
+    // Complete OpenMetrics document: terminator present, final value
+    // of the counter flushed by the last tick.
+    EXPECT_NE(text.find("# TYPE demo_work counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("demo_work_total 100\n"), std::string::npos);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    std::remove(metrics.c_str());
+}
+
+TEST(Sampler, BreachingSloEmitsJsonlEventAndCounters)
+{
+    obs::Registry reg;
+    reg.gauge("demo.depth", "always too deep").set(100.0);
+    const std::string events = tempPath("sampler_events.jsonl");
+    obs::EventSink::instance().open(events);
+
+    Sampler sampler;
+    SamplerOptions so;
+    so.intervalSeconds = 0.001;
+    so.registry = &reg;
+    so.sloTargets.push_back(
+        *obs::parseSloTarget("demo.depth:value<1"));
+    ASSERT_TRUE(sampler.start(so));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sampler.stop();
+    obs::EventSink::instance().close();
+
+    ASSERT_TRUE(sampler.sloConfigured());
+    const auto &state = sampler.slo().states()[0];
+    EXPECT_GE(state.breaches, 1u);
+    EXPECT_TRUE(state.breachedNow);
+    EXPECT_DOUBLE_EQ(state.lastObserved, 100.0);
+
+    // The verdict array is valid JSON ready for the manifest.
+    const std::string summary = sampler.sloSummaryJson();
+    ASSERT_FALSE(summary.empty());
+    std::string error;
+    ASSERT_TRUE(obs::jsonParse(summary, &error).has_value()) << error;
+
+    // One slo_breach JSONL record per breaching tick, interleaved
+    // cleanly with whatever else the process emitted.
+    const std::string log = readFile(events);
+    EXPECT_NE(log.find("\"type\":\"slo_breach\""), std::string::npos);
+    EXPECT_NE(log.find("\"spec\":\"demo.depth:value<1\""),
+              std::string::npos);
+    EXPECT_NE(log.find("\"entered\":true"), std::string::npos);
+
+    // Breach counters land in the *global* registry under slo.*,
+    // which the manifest digest ignores.
+    auto &global = obs::Registry::instance();
+    ASSERT_TRUE(global.has("slo.breaches"));
+    EXPECT_GE(global.value("slo.breaches"), 1.0);
+    EXPECT_TRUE(obs::digestExcludes("slo.breaches"));
+    std::remove(events.c_str());
+}
+
+// ---- digest stability (the PR's acceptance gate) ----------------------
+
+/** Run @p f with a global pool of @p threads slots, then restore 1. */
+template <typename F>
+auto
+atThreads(int threads, F &&f)
+{
+    par::Pool::setGlobalThreads(threads);
+    auto result = f();
+    par::Pool::setGlobalThreads(1);
+    return result;
+}
+
+/** The reduced fig04-style sweep used across the determinism suite. */
+void
+runSweep()
+{
+    sys::Platform::Params pp;
+    pp.hierarchy.l1.sizeBytes = 16 * 1024;
+    pp.hierarchy.l2.sizeBytes = 1 << 20;
+    pp.exec.timeDilation = sys::dilationForFootprint(2 << 20);
+    sys::Platform platform(pp);
+
+    core::CharacterizationCampaign::Params cp;
+    cp.workload.footprintBytes = 2 << 20;
+    cp.workload.workScale = 0.25;
+    core::CharacterizationCampaign campaign(platform, cp);
+
+    const std::vector<workloads::WorkloadConfig> suite = {
+        {"random", 8, "random"},
+    };
+    const std::vector<dram::OperatingPoint> points = {
+        {0.618, dram::kMinVdd, 50.0},
+        {2.283, dram::kMinVdd, 60.0},
+    };
+    campaign.sweep(suite, points);
+}
+
+/** Digest of a fresh sweep, optionally sampled at full tilt. */
+std::uint64_t
+sweepDigest(int threads, bool with_sampler)
+{
+    obs::Registry::instance().resetAll();
+    Sampler sampler;
+    if (with_sampler) {
+        SamplerOptions so;
+        so.intervalSeconds = 0.001; // aggressive: many mid-run ticks
+        if (!sampler.start(so))
+            ADD_FAILURE() << "sampler failed to start";
+    }
+    atThreads(threads, [] {
+        runSweep();
+        return 0;
+    });
+    sampler.stop();
+    return obs::statsDigest();
+}
+
+TEST(SamplerDeterminism, DigestIdenticalWithSamplerOnOrOff)
+{
+    // The first sweep in a process profiles the workload and fills the
+    // profile cache; every later sweep replays it. Warm the cache so
+    // all digested runs do identical work, then resetAll() before each
+    // run gives every digest the same baseline.
+    atThreads(1, [] {
+        runSweep();
+        return 0;
+    });
+    const std::uint64_t reference = sweepDigest(1, false);
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        EXPECT_EQ(sweepDigest(threads, false), reference);
+        EXPECT_EQ(sweepDigest(threads, true), reference);
+    }
+}
+
+} // namespace
+} // namespace dfault

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SLO spec grammar and evaluation tests: parsing (aggregations,
+ * operators, duration units), breach detection against histogram
+ * quantiles and counter rates, episode tracking and the manifest
+ * verdict JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/slo.hh"
+#include "obs/stats.hh"
+#include "obs/timeseries.hh"
+
+namespace dfault::obs {
+namespace {
+
+TEST(SloParse, QuantileWithDurationUnit)
+{
+    const auto t = parseSloTarget("campaign.cell_ns:p99<5ms");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->stat, "campaign.cell_ns");
+    EXPECT_EQ(t->agg, SloAgg::P99);
+    EXPECT_EQ(t->op, SloOp::Below);
+    EXPECT_DOUBLE_EQ(t->threshold, 5e6); // 5 ms in ns
+    EXPECT_EQ(t->spec, "campaign.cell_ns:p99<5ms");
+}
+
+TEST(SloParse, RatePerSecond)
+{
+    const auto t = parseSloTarget("par.task_failures:rate<0.01/s");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->agg, SloAgg::Rate);
+    EXPECT_DOUBLE_EQ(t->threshold, 0.01);
+}
+
+TEST(SloParse, AboveOperatorAndAllUnits)
+{
+    const auto above =
+        parseSloTarget("live.campaign.cells_done:rate>100/s");
+    ASSERT_TRUE(above.has_value());
+    EXPECT_EQ(above->op, SloOp::Above);
+    EXPECT_DOUBLE_EQ(above->threshold, 100.0);
+
+    EXPECT_DOUBLE_EQ(parseSloTarget("a:value<2us")->threshold, 2e3);
+    EXPECT_DOUBLE_EQ(parseSloTarget("a:value<3s")->threshold, 3e9);
+    EXPECT_DOUBLE_EQ(parseSloTarget("a:value<40ns")->threshold, 40.0);
+    EXPECT_DOUBLE_EQ(parseSloTarget("a:value<1.5")->threshold, 1.5);
+    EXPECT_EQ(parseSloTarget("a.b.c:min>0")->agg, SloAgg::Min);
+    EXPECT_EQ(parseSloTarget("a.b.c:max<9")->agg, SloAgg::Max);
+    EXPECT_EQ(parseSloTarget("a:p50<1")->agg, SloAgg::P50);
+    EXPECT_EQ(parseSloTarget("a:p90<1")->agg, SloAgg::P90);
+    EXPECT_EQ(parseSloTarget("a:p999<1")->agg, SloAgg::P999);
+}
+
+TEST(SloParse, RejectsMalformedSpecs)
+{
+    std::string error;
+    EXPECT_FALSE(parseSloTarget("", &error).has_value());
+    EXPECT_FALSE(parseSloTarget("no-colon", &error).has_value());
+    EXPECT_FALSE(parseSloTarget("a:b", &error).has_value());
+    EXPECT_FALSE(parseSloTarget("a:p98<1", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseSloTarget("a:p99<", &error).has_value());
+    EXPECT_FALSE(parseSloTarget("a:p99<5parsecs", &error).has_value());
+    EXPECT_FALSE(parseSloTarget(":p99<5", &error).has_value());
+}
+
+TEST(SloTracker, ValueBreachAndEpisodes)
+{
+    Registry reg;
+    Gauge &g = reg.gauge("mem.depth");
+    SloTracker tracker;
+    tracker.addTarget(*parseSloTarget("mem.depth:value<10"));
+    TimeSeriesStore store(8);
+
+    g.set(5.0);
+    auto breaches = tracker.evaluate(0, reg.sample(), store, 0.1, 8);
+    EXPECT_TRUE(breaches.empty());
+
+    g.set(15.0);
+    breaches = tracker.evaluate(1, reg.sample(), store, 0.1, 8);
+    ASSERT_EQ(breaches.size(), 1u);
+    EXPECT_EQ(breaches[0].stat, "mem.depth");
+    EXPECT_DOUBLE_EQ(breaches[0].observed, 15.0);
+    EXPECT_DOUBLE_EQ(breaches[0].threshold, 10.0);
+    EXPECT_TRUE(breaches[0].entered); // first tick of the episode
+    EXPECT_EQ(breaches[0].tick, 1u);
+
+    g.set(20.0); // still breaching: same episode
+    breaches = tracker.evaluate(2, reg.sample(), store, 0.1, 8);
+    ASSERT_EQ(breaches.size(), 1u);
+    EXPECT_FALSE(breaches[0].entered);
+
+    g.set(5.0); // recovers
+    breaches = tracker.evaluate(3, reg.sample(), store, 0.1, 8);
+    EXPECT_TRUE(breaches.empty());
+
+    const auto &state = tracker.states()[0];
+    EXPECT_EQ(state.evaluations, 4u);
+    EXPECT_EQ(state.breaches, 2u);
+    EXPECT_FALSE(state.breachedNow);
+    EXPECT_EQ(state.firstBreachTick, 1u);
+    EXPECT_EQ(state.lastBreachTick, 2u);
+    EXPECT_EQ(tracker.totalBreaches(), 2u);
+    EXPECT_EQ(tracker.breachedTargets(), 0u);
+}
+
+TEST(SloTracker, QuantileBreachFromHistogram)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("task.ns");
+    SloTracker tracker;
+    // p99 must stay under 1 us.
+    tracker.addTarget(*parseSloTarget("task.ns:p99<1us"));
+    TimeSeriesStore store(8);
+
+    for (int i = 0; i < 100; ++i)
+        h.record(100.0); // all well under 1000 ns
+    auto breaches = tracker.evaluate(0, reg.sample(), store, 0.1, 8);
+    EXPECT_TRUE(breaches.empty());
+
+    for (int i = 0; i < 100; ++i)
+        h.record(1e6); // now the tail is 1 ms
+    breaches = tracker.evaluate(1, reg.sample(), store, 0.1, 8);
+    ASSERT_EQ(breaches.size(), 1u);
+    EXPECT_GT(breaches[0].observed, 1000.0);
+    EXPECT_EQ(breaches[0].agg, "p99");
+}
+
+TEST(SloTracker, RateBreachUsesTickWindow)
+{
+    Registry reg;
+    Counter &c = reg.counter("err.count");
+    SloTracker tracker;
+    tracker.addTarget(*parseSloTarget("err.count:rate<5/s"));
+    TimeSeriesStore store(16);
+
+    // Interval 0.1 s/tick: 1 new error every 2 ticks = 5/s exactly —
+    // never above the threshold.
+    for (std::uint64_t tick = 0; tick < 4; ++tick) {
+        store.series("err.count")
+            .push(tick, static_cast<double>(tick) * 0.5);
+        EXPECT_TRUE(
+            tracker.evaluate(tick, reg.sample(), store, 0.1, 16)
+                .empty());
+    }
+    // Burst: 10 new errors in one tick lifts the windowed rate to
+    // 11.5 errors / 0.4 s ~= 29/s, well above the 5/s target.
+    c.inc(10);
+    store.series("err.count").push(4, 10.0 + 1.5);
+    const auto breaches =
+        tracker.evaluate(4, reg.sample(), store, 0.1, 16);
+    ASSERT_EQ(breaches.size(), 1u);
+    EXPECT_GT(breaches[0].observed, 5.0);
+}
+
+TEST(SloTracker, AbsentStatIsSkippedNotBreached)
+{
+    Registry reg;
+    SloTracker tracker;
+    tracker.addTarget(*parseSloTarget("no.such.stat:value<1"));
+    TimeSeriesStore store(8);
+    EXPECT_TRUE(tracker.evaluate(0, reg.sample(), store, 0.1, 8).empty());
+    EXPECT_EQ(tracker.states()[0].evaluations, 0u);
+    // A quantile target over a gauge (no histogram) is also skipped.
+    reg.gauge("scalar.only").set(5.0);
+    tracker.addTarget(*parseSloTarget("scalar.only:p99<1"));
+    EXPECT_TRUE(tracker.evaluate(1, reg.sample(), store, 0.1, 8).empty());
+    EXPECT_EQ(tracker.states()[1].evaluations, 0u);
+}
+
+TEST(SloTracker, SummaryJsonParsesAndCarriesVerdicts)
+{
+    Registry reg;
+    reg.gauge("mem.depth").set(50.0);
+    SloTracker tracker;
+    tracker.addTarget(*parseSloTarget("mem.depth:value<10"));
+    tracker.addTarget(*parseSloTarget("mem.depth:value>1"));
+    TimeSeriesStore store(8);
+    tracker.evaluate(0, reg.sample(), store, 0.1, 8);
+
+    const std::string json = tracker.summaryJson();
+    std::string error;
+    const auto doc = jsonParse(json, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isArray());
+    ASSERT_EQ(doc->array.size(), 2u);
+
+    const JsonValue &breached = doc->array[0];
+    EXPECT_EQ(breached.find("spec")->string, "mem.depth:value<10");
+    EXPECT_EQ(breached.find("agg")->string, "value");
+    EXPECT_EQ(breached.find("op")->string, "<");
+    EXPECT_TRUE(breached.find("breached")->boolean);
+    EXPECT_EQ(breached.find("breaches")->number, 1.0);
+    EXPECT_EQ(breached.find("last_observed")->number, 50.0);
+    ASSERT_NE(breached.find("first_breach_tick"), nullptr);
+
+    const JsonValue &met = doc->array[1];
+    EXPECT_FALSE(met.find("breached")->boolean);
+    EXPECT_EQ(met.find("breaches")->number, 0.0);
+    EXPECT_EQ(met.find("first_breach_tick"), nullptr);
+}
+
+} // namespace
+} // namespace dfault::obs

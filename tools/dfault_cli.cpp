@@ -32,6 +32,18 @@
  *                          unavailable (VMs, perf_event_paranoid)
  *   --alloc-track          per-phase heap allocation attribution
  *                          (alloc.phase.<path>.bytes/.allocs)
+ *   --metrics-out=<path>   stream OpenMetrics snapshots here: the
+ *                          sampler thread atomically rewrites the file
+ *                          every tick, so scrapers always read a
+ *                          complete document
+ *   --metrics-port=<port>  additionally serve GET /metrics on
+ *                          127.0.0.1:<port> (0 picks a free port)
+ *   --sample-interval=<d>  sampler cadence, e.g. 100ms / 2s
+ *                          (default 100ms)
+ *   slo=<spec>[,<spec>...] declare SLO targets evaluated every tick,
+ *                          e.g. slo=campaign.cell_ns:p99<5ms; breaches
+ *                          emit slo_breach JSONL events and a verdict
+ *                          table in the manifest's "slo" section
  *
  * Robustness overrides (see docs/robustness.md):
  *   faults=<spec>    arm fault-injection points (fi/injector.hh)
@@ -53,6 +65,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <cstring>
 #include <string_view>
@@ -63,6 +76,7 @@
 #include "obs/events.hh"
 #include "obs/perf_counters.hh"
 #include "obs/manifest.hh"
+#include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "obs/stats.hh"
 #include "obs/trace_writer.hh"
@@ -91,6 +105,9 @@ struct Cli
     std::string manifestOut;
     std::string quarantineOut;
     std::string commandLine;
+    std::string metricsOut;
+    std::string sampleInterval;
+    int metricsPort = -1;
     bool perfCounters = false;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
@@ -134,13 +151,27 @@ struct Cli
                                   "); perf.* stats will read zero");
             } else if (arg == "--alloc-track")
                 obs::AllocTracker::enable();
+            else if (arg.starts_with("--metrics-out="))
+                metricsOut = arg.substr(14);
+            else if (arg.starts_with("--metrics-port=")) {
+                const std::string port(arg.substr(15));
+                char *end = nullptr;
+                const long v = std::strtol(port.c_str(), &end, 10);
+                if (end == port.c_str() || *end != '\0' || v < 0 ||
+                    v > 65535)
+                    DFAULT_FATAL("--metrics-port must be in [0, 65535],"
+                                 " got '", port, "'");
+                metricsPort = static_cast<int>(v);
+            } else if (arg.starts_with("--sample-interval="))
+                sampleInterval = arg.substr(18);
             else if (i > 0 && arg.starts_with("--"))
                 DFAULT_FATAL("unknown flag '", std::string(arg),
                              "'; telemetry flags are --stats-out=, "
                              "--trace-out=, --trace-events=, "
                              "--manifest-out=, --quarantine-out=, "
                              "--progress, --perf-counters, "
-                             "--alloc-track");
+                             "--alloc-track, --metrics-out=, "
+                             "--metrics-port=, --sample-interval=");
             else
                 args.push_back(argv[i]);
         }
@@ -187,6 +218,48 @@ struct Cli
             config.getDoubleIn("deadline", 0.0, 0.0, 86400.0);
         if (wd.taskTimeoutSeconds > 0.0 || wd.deadlineSeconds > 0.0)
             par::Pool::global().enableWatchdog(wd);
+
+        // Live telemetry: any of the sampler knobs switches the
+        // background sampler on.
+        const std::string slo_specs = config.getString("slo", "");
+        if (!metricsOut.empty() || metricsPort >= 0 ||
+            !slo_specs.empty() || !sampleInterval.empty()) {
+            obs::SamplerOptions so;
+            if (!sampleInterval.empty()) {
+                const auto seconds =
+                    obs::parseDurationSeconds(sampleInterval);
+                if (!seconds || *seconds <= 0.0)
+                    DFAULT_FATAL("malformed --sample-interval '",
+                                 sampleInterval,
+                                 "' (want e.g. 100ms, 2s)");
+                so.intervalSeconds = *seconds;
+            }
+            so.metricsOutPath = metricsOut;
+            so.metricsPort = metricsPort;
+            std::string::size_type begin = 0;
+            while (begin <= slo_specs.size() && !slo_specs.empty()) {
+                auto end = slo_specs.find(',', begin);
+                if (end == std::string::npos)
+                    end = slo_specs.size();
+                const std::string spec =
+                    slo_specs.substr(begin, end - begin);
+                if (!spec.empty()) {
+                    std::string error;
+                    const auto target =
+                        obs::parseSloTarget(spec, &error);
+                    if (!target)
+                        DFAULT_FATAL("bad slo spec '", spec, "': ",
+                                     error);
+                    so.sloTargets.push_back(*target);
+                }
+                begin = end + 1;
+            }
+            obs::Sampler::instance().start(so);
+            const auto &server = obs::Sampler::instance().server();
+            if (server.running())
+                DFAULT_INFORM("serving OpenMetrics on http://127.0.0.1:",
+                              server.port(), "/metrics");
+        }
     }
 
     dram::OperatingPoint
@@ -395,11 +468,13 @@ usage()
         "overrides: footprint_mib work_scale epochs trefp_s temp_c\n"
         "           vdd_v threads input_set model thermal_loop\n"
         "           faults checkpoint retries fail_fast\n"
-        "           task_timeout deadline\n"
+        "           task_timeout deadline slo\n"
         "telemetry: --stats-out=<path> --trace-out=<path>\n"
         "           --trace-events=<path> --manifest-out=<path>\n"
         "           --quarantine-out=<path> --progress\n"
-        "           --perf-counters --alloc-track\n");
+        "           --perf-counters --alloc-track\n"
+        "           --metrics-out=<path> --metrics-port=<port>\n"
+        "           --sample-interval=<dur>\n");
 }
 
 int
@@ -480,6 +555,16 @@ main(int argc, char **argv)
     if (cli.perfCounters)
         obs::printPerfTable(stdout);
 
+    // Stop the sampler before the stats/manifest epilogue: stop() runs
+    // the final flush tick (last metrics snapshot, final SLO verdicts)
+    // and emits any closing slo_breach events while the sink is open.
+    auto &sampler = obs::Sampler::instance();
+    const bool sampled = sampler.running() || sampler.ticks() > 0;
+    sampler.stop();
+    if (sampled && !cli.metricsOut.empty())
+        DFAULT_INFORM("OpenMetrics snapshot written to ",
+                      cli.metricsOut);
+
     if (!cli.statsOut.empty()) {
         obs::Registry::instance().writeFile(cli.statsOut);
         DFAULT_INFORM("stats written to ", cli.statsOut);
@@ -525,6 +610,11 @@ main(int argc, char **argv)
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - cli.start)
                 .count();
+        if (sampled) {
+            info.metricsPath = cli.metricsOut;
+            info.samplerTicks = sampler.ticks();
+            info.sloSummaryJson = sampler.sloSummaryJson();
+        }
         if (!obs::writeManifestFile(manifest_path, info))
             DFAULT_FATAL("cannot write manifest to '", manifest_path,
                          "'");
