@@ -14,12 +14,31 @@
  * the figure of merit: high correlation means the 2-hour relaxed
  * characterization identifies the devices that will fail first in the
  * field.
+ *
+ * Phase two reframes the ranking as the online serving problem of the
+ * AIOps deployments (ROADMAP item 2): a random forest trained on the
+ * characterization features serves per-device risk predictions through
+ * serve::PredictionService — bounded queue, priority classes, circuit
+ * breakers, degraded fallback (a one-tree forest slice) — and the
+ * study reports fleet precision/recall of the served predictions
+ * against the ground-truth risk quartile *alongside availability*
+ * (served vs degraded vs shed). Chaos knobs: arm serve.slow /
+ * serve.error / serve.reject and shrink serve_budget to watch the
+ * resilience machinery engage without losing a single disposition.
+ *
+ * Serving knobs (key=value): serve_rounds, serve_load (submissions per
+ * device per round — 4 models sustained 4x over-capacity), serve_queue,
+ * serve_budget, serve_shards, serve_degrade_after, serve_retries.
  */
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dram/retention.hh"
 #include "harness.hh"
+#include "ml/forest.hh"
+#include "serve/service.hh"
 #include "stats/correlation.hh"
 
 using namespace dfault;
@@ -44,6 +63,7 @@ main(int argc, char **argv)
     const dram::RetentionModel retention;
 
     std::vector<double> relaxed_wer, nominal_risk;
+    ml::Matrix device_features; // rows for the serving-phase forest
     std::printf("%-8s %-12s %12s %16s\n", "server", "device",
                 "relaxed WER", "nominal P(leak)");
 
@@ -79,6 +99,14 @@ main(int argc, char **argv)
                 continue; // no signal measured on this device
             relaxed_wer.push_back(wer);
             nominal_risk.push_back(risk);
+            // Features for the serving-phase forest: the fast
+            // characterization signal, the device's retention bin
+            // (standing in for vendor binning data), and its fleet
+            // position.
+            device_features.push_back(
+                {std::log10(wer),
+                 platform.devices()[d].retentionScale(),
+                 static_cast<double>(server), static_cast<double>(d)});
             if (d < 2) // keep the table readable
                 std::printf("%-8d %-12s %12.3e %16.3e\n", server,
                             platform.geometry()
@@ -108,5 +136,162 @@ main(int argc, char **argv)
                 "devices by field failure\n   risk%s -- the paper's "
                 "predictive-maintenance proposal (§VII).\n",
                 rs > 0.7 ? " accurately" : " only weakly");
+
+    // ---- Phase two: online serving under pressure ------------------
+    const std::size_t rounds = static_cast<std::size_t>(
+        harness.config().getIntIn("serve_rounds", 8, 1, 100000));
+    const std::size_t load = static_cast<std::size_t>(
+        harness.config().getIntIn("serve_load", 1, 1, 1000));
+    if (device_features.size() < 4) {
+        std::printf("serving phase skipped: only %zu device(s) with "
+                    "measurable WER\n",
+                    device_features.size());
+        return 0;
+    }
+
+    bench::rule();
+    std::printf("Serving phase: %zu devices x %zu rounds x %zu "
+                "submissions/round\n",
+                device_features.size(), rounds, load);
+
+    // Train the primary on the characterization features; the target
+    // is the log ground-truth risk. The degraded-mode fallback is a
+    // one-tree slice of the same forest: ~1/25th of the predict cost.
+    std::vector<double> target(nominal_risk.size());
+    for (std::size_t i = 0; i < nominal_risk.size(); ++i)
+        target[i] = std::log10(nominal_risk[i]);
+    ml::RandomForestRegressor::Params fp;
+    fp.trees = 25;
+    fp.maxDepth = 8;
+    ml::RandomForestRegressor forest(fp);
+    forest.fit(device_features, target);
+    ml::ForestSliceRegressor slice(forest, 1);
+
+    serve::Params sp;
+    sp.queueCapacity = static_cast<std::size_t>(
+        harness.config().getIntIn("serve_queue", 64, 1, 1 << 20));
+    sp.budgetPerTick = static_cast<std::size_t>(
+        harness.config().getIntIn("serve_budget", 32, 1, 1 << 20));
+    sp.degradeAfterTicks = static_cast<std::uint64_t>(
+        harness.config().getIntIn("serve_degrade_after", 3, 0, 100000));
+    sp.shards = static_cast<int>(
+        harness.config().getIntIn("serve_shards", 2, 1, 64));
+    sp.maxRetries = static_cast<int>(
+        harness.config().getIntIn("serve_retries", 1, 0, 100));
+    serve::PredictionService service(forest, sp, &slice);
+
+    // Deterministic priority rule: top-quartile measured WER is
+    // mitigation-critical, every 5th device is a health probe, the
+    // rest is bulk re-scoring (the class that sheds first).
+    std::vector<double> wer_sorted = relaxed_wer;
+    std::nth_element(wer_sorted.begin(),
+                     wer_sorted.begin() + wer_sorted.size() * 3 / 4,
+                     wer_sorted.end());
+    const double wer_q75 = wer_sorted[wer_sorted.size() * 3 / 4];
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (std::size_t rep = 0; rep < load; ++rep)
+            for (std::size_t i = 0; i < device_features.size(); ++i) {
+                serve::Request req;
+                req.key = i;
+                req.priority = relaxed_wer[i] >= wer_q75
+                                   ? serve::Priority::Critical
+                               : i % 5 == 0 ? serve::Priority::Health
+                                            : serve::Priority::Bulk;
+                req.shard = static_cast<int>(i) % sp.shards;
+                req.features = device_features[i];
+                service.submit(req);
+            }
+        service.tick();
+    }
+    service.drain();
+
+    // Availability: every submission must hold a disposition.
+    const auto &reg = obs::Registry::instance();
+    const double submitted = reg.value("serve.submitted");
+    const double served = reg.value("serve.served");
+    const double degraded = reg.value("serve.degraded");
+    const double shed = reg.value("serve.shed");
+    if (submitted != served + degraded + shed) {
+        std::fprintf(stderr,
+                     "disposition conservation violated: %g submitted "
+                     "!= %g served + %g degraded + %g shed\n",
+                     submitted, served, degraded, shed);
+        return harness.exitCode(1);
+    }
+    std::printf("dispositions: %.0f submitted = %.0f served + %.0f "
+                "degraded + %.0f shed\n",
+                submitted, served, degraded, shed);
+    std::printf("shed by class: critical %.0f, health %.0f, bulk %.0f; "
+                "breaker open/half-open/closed: %.0f/%.0f/%.0f\n",
+                reg.value("serve.shed.critical"),
+                reg.value("serve.shed.health"),
+                reg.value("serve.shed.bulk"),
+                reg.value("serve.breaker.opened"),
+                reg.value("serve.breaker.half_open"),
+                reg.value("serve.breaker.closed"));
+
+    // Fleet precision/recall of the *served* answers (primary or
+    // degraded) against the ground-truth top risk quartile.
+    std::vector<double> answer(device_features.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+    for (const serve::Response &r : service.takeResponses())
+        if (r.disposition != serve::Disposition::Shed)
+            answer[r.key] = r.prediction; // last answer per device wins
+    std::vector<double> answered;
+    for (const double a : answer)
+        if (std::isfinite(a))
+            answered.push_back(a);
+    if (answered.size() >= 4) {
+        std::vector<double> risk_sorted = target;
+        std::nth_element(risk_sorted.begin(),
+                         risk_sorted.begin() + risk_sorted.size() * 3 / 4,
+                         risk_sorted.end());
+        const double risk_q75 = risk_sorted[risk_sorted.size() * 3 / 4];
+        std::vector<double> pred_sorted = answered;
+        std::nth_element(pred_sorted.begin(),
+                         pred_sorted.begin() + pred_sorted.size() * 3 / 4,
+                         pred_sorted.end());
+        const double pred_q75 = pred_sorted[pred_sorted.size() * 3 / 4];
+        int tp = 0, fp_n = 0, fn = 0;
+        for (std::size_t i = 0; i < answer.size(); ++i) {
+            if (!std::isfinite(answer[i]))
+                continue;
+            const bool truly_at_risk = target[i] >= risk_q75;
+            const bool flagged = answer[i] >= pred_q75;
+            tp += flagged && truly_at_risk;
+            fp_n += flagged && !truly_at_risk;
+            fn += !flagged && truly_at_risk;
+        }
+        const double precision =
+            tp + fp_n > 0 ? static_cast<double>(tp) / (tp + fp_n) : 0.0;
+        const double recall =
+            tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+        const double availability = (served + degraded) / submitted;
+        std::printf("fleet precision %.3f, recall %.3f (top risk "
+                    "quartile, %zu/%zu devices answered)\n",
+                    precision, recall, answered.size(), answer.size());
+        std::printf("availability: %.1f%% answered (%.1f%% by the "
+                    "primary, %.1f%% degraded)\n",
+                    100.0 * availability, 100.0 * served / submitted,
+                    100.0 * degraded / submitted);
+        // Deterministic (digested) study results: the serving outcome
+        // is a pure function of the submission sequence and the fault
+        // schedule, so these belong in the golden digest.
+        auto &fleet = obs::Registry::instance();
+        fleet.gauge("fleet.serve.precision",
+                    "serving-phase precision, top risk quartile")
+            .set(precision);
+        fleet.gauge("fleet.serve.recall",
+                    "serving-phase recall, top risk quartile")
+            .set(recall);
+        fleet.gauge("fleet.serve.answered",
+                    "devices with a served or degraded answer")
+            .set(static_cast<double>(answered.size()));
+    } else {
+        std::printf("fleet precision/recall skipped: only %zu "
+                    "answered device(s)\n",
+                    answered.size());
+    }
     return 0;
 }

@@ -33,6 +33,20 @@ writeOnce(const std::string &path, const std::string &tmp,
         DFAULT_WARN("cannot create ", tmp, ": ", std::strerror(errno));
         return false;
     }
+    if (inj.armed() && inj.shouldFire("io.short_write", key, attempt)) {
+        // Torn write: half the body lands in the temp file, then the
+        // writer "dies". The partial temp is deliberately left behind —
+        // a crashed process would not clean up either — so tests can
+        // prove the committed path never observes the truncation and a
+        // retry still converges.
+        const std::size_t half = body.size() / 2;
+        std::fwrite(body.data(), 1, half, out);
+        std::fflush(out);
+        std::fclose(out);
+        DFAULT_WARN("injected io.short_write for ", path, ": wrote ", half,
+                    " of ", body.size(), " bytes, temp left behind");
+        return false;
+    }
     bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
     ok = ok && std::fflush(out) == 0;
     if (ok && inj.armed() && inj.shouldFire("io.write", key, attempt)) {

@@ -67,6 +67,11 @@ applyParam(const std::string &point, FaultSpec &spec, std::string_view key,
             DFAULT_FATAL("fault spec '", point, "': bad every '",
                          std::string(value), "'");
         spec.every = u;
+    } else if (key == "below") {
+        if (!parseU64(value, u))
+            DFAULT_FATAL("fault spec '", point, "': bad below '",
+                         std::string(value), "'");
+        spec.below = u;
     } else if (key == "max_attempt") {
         if (!parseU64(value, u) || u > (1u << 30))
             DFAULT_FATAL("fault spec '", point, "': bad max_attempt '",
@@ -190,6 +195,8 @@ Injector::shouldFire(std::string_view point, std::uint64_t key, int attempt)
     if (attempt >= p.spec.maxAttempt)
         return false;
     if (p.spec.every != 0 && key % p.spec.every != 0)
+        return false;
+    if (key >= p.spec.below)
         return false;
     if (p.fired >= p.spec.count)
         return false;

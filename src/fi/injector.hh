@@ -24,6 +24,10 @@
  * Parameters:
  *   rate=P        fire with probability P per eligible check (default 1)
  *   every=N       fire only when key %% N == 0 (default: any key)
+ *   below=N       fire only when key < N (default: any key). Unlike
+ *                 count=/after= this is a pure function of the key, so
+ *                 a burst stays bit-identical at any thread count —
+ *                 the primitive behind the CI breaker-burst case
  *   max_attempt=N fire only when attempt < N, so retries recover
  *   count=N       total fire budget for the point (default unlimited)
  *   after=N       first N checks of the point never fire (arrival order)
@@ -33,8 +37,10 @@
  *
  * Known points: task.throw (par::Pool task body), task.stall and
  * measure.nan (CharacterizationCampaign::measureOn), io.open / io.write
- * (fi::atomicWriteFile), sweep.kill (campaign checkpoint journal),
- * shutdown.slow_drain (dfault_cli shutdown epilogue). task.stall was
+ * / io.short_write (fi::atomicWriteFile), sweep.kill (campaign
+ * checkpoint journal), shutdown.slow_drain (dfault_cli shutdown
+ * epilogue), serve.slow / serve.error / serve.reject
+ * (serve::PredictionService, keyed by submission id). task.stall was
  * named campaign.hang before it gained real stall semantics (it used
  * to throw; see docs/robustness.md).
  */
@@ -75,6 +81,7 @@ struct FaultSpec
 {
     double rate = 1.0;
     std::uint64_t every = 0; ///< 0 = no key gate
+    std::uint64_t below = ~0ULL; ///< fire only when key < below
     int maxAttempt = 1 << 30;
     std::uint64_t count = ~0ULL;
     std::uint64_t after = 0;

@@ -301,4 +301,39 @@ RandomForestRegressor::predictMany(const Matrix &rows,
         v /= scale;
 }
 
+double
+RandomForestRegressor::predictFirstTrees(std::span<const double> row,
+                                         std::size_t trees) const
+{
+    DFAULT_ASSERT(!treeRoots_.empty(), "forest: predict before fit");
+    const std::size_t n =
+        std::clamp<std::size_t>(trees, 1, treeRoots_.size());
+    double acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t)
+        acc += predictTree(treeRoots_[t], row);
+    return acc / static_cast<double>(n);
+}
+
+void
+ForestSliceRegressor::fit(const Matrix &, std::span<const double>)
+{
+    DFAULT_FATAL("ForestSliceRegressor is a view over an already-fitted "
+                 "forest; fit the underlying RandomForestRegressor");
+}
+
+double
+ForestSliceRegressor::predict(std::span<const double> row) const
+{
+    return forest_.predictFirstTrees(row, trees_);
+}
+
+void
+ForestSliceRegressor::predictMany(const Matrix &rows,
+                                  std::vector<double> &out) const
+{
+    out.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i] = forest_.predictFirstTrees(rows[i], trees_);
+}
+
 } // namespace dfault::ml

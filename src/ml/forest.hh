@@ -42,6 +42,18 @@ class RandomForestRegressor : public Regressor
                      std::vector<double> &out) const override;
     std::string name() const override { return "RDF"; }
 
+    /** Trees grown by the last fit() (0 before fit). */
+    std::size_t treeCount() const { return treeRoots_.size(); }
+
+    /**
+     * Prediction of the first min(@p trees, treeCount()) trees only —
+     * the cheap degraded-mode estimate behind ForestSliceRegressor.
+     * Bagging makes every tree an unbiased (if noisy) estimate of the
+     * ensemble, so a prefix slice is the natural accuracy/cost dial.
+     */
+    double predictFirstTrees(std::span<const double> row,
+                             std::size_t trees) const;
+
   private:
     /**
      * One traversal node packed to 16 bytes — half the growth node —
@@ -67,6 +79,35 @@ class RandomForestRegressor : public Regressor
                        std::span<const double> row) const;
 
     Params params_;
+};
+
+/**
+ * Read-only view over the first N trees of a fitted forest, exposed as
+ * a Regressor so it can stand in as a cheap degraded-mode fallback
+ * (serve::PredictionService). Does not own the forest; the forest must
+ * outlive the slice and stay fitted. fit() is a hard error.
+ */
+class ForestSliceRegressor : public Regressor
+{
+  public:
+    /** @p trees is clamped to [1, forest.treeCount()] at predict time. */
+    explicit ForestSliceRegressor(const RandomForestRegressor &forest,
+                                  std::size_t trees = 1)
+        : forest_(forest), trees_(trees)
+    {
+    }
+
+    void fit(const Matrix &x, std::span<const double> y) override;
+    double predict(std::span<const double> row) const override;
+    void predictMany(const Matrix &rows,
+                     std::vector<double> &out) const override;
+    std::string name() const override { return "RDF-slice"; }
+
+    std::size_t trees() const { return trees_; }
+
+  private:
+    const RandomForestRegressor &forest_;
+    std::size_t trees_;
 };
 
 } // namespace dfault::ml

@@ -48,12 +48,16 @@ digestExcludes(const std::string &name)
     // (non-deferred) campaign progress stats — all three exist only
     // for streaming consumers and depend on sampling cadence, so the
     // digest must not see them (the sampler-on/off digest-stability
-    // tests enforce this). Histogram-kind stats are excluded by kind
-    // in statsDigest() regardless of name.
+    // tests enforce this). serve.live.* (queue depth, breaker-state
+    // gauges) is the prediction service's moment-in-time state — the
+    // deterministic serve.* counters next to it stay digested.
+    // Histogram-kind stats are excluded by kind in statsDigest()
+    // regardless of name.
     return name.starts_with("time.") || name.starts_with("par.") ||
            name.starts_with("fi.") || name.starts_with("perf.") ||
            name.starts_with("alloc.") || name.starts_with("ts.") ||
            name.starts_with("slo.") || name.starts_with("live.") ||
+           name.starts_with("serve.live.") ||
            name.find("seconds") != std::string::npos ||
            name.find("last_") != std::string::npos;
 }

@@ -78,6 +78,49 @@ TEST_F(DurableTest, TransientFaultRecoversOnRetry)
     EXPECT_EQ(readFile(path).value_or(""), "made it");
 }
 
+TEST_F(DurableTest, ShortWriteRecoversOnRetry)
+{
+    // A torn write on the first attempt (half the body lands in the
+    // temp, then the writer "dies") is invisible to the caller: the
+    // internal retry rewrites the temp from scratch and commits.
+    Injector::instance().arm("io.short_write:max_attempt=1");
+    EXPECT_TRUE(atomicWriteFile(path, "crash-consistent body"));
+    EXPECT_EQ(Injector::instance().firedCount("io.short_write"), 1u);
+    EXPECT_EQ(readFile(path).value_or(""), "crash-consistent body");
+    // The successful retry renamed the temp away: nothing left behind.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    struct stat st;
+    EXPECT_NE(::stat(tmp.c_str(), &st), 0);
+}
+
+TEST_F(DurableTest, ShortWriteNeverTruncatesCommittedFile)
+{
+    // Crash-consistency of write-temp-fsync-rename: when every attempt
+    // tears mid-write, the committed path still holds the previous
+    // body in full — the torn bytes only ever existed under the temp
+    // name, which is left behind exactly as a crashed process would
+    // leave it.
+    ASSERT_TRUE(atomicWriteFile(path, "survivor"));
+    Injector::instance().arm("io.short_write");
+    const std::string body = "0123456789abcdef";
+    EXPECT_FALSE(atomicWriteFile(path, body));
+    Injector::instance().disarm();
+    EXPECT_EQ(readFile(path).value_or(""), "survivor");
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const auto partial = readFile(tmp);
+    ASSERT_TRUE(partial.has_value()) << "partial temp not left behind";
+    EXPECT_EQ(*partial, body.substr(0, body.size() / 2));
+
+    // A later clean write converges and sweeps the stale temp name.
+    EXPECT_TRUE(atomicWriteFile(path, body));
+    EXPECT_EQ(readFile(path).value_or(""), body);
+    struct stat st;
+    EXPECT_NE(::stat(tmp.c_str(), &st), 0);
+}
+
 TEST_F(DurableTest, ReadMissingFileReturnsCleanError)
 {
     std::string error;

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Circuit breaker state machine tests: consecutive-failure and rolling
+ * error-rate trips, tick-based cooldown into half-open, probe-driven
+ * recovery, and probe-failure reopen — all driven by the deterministic
+ * serve.error fault schedule (below= keys a burst by submission id).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "fi/injector.hh"
+#include "obs/stats.hh"
+#include "serve/service.hh"
+
+namespace dfault::serve {
+namespace {
+
+struct CountingModel : ml::Regressor
+{
+    void fit(const ml::Matrix &, std::span<const double>) override {}
+    double predict(std::span<const double>) const override
+    {
+        ++calls;
+        return 1.0;
+    }
+    void predictMany(const ml::Matrix &rows,
+                     std::vector<double> &out) const override
+    {
+        out.assign(rows.size(), 1.0);
+    }
+    std::string name() const override { return "counting"; }
+    mutable std::atomic<int> calls{0};
+};
+
+struct BreakerTest : ::testing::Test
+{
+    void TearDown() override { fi::Injector::instance().disarm(); }
+
+    Request req(std::uint64_t key)
+    {
+        Request r;
+        r.key = key;
+        r.features = {1.0};
+        return r;
+    }
+
+    /** One tick's worth of fresh keys, then tick. */
+    void submitAndTick(PredictionService &svc, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            svc.submit(req(nextKey++));
+        svc.tick();
+    }
+
+    Params params()
+    {
+        Params p;
+        p.registry = &reg;
+        p.maxRetries = 0; // one attempt per request: failures are crisp
+        p.breaker.consecutiveFailures = 3;
+        p.breaker.cooldownTicks = 2;
+        p.breaker.halfOpenProbes = 2;
+        return p;
+    }
+
+    CountingModel primary;
+    obs::Registry reg;
+    std::uint64_t nextKey = 0;
+};
+
+TEST_F(BreakerTest, ConsecutiveFailuresOpenTheBreaker)
+{
+    // Submission ids 0..2 fail: exactly the consecutive threshold.
+    fi::Injector::instance().arm("serve.error:below=3");
+    PredictionService svc(primary, params());
+    submitAndTick(svc, 3);
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Open);
+    EXPECT_EQ(reg.value("serve.breaker.opened"), 1.0);
+    // All three failing requests had no LKG and no fallback: shed with
+    // the primary failure recorded in the reason.
+    for (const Response &r : svc.takeResponses()) {
+        EXPECT_EQ(r.disposition, Disposition::Shed);
+        EXPECT_NE(r.reason.find("primary failure"), std::string::npos);
+        EXPECT_NE(r.reason.find("serve.error"), std::string::npos);
+    }
+}
+
+TEST_F(BreakerTest, OpenBreakerAnswersWithoutTouchingThePrimary)
+{
+    fi::Injector::instance().arm("serve.error:below=3");
+    PredictionService svc(primary, params());
+    submitAndTick(svc, 3);
+    ASSERT_EQ(svc.breakerState(0), BreakerState::Open);
+    svc.takeResponses();
+
+    const int callsBefore = primary.calls.load();
+    // Give key 99 an LKG entry? No — use the breaker-open degrade
+    // path with no LKG and no fallback: honest shed, primary untouched.
+    submitAndTick(svc, 2);
+    EXPECT_EQ(primary.calls.load(), callsBefore);
+    for (const Response &r : svc.takeResponses())
+        EXPECT_NE(r.reason.find("breaker open"), std::string::npos);
+}
+
+TEST_F(BreakerTest, CooldownProbesAndRecovers)
+{
+    fi::Injector::instance().arm("serve.error:below=3");
+    PredictionService svc(primary, params());
+    submitAndTick(svc, 3); // tick 1: opens
+    ASSERT_EQ(svc.breakerState(0), BreakerState::Open);
+
+    svc.tick();            // tick 2: still cooling down
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Open);
+    svc.tick();            // tick 3 = openedTick(1) + cooldown(2)
+    EXPECT_EQ(svc.breakerState(0), BreakerState::HalfOpen);
+    EXPECT_EQ(reg.value("serve.breaker.half_open"), 1.0);
+
+    // Ids 3+ succeed; two probe successes close the breaker.
+    submitAndTick(svc, 2);
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Closed);
+    EXPECT_EQ(reg.value("serve.breaker.closed"), 1.0);
+    svc.takeResponses();
+
+    // Fully recovered: normal service resumes.
+    submitAndTick(svc, 4);
+    for (const Response &r : svc.takeResponses())
+        EXPECT_EQ(r.disposition, Disposition::Served);
+}
+
+TEST_F(BreakerTest, HalfOpenAdmitsOnlyTheProbeTrickle)
+{
+    fi::Injector::instance().arm("serve.error:below=3");
+    PredictionService svc(primary, params());
+    submitAndTick(svc, 3);
+    svc.tick();
+    svc.tick();
+    ASSERT_EQ(svc.breakerState(0), BreakerState::HalfOpen);
+    svc.takeResponses();
+
+    // Five waiting requests, but only halfOpenProbes=2 run this tick.
+    for (int i = 0; i < 5; ++i)
+        svc.submit(req(nextKey++));
+    svc.tick();
+    EXPECT_EQ(svc.queueDepth(), 3u);
+    EXPECT_EQ(svc.takeResponses().size(), 2u);
+    // The probes succeeded, the breaker closed: the rest drains.
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Closed);
+    svc.drain();
+    EXPECT_EQ(svc.takeResponses().size(), 3u);
+}
+
+TEST_F(BreakerTest, FailedProbeReopensAndRestartsCooldown)
+{
+    // Ids 0..3 fail: the three that open the breaker plus the first
+    // probe after cooldown.
+    fi::Injector::instance().arm("serve.error:below=4");
+    PredictionService svc(primary, params());
+    submitAndTick(svc, 3);
+    svc.tick();
+    svc.tick();
+    ASSERT_EQ(svc.breakerState(0), BreakerState::HalfOpen);
+
+    submitAndTick(svc, 1); // probe id 3: fails
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Open);
+    EXPECT_EQ(reg.value("serve.breaker.opened"), 2.0);
+
+    // Second cooldown elapses; ids 4+ succeed and it closes for good.
+    svc.tick();
+    svc.tick();
+    ASSERT_EQ(svc.breakerState(0), BreakerState::HalfOpen);
+    submitAndTick(svc, 2);
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Closed);
+}
+
+TEST_F(BreakerTest, RollingErrorRateTripsWithoutConsecutiveRun)
+{
+    // Alternating failures (even ids) never run 2 consecutive, but
+    // hold a 4-wide window at 50% failure — the rate threshold. The
+    // trip is evaluated when a *failure* commits into a full window,
+    // so the fifth request (id 4, a failure) is the one that opens.
+    fi::Injector::instance().arm("serve.error:every=2");
+    Params p = params();
+    p.breaker.consecutiveFailures = 100; // only the rate can trip
+    p.breaker.errorRateWindow = 4;
+    p.breaker.errorRateThreshold = 0.5;
+    PredictionService svc(primary, p);
+    submitAndTick(svc, 8);
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Open);
+    EXPECT_EQ(reg.value("serve.breaker.opened"), 1.0);
+}
+
+TEST_F(BreakerTest, ShardsFailIndependently)
+{
+    // The burst covers ids 0..2 and exactly those route to shard 0:
+    // its breaker opens while shard 1 keeps serving.
+    fi::Injector::instance().arm("serve.error:below=3");
+    Params p = params();
+    p.shards = 2;
+    PredictionService svc(primary, p);
+    for (int i = 0; i < 3; ++i) { // ids 0..2 -> shard 0: all fail
+        Request r = req(nextKey++);
+        r.shard = 0;
+        svc.submit(r);
+    }
+    for (int i = 0; i < 3; ++i) { // ids 3..5 -> shard 1: all succeed
+        Request r = req(nextKey++);
+        r.shard = 1;
+        svc.submit(r);
+    }
+    svc.tick();
+    EXPECT_EQ(svc.breakerState(0), BreakerState::Open);
+    EXPECT_EQ(svc.breakerState(1), BreakerState::Closed);
+}
+
+} // namespace
+} // namespace dfault::serve
