@@ -29,15 +29,31 @@
  * Serving knobs (key=value): serve_rounds, serve_load (submissions per
  * device per round — 4 models sustained 4x over-capacity), serve_queue,
  * serve_budget, serve_shards, serve_degrade_after, serve_retries.
+ *
+ * Durability knobs (docs/serving.md "Durability and resume"):
+ * journal_dir= arms the service write-ahead journal so a killed run
+ * resumes from its last durable tick (the manifest then records
+ * resumed_from_tick); serve_snapshot_every= sets the compaction
+ * cadence; kill_at_tick=N arms serve.kill to _Exit the process at
+ * tick N (kill_code= its exit code) — the long-horizon chaos case;
+ * transcript_out= writes the full response transcript as JSONL for
+ * byte-identical comparison between a killed-and-resumed run and a
+ * clean one.
  */
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
+#include "common/rng.hh"
 #include "dram/retention.hh"
+#include "fi/durable.hh"
+#include "fi/injector.hh"
 #include "harness.hh"
 #include "ml/forest.hh"
+#include "obs/json.hh"
+#include "serve/journal.hh"
 #include "serve/service.hh"
 #include "stats/correlation.hh"
 
@@ -146,7 +162,7 @@ main(int argc, char **argv)
         std::printf("serving phase skipped: only %zu device(s) with "
                     "measurable WER\n",
                     device_features.size());
-        return 0;
+        return harness.exitCode(0);
     }
 
     bench::rule();
@@ -178,7 +194,59 @@ main(int argc, char **argv)
         harness.config().getIntIn("serve_shards", 2, 1, 64));
     sp.maxRetries = static_cast<int>(
         harness.config().getIntIn("serve_retries", 1, 0, 100));
+
+    // Durability: journal_dir= makes the serving phase crash-resumable
+    // (serve/journal.hh). The journal salt folds in every knob that
+    // shapes the submission sequence, so a journal from a different
+    // traffic configuration is quarantined, never silently replayed —
+    // the same config-digest guard the campaign checkpoint uses.
+    // Thread count and snapshot cadence are deliberately excluded.
+    sp.journalDir = harness.config().getString("journal_dir", "");
+    sp.snapshotEveryTicks = static_cast<std::uint64_t>(
+        harness.config().getIntIn("serve_snapshot_every", 16, 0,
+                                  1000000));
+    {
+        char traffic[160];
+        std::snprintf(traffic, sizeof(traffic),
+                      "fleet-traffic-v1,%d,%llu,%.17g,%zu,%zu",
+                      servers,
+                      static_cast<unsigned long long>(footprint),
+                      harness.config().getDouble("work_scale", 1.0),
+                      rounds, load);
+        sp.journalSalt = fnv1a64(traffic);
+    }
+
+    // kill_at_tick=N is the chaos handle the long-horizon CI case
+    // drives: the process _Exit()s right after tick N commits
+    // in-memory but before it reaches the journal, so the tick is
+    // re-served on resume.
+    const std::int64_t kill_at_tick =
+        harness.config().getIntIn("kill_at_tick", 0, 0, 1000000);
+    if (kill_at_tick > 0) {
+        const std::int64_t kill_code =
+            harness.config().getIntIn("kill_code", 9, 1, 255);
+        fi::Injector::instance().arm(
+            "serve.kill:every=" + std::to_string(kill_at_tick) +
+            ",count=1,code=" + std::to_string(kill_code));
+    }
+
     serve::PredictionService service(forest, sp, &slice);
+
+    // Resume: the restored tick says how many submission rounds are
+    // already committed (round r commits as tick r+1); re-running them
+    // would double-submit. A crash mid-round lost its partial
+    // submissions with the unjournaled tick, so re-running that round
+    // reproduces them deterministically.
+    std::size_t start_round = 0;
+    if (service.resumedFromTick() >= 0) {
+        harness.setResumedFromTick(service.resumedFromTick());
+        start_round = std::min(
+            static_cast<std::size_t>(service.resumedFromTick()), rounds);
+        std::printf("resumed from journal tick %lld: skipping %zu "
+                    "committed round(s)\n",
+                    static_cast<long long>(service.resumedFromTick()),
+                    start_round);
+    }
 
     // Deterministic priority rule: top-quartile measured WER is
     // mitigation-critical, every 5th device is a health probe, the
@@ -189,7 +257,7 @@ main(int argc, char **argv)
                      wer_sorted.end());
     const double wer_q75 = wer_sorted[wer_sorted.size() * 3 / 4];
 
-    for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t round = start_round; round < rounds; ++round) {
         for (std::size_t rep = 0; rep < load; ++rep)
             for (std::size_t i = 0; i < device_features.size(); ++i) {
                 serve::Request req;
@@ -231,11 +299,40 @@ main(int argc, char **argv)
                 reg.value("serve.breaker.half_open"),
                 reg.value("serve.breaker.closed"));
 
+    const std::vector<serve::Response> transcript =
+        service.takeResponses();
+
+    // transcript_out= captures every disposition in decision order —
+    // a journaled, killed and resumed run must produce this file
+    // byte-for-byte identical to an unkilled run's (the chaos gate).
+    const std::string transcript_out =
+        harness.config().getString("transcript_out", "");
+    if (!transcript_out.empty()) {
+        std::string body;
+        for (const serve::Response &r : transcript) {
+            obs::JsonWriter w;
+            w.field("id", r.id);
+            w.field("key", r.key);
+            w.field("priority", serve::priorityName(r.priority));
+            w.field("disposition",
+                    serve::dispositionName(r.disposition));
+            w.field("degraded", r.degraded);
+            w.fieldRaw("prediction", obs::jsonNumber(r.prediction));
+            w.field("reason", r.reason);
+            body += w.str();
+            body += '\n';
+        }
+        if (!fi::atomicWriteFile(transcript_out, body))
+            return harness.exitCode(1);
+        std::printf("serving transcript (%zu responses) written to %s\n",
+                    transcript.size(), transcript_out.c_str());
+    }
+
     // Fleet precision/recall of the *served* answers (primary or
     // degraded) against the ground-truth top risk quartile.
     std::vector<double> answer(device_features.size(),
                                std::numeric_limits<double>::quiet_NaN());
-    for (const serve::Response &r : service.takeResponses())
+    for (const serve::Response &r : transcript)
         if (r.disposition != serve::Disposition::Shed)
             answer[r.key] = r.prediction; // last answer per device wins
     std::vector<double> answered;
@@ -293,5 +390,5 @@ main(int argc, char **argv)
                     "answered device(s)\n",
                     answered.size());
     }
-    return 0;
+    return harness.exitCode(0);
 }

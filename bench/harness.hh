@@ -331,6 +331,7 @@ class Harness
                 info.interruptReason =
                     par::rootCancelToken().reason();
             }
+            info.resumedFromTick = resumedFromTick_;
             if (sampled) {
                 info.metricsPath = metricsOut_;
                 info.samplerTicks = sampler.ticks();
@@ -369,6 +370,16 @@ class Harness
         return sig != 0 ? sig : rc;
     }
 
+    /**
+     * Record that the serving phase resumed from its write-ahead
+     * journal at @p tick; the manifest then carries resumed_from_tick
+     * so downstream tooling can tell a resumed run from a fresh one.
+     */
+    void setResumedFromTick(std::int64_t tick)
+    {
+        resumedFromTick_ = tick;
+    }
+
   private:
     Config config_;
     std::string tool_;
@@ -377,6 +388,7 @@ class Harness
     std::string traceEvents_;
     std::string manifestOut_;
     std::string metricsOut_;
+    std::int64_t resumedFromTick_ = -1;
     bool perfCounters_ = false;
     std::chrono::steady_clock::time_point start_;
     std::unique_ptr<sys::Platform> platform_;

@@ -68,6 +68,12 @@ applyParam(const std::string &point, FaultSpec &spec, std::string_view key,
                          std::string(value), "'");
         spec.every = u;
     } else if (key == "below") {
+        // strtoull silently wraps a negative literal to a huge value,
+        // which would turn "never fire" into "always fire" — reject it
+        // by name instead.
+        if (value.starts_with('-'))
+            DFAULT_FATAL("fault spec '", point, "': below must be >= 0, "
+                         "got '", std::string(value), "'");
         if (!parseU64(value, u))
             DFAULT_FATAL("fault spec '", point, "': bad below '",
                          std::string(value), "'");

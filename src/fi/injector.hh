@@ -40,9 +40,13 @@
  * / io.short_write (fi::atomicWriteFile), sweep.kill (campaign
  * checkpoint journal), shutdown.slow_drain (dfault_cli shutdown
  * epilogue), serve.slow / serve.error / serve.reject
- * (serve::PredictionService, keyed by submission id). task.stall was
- * named campaign.hang before it gained real stall semantics (it used
- * to throw; see docs/robustness.md).
+ * (serve::PredictionService, keyed by submission id), serve.kill
+ * (_Exit between the tick commit and its journal write, keyed by
+ * tick), journal.write / journal.torn_segment (the serve write-ahead
+ * journal record write fails outright / lands half-written, keyed by
+ * tick; serve/journal.hh). task.stall was named campaign.hang before
+ * it gained real stall semantics (it used to throw; see
+ * docs/robustness.md).
  */
 
 #ifndef DFAULT_FI_INJECTOR_HH

@@ -306,12 +306,22 @@ RandomForestRegressor::predictFirstTrees(std::span<const double> row,
                                          std::size_t trees) const
 {
     DFAULT_ASSERT(!treeRoots_.empty(), "forest: predict before fit");
-    const std::size_t n =
-        std::clamp<std::size_t>(trees, 1, treeRoots_.size());
+    if (trees == 0)
+        DFAULT_FATAL("forest: predictFirstTrees needs trees >= 1 "
+                     "(a 0-tree slice has no prediction)");
+    const std::size_t n = std::min(trees, treeRoots_.size());
     double acc = 0.0;
     for (std::size_t t = 0; t < n; ++t)
         acc += predictTree(treeRoots_[t], row);
     return acc / static_cast<double>(n);
+}
+
+ForestSliceRegressor::ForestSliceRegressor(
+    const RandomForestRegressor &forest, std::size_t trees)
+    : forest_(forest), trees_(trees)
+{
+    if (trees == 0)
+        DFAULT_FATAL("ForestSliceRegressor: trees must be >= 1, got 0");
 }
 
 void

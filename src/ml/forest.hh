@@ -50,6 +50,8 @@ class RandomForestRegressor : public Regressor
      * the cheap degraded-mode estimate behind ForestSliceRegressor.
      * Bagging makes every tree an unbiased (if noisy) estimate of the
      * ensemble, so a prefix slice is the natural accuracy/cost dial.
+     * @p trees == 0 is a named fatal error; @p trees > treeCount()
+     * clamps to the whole forest.
      */
     double predictFirstTrees(std::span<const double> row,
                              std::size_t trees) const;
@@ -90,12 +92,14 @@ class RandomForestRegressor : public Regressor
 class ForestSliceRegressor : public Regressor
 {
   public:
-    /** @p trees is clamped to [1, forest.treeCount()] at predict time. */
+    /**
+     * @p trees == 0 is a named fatal error (a 0-tree slice has no
+     * prediction); @p trees > forest.treeCount() clamps to the whole
+     * forest at predict time, so an over-wide slice predicts exactly
+     * what the full ensemble does.
+     */
     explicit ForestSliceRegressor(const RandomForestRegressor &forest,
-                                  std::size_t trees = 1)
-        : forest_(forest), trees_(trees)
-    {
-    }
+                                  std::size_t trees = 1);
 
     void fit(const Matrix &x, std::span<const double> y) override;
     double predict(std::span<const double> row) const override;

@@ -51,6 +51,9 @@ digestExcludes(const std::string &name)
     // tests enforce this). serve.live.* (queue depth, breaker-state
     // gauges) is the prediction service's moment-in-time state — the
     // deterministic serve.* counters next to it stay digested.
+    // journal.* records write-ahead-journal activity (segments
+    // written, restores, quarantines), which differs between a
+    // killed-and-resumed run and a clean one just like fi.* does.
     // Histogram-kind stats are excluded by kind in statsDigest()
     // regardless of name.
     return name.starts_with("time.") || name.starts_with("par.") ||
@@ -58,6 +61,7 @@ digestExcludes(const std::string &name)
            name.starts_with("alloc.") || name.starts_with("ts.") ||
            name.starts_with("slo.") || name.starts_with("live.") ||
            name.starts_with("serve.live.") ||
+           name.starts_with("journal.") ||
            name.find("seconds") != std::string::npos ||
            name.find("last_") != std::string::npos;
 }
@@ -143,6 +147,8 @@ manifestJson(const ManifestInfo &info, const Registry *registry)
         if (!info.interruptReason.empty())
             w.field("interrupt_reason", info.interruptReason);
     }
+    if (info.resumedFromTick >= 0)
+        w.field("resumed_from_tick", info.resumedFromTick);
     if (!info.statsPath.empty())
         w.field("stats_out", info.statsPath);
     if (!info.tracePath.empty())

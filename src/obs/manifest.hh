@@ -45,6 +45,10 @@ struct ManifestInfo
      *  (same checkpoint dir) completes the work. */
     bool interrupted = false;
     std::string interruptReason; ///< e.g. "received SIGTERM" ("" = none)
+    /** Tick the serving phase was restored to from its write-ahead
+     *  journal (serve/journal.hh); -1 (the default) = not a resumed
+     *  run, and the field is omitted from the manifest. */
+    std::int64_t resumedFromTick = -1;
     /** Telemetry sampler summary ("" when the sampler never ran). */
     std::string metricsPath;     ///< final OpenMetrics snapshot path
     std::uint64_t samplerTicks = 0;

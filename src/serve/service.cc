@@ -8,8 +8,10 @@
 
 #include "common/logging.hh"
 #include "fi/injector.hh"
+#include "obs/deferral.hh"
 #include "obs/events.hh"
 #include "par/pool.hh"
+#include "serve/journal.hh"
 
 namespace dfault::serve {
 
@@ -36,6 +38,20 @@ validated(Params p)
     if (!(b.errorRateThreshold > 0.0) || !(b.errorRateThreshold <= 1.0))
         DFAULT_FATAL("serve: breaker errorRateThreshold must be in (0,1]");
     return p;
+}
+
+std::uint64_t CounterBlock::*
+shedField(Priority p)
+{
+    switch (p) {
+    case Priority::Critical:
+        return &CounterBlock::shedCritical;
+    case Priority::Health:
+        return &CounterBlock::shedHealth;
+    case Priority::Bulk:
+        return &CounterBlock::shedBulk;
+    }
+    return &CounterBlock::shedBulk;
 }
 
 } // namespace
@@ -128,6 +144,181 @@ PredictionService::PredictionService(const ml::Regressor &primary,
         breakerGauges_.push_back(&registry_.gauge(
             "serve.live.breaker_state.shard" + std::to_string(s),
             "breaker state: 0 closed, 1 open, 2 half-open (live)"));
+    if (!params_.journalDir.empty())
+        restoreFromJournal();
+}
+
+PredictionService::~PredictionService() = default;
+
+void
+PredictionService::bumpLocked(std::uint64_t CounterBlock::*field)
+{
+    if (journal_ != nullptr) {
+        ++(journal_->delta.*field);
+        ++(journal_->total.*field);
+    }
+}
+
+void
+PredictionService::restoreFromJournal()
+{
+    journal_ = std::make_unique<JournalState>();
+    journal_->wal.open(params_.journalDir, journalConfigDigest(params_),
+                       &registry_);
+    const WriteAheadJournal::Restored restored = journal_->wal.load();
+    if (!restored.any)
+        return;
+
+    const auto applyRequests =
+        [this](const std::vector<JournalRequest> &requests) {
+            for (const JournalRequest &jr : requests) {
+                Pending p;
+                p.id = jr.id;
+                p.key = jr.key;
+                p.priority = static_cast<Priority>(jr.priority);
+                p.shard = std::clamp(jr.shard, 0, params_.shards - 1);
+                p.enqueueTick = jr.enqueueTick;
+                p.features = jr.features;
+                queues_[jr.priority].push_back(std::move(p));
+            }
+        };
+    const auto applyBreakers =
+        [this](const std::vector<JournalBreaker> &journaled) {
+            if (journaled.size() != breakers_.size())
+                DFAULT_WARN("journal: record carries ", journaled.size(),
+                            " breaker shard(s), service has ",
+                            breakers_.size(), "; applying the overlap");
+            const std::size_t n =
+                std::min(journaled.size(), breakers_.size());
+            for (std::size_t s = 0; s < n; ++s) {
+                const JournalBreaker &jb = journaled[s];
+                Breaker &b = breakers_[s];
+                b.state = static_cast<BreakerState>(jb.state);
+                b.consecutive = jb.consecutive;
+                b.window.clear();
+                for (char c : jb.window)
+                    b.window.push_back(c == '1' ? 1 : 0);
+                b.windowFailures = jb.windowFailures;
+                b.openedTick = jb.openedTick;
+                b.probeSuccesses = jb.probeSuccesses;
+            }
+        };
+
+    if (restored.hasSnapshot) {
+        const JournalSnapshot &snap = restored.snapshot;
+        tick_ = snap.tick;
+        nextId_ = snap.nextId;
+        applyRequests(snap.queued);
+        responses_ = snap.responses;
+        applyBreakers(snap.breakers);
+        for (const auto &[key, value] : snap.lastKnownGood)
+            lastKnownGood_[key] = value;
+        obs::applyStatOps(snap.statOps, &registry_);
+        counterBlockAdd(journal_->total, snap.statOps);
+    }
+    for (const JournalSegment &seg : restored.segments) {
+        tick_ = seg.tick;
+        nextId_ = seg.nextId;
+        applyRequests(seg.admitted);
+        for (const Response &r : seg.responses) {
+            // A resolved request leaves the queue; an admission shed
+            // was never in it (erase-by-id finds nothing, harmlessly).
+            for (auto &q : queues_)
+                for (auto qit = q.begin(); qit != q.end(); ++qit)
+                    if (qit->id == r.id) {
+                        q.erase(qit);
+                        break;
+                    }
+            if (r.disposition == Disposition::Served)
+                lastKnownGood_[r.key] = r.prediction;
+            responses_.push_back(r);
+        }
+        applyBreakers(seg.breakers);
+        obs::applyStatOps(seg.statOps, &registry_);
+        counterBlockAdd(journal_->total, seg.statOps);
+    }
+
+    journal_->flushedResponses = responses_.size();
+    resumedFromTick_ = static_cast<std::int64_t>(restored.tick);
+    for (std::size_t s = 0; s < breakers_.size(); ++s)
+        breakerGauges_[s]->set(static_cast<double>(breakers_[s].state));
+    updateLiveGaugesLocked();
+    DFAULT_INFORM("serve: restored from journal '", params_.journalDir,
+                "' to tick ", restored.tick, " (",
+                responses_.size(), " response(s), ",
+                queueDepthLocked(), " still queued)");
+}
+
+void
+PredictionService::journalCommitLocked()
+{
+    if (journal_ == nullptr)
+        return;
+    const bool snapshotTick =
+        params_.snapshotEveryTicks > 0 &&
+        tick_ % params_.snapshotEveryTicks == 0;
+    const auto captureBreakers = [this]() {
+        std::vector<JournalBreaker> out;
+        out.reserve(breakers_.size());
+        for (const Breaker &b : breakers_) {
+            JournalBreaker jb;
+            jb.state = static_cast<int>(b.state);
+            jb.consecutive = b.consecutive;
+            jb.window.reserve(b.window.size());
+            for (char c : b.window)
+                jb.window.push_back(c != 0 ? '1' : '0');
+            jb.windowFailures = b.windowFailures;
+            jb.openedTick = b.openedTick;
+            jb.probeSuccesses = b.probeSuccesses;
+            out.push_back(std::move(jb));
+        }
+        return out;
+    };
+
+    bool ok;
+    if (snapshotTick) {
+        JournalSnapshot snap;
+        snap.tick = tick_;
+        snap.nextId = nextId_;
+        for (const auto &q : queues_)
+            for (const Pending &p : q) {
+                JournalRequest jr;
+                jr.id = p.id;
+                jr.key = p.key;
+                jr.priority = static_cast<int>(p.priority);
+                jr.shard = p.shard;
+                jr.enqueueTick = p.enqueueTick;
+                jr.features = p.features;
+                snap.queued.push_back(std::move(jr));
+            }
+        snap.responses = responses_;
+        snap.breakers = captureBreakers();
+        snap.lastKnownGood.assign(lastKnownGood_.begin(),
+                                  lastKnownGood_.end());
+        std::sort(snap.lastKnownGood.begin(), snap.lastKnownGood.end());
+        snap.statOps = counterBlockOps(journal_->total);
+        ok = journal_->wal.writeSnapshot(snap);
+    } else {
+        JournalSegment seg;
+        seg.tick = tick_;
+        seg.nextId = nextId_;
+        seg.admitted = journal_->admitted;
+        seg.responses.assign(responses_.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     journal_->flushedResponses),
+                             responses_.end());
+        seg.breakers = captureBreakers();
+        seg.statOps = counterBlockOps(journal_->delta);
+        ok = journal_->wal.writeSegment(seg);
+    }
+    if (ok) {
+        journal_->admitted.clear();
+        journal_->delta = CounterBlock{};
+        journal_->flushedResponses = responses_.size();
+    }
+    // On failure the delta stays accumulated: it folds into the next
+    // record, and a crash before that resumes from the previous
+    // durable tick and re-executes this one deterministically.
 }
 
 par::CancelToken
@@ -156,6 +347,8 @@ PredictionService::shedLocked(Pending &&req, const std::string &reason)
 {
     ++shed_;
     ++*shedByPriority_[static_cast<int>(req.priority)];
+    bumpLocked(&CounterBlock::shed);
+    bumpLocked(shedField(req.priority));
     Response r;
     r.id = req.id;
     r.key = req.key;
@@ -186,6 +379,7 @@ PredictionService::degradeLocked(Pending &&req, const std::string &reason)
         return;
     }
     ++degraded_;
+    bumpLocked(&CounterBlock::degraded);
     Response r;
     r.id = req.id;
     r.key = req.key;
@@ -202,6 +396,7 @@ void
 PredictionService::serveLocked(Pending &&req, double prediction)
 {
     ++served_;
+    bumpLocked(&CounterBlock::served);
     lastKnownGood_[req.key] = prediction;
     Response r;
     r.id = req.id;
@@ -225,16 +420,19 @@ PredictionService::transitionLocked(int shard, BreakerState to)
     case BreakerState::Open:
         b.openedTick = tick_;
         ++breakerOpened_;
+        bumpLocked(&CounterBlock::breakerOpened);
         break;
     case BreakerState::HalfOpen:
         b.probeSuccesses = 0;
         ++breakerHalfOpened_;
+        bumpLocked(&CounterBlock::breakerHalfOpened);
         break;
     case BreakerState::Closed:
         b.consecutive = 0;
         b.window.clear();
         b.windowFailures = 0;
         ++breakerClosed_;
+        bumpLocked(&CounterBlock::breakerClosed);
         break;
     }
     breakerGauges_[shard]->set(static_cast<double>(to));
@@ -325,6 +523,7 @@ PredictionService::submit(Request request)
     p.features = std::move(request.features);
     const std::uint64_t id = p.id;
     ++submitted_;
+    bumpLocked(&CounterBlock::submitted);
 
     const par::CancelToken token = effectiveToken();
     if (token.cancelled()) {
@@ -363,6 +562,16 @@ PredictionService::submit(Request request)
         shedLocked(std::move(evicted),
                    "queue full: evicted by higher-priority arrival");
     }
+    if (journal_ != nullptr) {
+        JournalRequest jr;
+        jr.id = p.id;
+        jr.key = p.key;
+        jr.priority = static_cast<int>(p.priority);
+        jr.shard = p.shard;
+        jr.enqueueTick = p.enqueueTick;
+        jr.features = p.features;
+        journal_->admitted.push_back(std::move(jr));
+    }
     queues_[static_cast<int>(p.priority)].push_back(std::move(p));
     updateLiveGaugesLocked();
     return id;
@@ -379,6 +588,7 @@ PredictionService::tick()
         std::lock_guard<std::mutex> lock(mutex_);
         ++tick_;
         ++ticksTotal_;
+        bumpLocked(&CounterBlock::ticks);
 
         if (token.cancelled()) {
             // A cancelled service still honors the disposition
@@ -395,6 +605,7 @@ PredictionService::tick()
                     ++resolved;
                 }
             updateLiveGaugesLocked();
+            journalCommitLocked();
             return resolved;
         }
 
@@ -530,6 +741,14 @@ PredictionService::tick()
             ++resolved;
         }
         updateLiveGaugesLocked();
+        // serve.kill models a SIGKILL landing after the in-memory
+        // commit but before the tick reaches the journal: the tick is
+        // lost and must be re-executed on resume, which is exactly
+        // what the kill/resume determinism suite asserts.
+        auto &inj = fi::Injector::instance();
+        if (inj.armed())
+            inj.maybeKill("serve.kill", tick_);
+        journalCommitLocked();
     }
     return resolved;
 }
@@ -553,6 +772,13 @@ std::vector<Response>
 PredictionService::takeResponses()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (journal_ != nullptr) {
+        if (queueDepthLocked() > 0)
+            DFAULT_WARN("serve: takeResponses() mid-run on a journaled "
+                        "service; the next snapshot's transcript only "
+                        "covers responses still held");
+        journal_->flushedResponses = 0;
+    }
     std::vector<Response> out = std::move(responses_);
     responses_.clear();
     return out;

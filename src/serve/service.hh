@@ -59,6 +59,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -70,6 +71,9 @@
 #include "par/cancel.hh"
 
 namespace dfault::serve {
+
+struct CounterBlock;
+struct JournalState;
 
 /**
  * Request importance class. Order is shedding order reversed: Bulk
@@ -191,6 +195,31 @@ struct Params
 
     /** Stats destination; nullptr selects Registry::instance(). */
     obs::Registry *registry = nullptr;
+
+    /**
+     * Directory for the write-ahead journal (serve/journal.hh); ""
+     * disables durability. A non-empty directory restores the service
+     * to its last durable tick at construction and appends one record
+     * per tick thereafter.
+     */
+    std::string journalDir;
+
+    /**
+     * Cadence, in ticks, of compacted full-state snapshots (a
+     * snapshot replaces the ordinary segment on its tick). Excluded
+     * from the journal config digest, like the thread count: it
+     * cannot change results. 0 disables snapshots (segments only).
+     */
+    std::uint64_t snapshotEveryTicks = 32;
+
+    /**
+     * Caller-provided configuration entropy folded into the journal
+     * config digest — hash the traffic/workload knobs that determine
+     * the submission sequence into this. A journal written under a
+     * different digest is quarantined and the service starts fresh,
+     * never silently replays.
+     */
+    std::uint64_t journalSalt = 0;
 };
 
 /** See file comment. */
@@ -206,6 +235,7 @@ class PredictionService
      */
     PredictionService(const ml::Regressor &primary, const Params &params,
                       const ml::Regressor *fallback = nullptr);
+    ~PredictionService();
 
     PredictionService(const PredictionService &) = delete;
     PredictionService &operator=(const PredictionService &) = delete;
@@ -247,6 +277,14 @@ class PredictionService
     /** Last-known-good cached prediction for @p key, if any. */
     std::optional<double> lastKnownGood(std::uint64_t key) const;
 
+    /**
+     * Tick this service was restored to from Params::journalDir, or
+     * -1 when it started fresh (no journal, or nothing durable in
+     * it). Drivers skip the work of ticks <= this on resume; the
+     * harness records it as the manifest's resumed_from_tick.
+     */
+    std::int64_t resumedFromTick() const { return resumedFromTick_; }
+
   private:
     struct Pending
     {
@@ -279,6 +317,9 @@ class PredictionService
     void updateLiveGaugesLocked();
     std::size_t queueDepthLocked() const;
     par::CancelToken effectiveToken() const;
+    void bumpLocked(std::uint64_t CounterBlock::*field);
+    void journalCommitLocked();
+    void restoreFromJournal();
 
     const ml::Regressor &primary_;
     const ml::Regressor *fallback_;
@@ -293,6 +334,9 @@ class PredictionService
     std::unordered_map<std::uint64_t, double> lastKnownGood_;
     std::uint64_t nextId_ = 0;
     std::uint64_t tick_ = 0;
+    /** Write-ahead journal state; nullptr when journalDir is empty. */
+    std::unique_ptr<JournalState> journal_;
+    std::int64_t resumedFromTick_ = -1;
 
     // Deterministic counters (manifest-digested).
     obs::Counter &submitted_;

@@ -208,6 +208,13 @@ TEST_F(InjectorDeath, MalformedSpecsAreFatal)
                 ::testing::ExitedWithCode(1), "ms must be in");
     EXPECT_EXIT(inj.arm("task.stall:ms=-1"),
                 ::testing::ExitedWithCode(1), "ms must be in");
+    // A negative below= would silently wrap through strtoull into a
+    // huge threshold, turning "never fire" into "always fire"; the
+    // parser must name the key instead, matching the ms= diagnostic.
+    EXPECT_EXIT(inj.arm("task.throw:below=-1"),
+                ::testing::ExitedWithCode(1), "below must be >= 0");
+    EXPECT_EXIT(inj.arm("task.throw:below=-1000"),
+                ::testing::ExitedWithCode(1), "below must be >= 0");
 }
 
 } // namespace

@@ -161,6 +161,64 @@ TEST(Forest, Name)
     EXPECT_EQ(RandomForestRegressor().name(), "RDF");
 }
 
+TEST(ForestSlice, OverWideSliceClampsToWholeForest)
+{
+    RandomForestRegressor::Params p;
+    p.trees = 8;
+    RandomForestRegressor rf(p);
+    Rng rng(7);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 80; ++i) {
+        x.push_back({rng.uniform(), rng.uniform()});
+        y.push_back(3.0 * x.back()[0] - x.back()[1]);
+    }
+    rf.fit(x, y);
+
+    // N past the tree count clamps to the whole forest: the slice's
+    // answer is exactly the ensemble's, never an error and never junk.
+    ForestSliceRegressor wide(rf, 1000);
+    for (const auto &row : {x[0], x[10], x[79]}) {
+        EXPECT_DOUBLE_EQ(wide.predict(row), rf.predict(row));
+        EXPECT_DOUBLE_EQ(rf.predictFirstTrees(row, 1000),
+                         rf.predict(row));
+    }
+}
+
+TEST(ForestSlice, PredictManyMatchesPredictRowByRow)
+{
+    RandomForestRegressor::Params p;
+    p.trees = 12;
+    RandomForestRegressor rf(p);
+    Rng rng(8);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back({rng.uniform(), rng.uniform()});
+        y.push_back(x.back()[0] + rng.uniform());
+    }
+    rf.fit(x, y);
+
+    ForestSliceRegressor slice(rf, 5);
+    std::vector<double> batched;
+    slice.predictMany(x, batched);
+    ASSERT_EQ(batched.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_DOUBLE_EQ(batched[i], slice.predict(x[i])) << "row " << i;
+}
+
+TEST(ForestSliceDeath, ZeroTreeSliceIsFatal)
+{
+    RandomForestRegressor rf;
+    rf.fit(Matrix{{0.0}, {1.0}}, std::vector<double>{1.0, 2.0});
+    // A 0-tree slice has no prediction; the old silent clamp-to-1
+    // would answer with a single tree while claiming to be empty.
+    EXPECT_EXIT((ForestSliceRegressor{rf, 0}),
+                ::testing::ExitedWithCode(1), "trees must be >= 1");
+    EXPECT_EXIT((void)rf.predictFirstTrees(std::vector<double>{0.0}, 0),
+                ::testing::ExitedWithCode(1), "trees >= 1");
+}
+
 TEST(ForestDeath, InvalidParamsAreFatal)
 {
     RandomForestRegressor::Params p;
